@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fig. 10: single-processor CPU-eFPGA bandwidth vs eFPGA clock frequency
+ * (20/50/100/200/500 MHz). The workload passes 512 quad-words to the
+ * eFPGA and fetches them back (paper Sec. V-C), via soft registers
+ * (normal vs shadow) or via shared memory (CPU pull / eFPGA pull, with
+ * the FPGA-side cache as a Proxy Cache or a slow cache).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace duet
+{
+namespace
+{
+
+using bench::CommProbe;
+using bench::commConfig;
+using bench::commImage;
+
+constexpr unsigned kQw = 512;
+constexpr Addr kBufA = 0x10000;
+constexpr Addr kBufB = 0x20000;
+
+double
+mbps(std::uint64_t bytes, Tick t)
+{
+    // Bytes per second: ticks are ps.
+    return static_cast<double>(bytes) / (static_cast<double>(t) * 1e-12) /
+           1e6;
+}
+
+/** Register path: write each QW, read it back (echo accelerator). */
+double
+regBandwidth(bool shadow, std::uint64_t mhz)
+{
+    System sys(commConfig(SystemMode::Duet));
+    auto probe = std::make_shared<CommProbe>();
+    AccelImage img = commImage(false, probe);
+    if (!shadow) {
+        img.regLayout.kinds[0] = RegKind::Normal;
+        img.regLayout.kinds[1] = RegKind::Normal;
+    }
+    sys.installAccel(img);
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Tick elapsed = 0;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        Tick t0 = sys.eventQueue().now();
+        if (shadow) {
+            for (unsigned i = 0; i < kQw; ++i) {
+                co_await c.mmioWrite(sys.regAddr(0),
+                                     (0x01ull << 56) | (i + 1));
+                while (co_await c.mmioRead(sys.regAddr(1)) == kFifoEmpty)
+                    co_await c.compute(4);
+            }
+        } else {
+            for (unsigned i = 0; i < kQw; ++i) {
+                co_await c.mmioWrite(sys.regAddr(0), i + 1);
+                co_await c.mmioRead(sys.regAddr(0));
+            }
+        }
+        elapsed = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return mbps(2ull * 8 * kQw, elapsed);
+}
+
+/** Shared-memory, eFPGA-pull path (doorbell round trip of Fig. 10). */
+double
+fpgaPullBandwidth(SystemMode mode, std::uint64_t mhz)
+{
+    System sys(commConfig(mode));
+    auto probe = std::make_shared<CommProbe>();
+    sys.installAccel(commImage(false, probe));
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Tick elapsed = 0;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.mmioWrite(sys.regAddr(2), kBufA);
+        co_await c.mmioWrite(sys.regAddr(3), kBufB);
+        co_await c.mmioWrite(sys.regAddr(5), kQw);
+        Tick t0 = sys.eventQueue().now();
+        for (unsigned i = 0; i < kQw; ++i)
+            co_await c.store(kBufA + 8 * i, i + 1);
+        // Doorbell read: blocks until the eFPGA pulled A and stored B.
+        co_await c.mmioRead(sys.regAddr(4));
+        for (unsigned i = 0; i < kQw; ++i)
+            co_await c.load(kBufB + 8 * i);
+        elapsed = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return mbps(2ull * 8 * kQw, elapsed);
+}
+
+/** Shared-memory, CPU-pull path: the accelerator produces, the CPU
+ *  consumes (plus the initial command). */
+double
+cpuPullBandwidth(SystemMode mode, std::uint64_t mhz)
+{
+    System sys(commConfig(mode));
+    auto probe = std::make_shared<CommProbe>();
+    sys.installAccel(commImage(false, probe));
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Tick elapsed = 0;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.mmioWrite(sys.regAddr(3), kBufB);
+        co_await c.mmioWrite(sys.regAddr(5), kQw);
+        Tick t0 = sys.eventQueue().now();
+        co_await c.mmioWrite(sys.regAddr(0), 0x02ull << 56);
+        while (co_await c.mmioRead(sys.regAddr(1)) == kFifoEmpty)
+            co_await c.compute(8);
+        for (unsigned i = 0; i < kQw; ++i)
+            co_await c.load(kBufB + 8 * i);
+        elapsed = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return mbps(8ull * kQw, elapsed);
+}
+
+} // namespace
+} // namespace duet
+
+int
+main()
+{
+    using namespace duet;
+    const std::uint64_t freqs[] = {20, 50, 100, 200, 500};
+    std::printf("=== Fig. 10: processor-eFPGA bandwidth vs eFPGA clock "
+                "(Dolly-P1M1, MB/s) ===\n");
+    std::printf("%-32s", "mechanism \\ eFPGA MHz");
+    for (auto f : freqs)
+        std::printf(" %8lu", f);
+    std::printf("\n");
+
+    auto row = [&](const char *name, auto fn) {
+        std::printf("%-32s", name);
+        for (auto f : freqs)
+            std::printf(" %8.1f", fn(f));
+        std::printf("\n");
+        std::fflush(stdout);
+    };
+    row("Normal Reg.",
+        [](std::uint64_t f) { return regBandwidth(false, f); });
+    row("Shadow Reg. (This Work)",
+        [](std::uint64_t f) { return regBandwidth(true, f); });
+    row("CPU Pull w/ Slow Cache", [](std::uint64_t f) {
+        return cpuPullBandwidth(SystemMode::Fpsoc, f);
+    });
+    row("CPU Pull w/ Proxy (This Work)", [](std::uint64_t f) {
+        return cpuPullBandwidth(SystemMode::Duet, f);
+    });
+    row("eFPGA Pull w/ Slow Cache", [](std::uint64_t f) {
+        return fpgaPullBandwidth(SystemMode::Fpsoc, f);
+    });
+    row("eFPGA Pull w/ Proxy (This Work)", [](std::uint64_t f) {
+        return fpgaPullBandwidth(SystemMode::Duet, f);
+    });
+    std::printf(
+        "\nPaper reference: proxy-cache eFPGA pulls peak at >= 100 MHz "
+        "and beat the slow cache by up to 9.5x;\nshadow registers "
+        "plateau once the eFPGA exceeds ~10%% of the CPU clock.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 11: per-processor soft-register bandwidth vs the number of
+ * contending processors (1/2/4/8/16), for normal-register reads/writes
+ * and shadow-register reads/writes; eFPGA fixed at 500 MHz (50% of the
+ * CPU clock), as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace duet
+{
+namespace
+{
+
+using bench::CommProbe;
+using bench::commConfig;
+using bench::commImage;
+
+constexpr unsigned kOpsPerCore = 200;
+
+enum class Op
+{
+    NormalWrite,
+    NormalRead,
+    ShadowWrite,
+    ShadowRead,
+};
+
+double
+perProcMbps(Op op, unsigned cores)
+{
+    System sys(commConfig(SystemMode::Duet, cores));
+    auto probe = std::make_shared<CommProbe>();
+    AccelImage img = commImage(false, probe);
+    // reg 0 stays an FPGA-bound FIFO (shadow write target; the echo
+    // engine drains it); reg 2 is the plain shadow read target; reg 4 is
+    // the normal register.
+    if (op == Op::ShadowWrite) {
+        // The echo engine must drain reg 0; have it discard instead of
+        // pushing to reg 1 (which nobody reads) by using opcode 0.
+    }
+    sys.installAccel(img);
+    sys.fpgaClock().setFrequencyMHz(500);
+
+    Tick t0 = sys.eventQueue().now();
+    for (unsigned tid = 0; tid < cores; ++tid) {
+        sys.core(tid).start([&sys, op](Core &c) -> CoTask<void> {
+            for (unsigned i = 0; i < kOpsPerCore; ++i) {
+                switch (op) {
+                  case Op::NormalWrite:
+                    co_await c.mmioWrite(sys.regAddr(4), i);
+                    break;
+                  case Op::NormalRead:
+                    co_await c.mmioRead(sys.regAddr(4));
+                    break;
+                  case Op::ShadowWrite:
+                    co_await c.mmioWrite(sys.regAddr(0), i); // opcode 0
+                    break;
+                  case Op::ShadowRead:
+                    co_await c.mmioRead(sys.regAddr(2)); // plain shadow
+                    break;
+                }
+            }
+        });
+    }
+    sys.run();
+    Tick elapsed = sys.lastCoreFinish() - t0;
+    double bytes = 8.0 * kOpsPerCore; // per processor
+    return bytes / (static_cast<double>(elapsed) * 1e-12) / 1e6;
+}
+
+} // namespace
+} // namespace duet
+
+int
+main()
+{
+    using namespace duet;
+    const unsigned counts[] = {1, 2, 4, 8, 16};
+    std::printf("=== Fig. 11: per-processor soft-register bandwidth vs "
+                "contending processors (eFPGA @ 500 MHz, MB/s) ===\n");
+    std::printf("%-28s", "access \\ processors");
+    for (auto n : counts)
+        std::printf(" %8u", n);
+    std::printf("\n");
+    auto row = [&](const char *name, Op op) {
+        std::printf("%-28s", name);
+        for (auto n : counts)
+            std::printf(" %8.1f", perProcMbps(op, n));
+        std::printf("\n");
+        std::fflush(stdout);
+    };
+    row("Normal Reg. Write", Op::NormalWrite);
+    row("Normal Reg. Read", Op::NormalRead);
+    row("Shadow Reg. Write (This Work)", Op::ShadowWrite);
+    row("Shadow Reg. Read (This Work)", Op::ShadowRead);
+    std::printf("\nPaper reference: shadow registers sustain per-core "
+                "bandwidth to ~8 contending processors; normal registers "
+                "collapse past 2.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 12: normalized speedup and area-delay product (ADP) of the seven
+ * application benchmarks (13 configurations) on CPU-only, FPSoC and Duet
+ * systems, plus the geometric means the paper reports (4.53x speedup for
+ * Duet vs 2.14x for FPSoC; ADP 0.61 vs 1.23).
+ *
+ * Usage: bench_fig12_apps [name-filter]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "area/area_model.hh"
+#include "workload/apps.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace duet;
+    const char *filter = argc > 1 ? argv[1] : "";
+
+    std::printf("=== Fig. 12: application benchmarks — normalized speedup "
+                "and ADP ===\n");
+    std::printf("%-12s %12s %12s %12s | %8s %8s | %8s %8s\n", "benchmark",
+                "cpu (us)", "fpsoc (us)", "duet (us)", "spd/fpsoc",
+                "spd/duet", "adp/fpsoc", "adp/duet");
+
+    double geo_spd_fpsoc = 0, geo_spd_duet = 0;
+    double geo_adp_fpsoc = 0, geo_adp_duet = 0;
+    unsigned count = 0;
+    bool all_correct = true;
+
+    for (const AppSpec &spec : allApps()) {
+        if (*filter && spec.name.find(filter) == std::string::npos)
+            continue;
+        AppResult cpu = spec.run(SystemMode::CpuOnly);
+        AppResult fpsoc = spec.run(SystemMode::Fpsoc);
+        AppResult duet = spec.run(SystemMode::Duet);
+        all_correct &= cpu.correct && fpsoc.correct && duet.correct;
+
+        double a_cpu = area::systemAreaMm2(spec.p, spec.m, 0, spec.accelKey);
+        double a_fpsoc =
+            area::systemAreaMm2(spec.p, spec.m, 1, spec.accelKey);
+        double a_duet =
+            area::systemAreaMm2(spec.p, spec.m, 2, spec.accelKey);
+
+        double spd_f = static_cast<double>(cpu.runtime) / fpsoc.runtime;
+        double spd_d = static_cast<double>(cpu.runtime) / duet.runtime;
+        double adp_f = (a_fpsoc * fpsoc.runtime) / (a_cpu * cpu.runtime);
+        double adp_d = (a_duet * duet.runtime) / (a_cpu * cpu.runtime);
+
+        std::printf("%-12s %12.1f %12.1f %12.1f | %8.2f %8.2f | %8.2f "
+                    "%8.2f %s\n",
+                    spec.name.c_str(), cpu.runtime / 1e6,
+                    fpsoc.runtime / 1e6, duet.runtime / 1e6, spd_f, spd_d,
+                    adp_f, adp_d,
+                    cpu.correct && fpsoc.correct && duet.correct
+                        ? ""
+                        : "  [INCORRECT]");
+        std::fflush(stdout);
+
+        geo_spd_fpsoc += std::log(spd_f);
+        geo_spd_duet += std::log(spd_d);
+        geo_adp_fpsoc += std::log(adp_f);
+        geo_adp_duet += std::log(adp_d);
+        ++count;
+    }
+
+    if (count > 0) {
+        std::printf("%-12s %12s %12s %12s | %8.2f %8.2f | %8.2f %8.2f\n",
+                    "geomean", "", "", "",
+                    std::exp(geo_spd_fpsoc / count),
+                    std::exp(geo_spd_duet / count),
+                    std::exp(geo_adp_fpsoc / count),
+                    std::exp(geo_adp_duet / count));
+    }
+    std::printf("\nAll results functionally verified against host "
+                "references: %s\n", all_correct ? "yes" : "NO");
+    std::printf("Paper reference: geomean speedup 4.53x (Duet) vs 2.14x "
+                "(FPSoC); geomean ADP 0.61 (Duet) vs 1.23 (FPSoC).\n");
+    return all_correct ? 0 : 1;
+}

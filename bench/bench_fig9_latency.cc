@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Fig. 9: CPU-eFPGA round-trip latency and its breakdown into NoC / fast
+ * cache logic / slow cache logic / CDC overhead, for six communication
+ * mechanisms at eFPGA clocks of 100/200/500 MHz (system clock 1 GHz;
+ * Dolly-P1M1; single processor; single transaction; pulls guaranteed to
+ * miss locally and hit remote in M state).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace duet
+{
+namespace
+{
+
+using bench::CommProbe;
+using bench::commConfig;
+using bench::commImage;
+
+constexpr Addr kBuf = 0x10000;
+
+struct Sample
+{
+    Tick total = 0;
+    LatencyTrace trace;
+};
+
+/** Shadow-register round trip: FPGA-bound write + CPU-bound read. */
+Sample
+shadowReg(std::uint64_t mhz)
+{
+    System sys(commConfig(SystemMode::Duet));
+    auto probe = std::make_shared<CommProbe>();
+    sys.installAccel(commImage(false, probe));
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Sample s;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.compute(10);
+        Tick t0 = sys.eventQueue().now();
+        co_await c.mmioWrite(sys.regAddr(0), (0x01ull << 56) | 42,
+                             &s.trace);
+        co_await c.mmioRead(sys.regAddr(1), &s.trace);
+        s.total = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return s;
+}
+
+/** Normal-register round trip: forwarded write + forwarded read. */
+Sample
+normalReg(std::uint64_t mhz)
+{
+    System sys(commConfig(SystemMode::Duet));
+    auto probe = std::make_shared<CommProbe>();
+    AccelImage img = commImage(false, probe);
+    img.regLayout.kinds[0] = RegKind::Normal; // downgrade the data regs
+    img.regLayout.kinds[1] = RegKind::Normal;
+    sys.installAccel(img);
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Sample s;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.compute(10);
+        Tick t0 = sys.eventQueue().now();
+        co_await c.mmioWrite(sys.regAddr(0), 42, &s.trace);
+        co_await c.mmioRead(sys.regAddr(0), &s.trace);
+        s.total = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return s;
+}
+
+/** CPU pull: the accelerator owns the line in M; the CPU loads it. */
+Sample
+cpuPull(SystemMode mode, std::uint64_t mhz)
+{
+    System sys(commConfig(mode));
+    auto probe = std::make_shared<CommProbe>();
+    sys.installAccel(commImage(false, probe));
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    Sample s;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.mmioWrite(sys.regAddr(3), kBuf);
+        co_await c.mmioWrite(sys.regAddr(5), 1);
+        co_await c.mmioWrite(sys.regAddr(0), 0x02ull << 56);
+        // Wait for the accelerator's store to become globally visible.
+        while (co_await c.mmioRead(sys.regAddr(1)) == kFifoEmpty)
+            co_await c.compute(8);
+        Tick t0 = sys.eventQueue().now();
+        co_await c.load(kBuf, 8, &s.trace);
+        s.total = sys.eventQueue().now() - t0;
+    });
+    sys.run();
+    return s;
+}
+
+/** eFPGA pull: the CPU owns the line in M; the accelerator loads it. */
+Sample
+fpgaPull(SystemMode mode, std::uint64_t mhz)
+{
+    System sys(commConfig(mode));
+    auto probe = std::make_shared<CommProbe>();
+    Sample s;
+    probe->trace = &s.trace;
+    sys.installAccel(commImage(false, probe));
+    sys.fpgaClock().setFrequencyMHz(mhz);
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.store(kBuf, 0x1234); // line in M in the CPU's L2
+        co_await c.mmioWrite(sys.regAddr(0), (0x03ull << 56) | kBuf);
+        while (co_await c.mmioRead(sys.regAddr(1)) == kFifoEmpty)
+            co_await c.compute(8);
+    });
+    sys.run();
+    s.total = probe->loadEnd - probe->loadStart;
+    return s;
+}
+
+void
+printRow(const char *mech, std::uint64_t mhz, const Sample &s)
+{
+    auto ns = [](Tick t) { return static_cast<double>(t) / kTicksPerNs; };
+    std::printf("%-28s %4lu MHz  total %7.1f ns   noc %6.1f  fast "
+                "%6.1f  slow %6.1f  cdc %6.1f\n",
+                mech, mhz, ns(s.total),
+                ns(s.trace.get(LatencyTrace::Cat::NoC)),
+                ns(s.trace.get(LatencyTrace::Cat::FastCache)),
+                ns(s.trace.get(LatencyTrace::Cat::SlowCache)),
+                ns(s.trace.get(LatencyTrace::Cat::Cdc)));
+}
+
+} // namespace
+} // namespace duet
+
+int
+main()
+{
+    using namespace duet;
+    std::printf("=== Fig. 9: CPU-eFPGA communication latency "
+                "(Dolly-P1M1, 1 GHz system clock) ===\n");
+    const std::uint64_t freqs[] = {100, 200, 500};
+    std::printf("--- Shadow Reg. (This Work) ---\n");
+    for (auto f : freqs)
+        printRow("Shadow Reg.", f, shadowReg(f));
+    std::printf("--- Normal Reg. ---\n");
+    for (auto f : freqs)
+        printRow("Normal Reg.", f, normalReg(f));
+    std::printf("--- CPU Pull w/ Proxy Cache (This Work) ---\n");
+    for (auto f : freqs)
+        printRow("CPU Pull / Proxy", f, cpuPull(SystemMode::Duet, f));
+    std::printf("--- CPU Pull w/ Slow Cache ---\n");
+    for (auto f : freqs)
+        printRow("CPU Pull / Slow", f, cpuPull(SystemMode::Fpsoc, f));
+    std::printf("--- eFPGA Pull w/ Proxy Cache (This Work) ---\n");
+    for (auto f : freqs)
+        printRow("eFPGA Pull / Proxy", f, fpgaPull(SystemMode::Duet, f));
+    std::printf("--- eFPGA Pull w/ Slow Cache ---\n");
+    for (auto f : freqs)
+        printRow("eFPGA Pull / Slow", f, fpgaPull(SystemMode::Fpsoc, f));
+    std::printf(
+        "\nPaper reference: proxy cache cuts CPU-pull latency 42-82%% "
+        "(constant across eFPGA clocks);\nshadow registers cut register "
+        "round trips 50-80%%; eFPGA pulls improve 13-43%%.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrate itself:
+ * event-queue throughput, cache-array lookups, functional memory, and
+ * end-to-end NoC message delivery. These guard the simulator's own
+ * performance (simulation speed), not the modeled system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "cache/l1_cache.hh"
+#include "mem/functional_mem.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace duet;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 97), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayFind(benchmark::State &state)
+{
+    CacheArray<L1Line> arr(128, 4);
+    for (Addr a = 0; a < 512 * kLineBytes; a += kLineBytes) {
+        L1Line &slot = arr.victimFor(a);
+        arr.install(slot, a);
+    }
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.find(a));
+        a = (a + kLineBytes) % (512 * kLineBytes);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayFind);
+
+void
+BM_FunctionalMemoryReadWrite(benchmark::State &state)
+{
+    FunctionalMemory mem;
+    Addr a = 0;
+    for (auto _ : state) {
+        mem.write(a, 8, a);
+        benchmark::DoNotOptimize(mem.read(a, 8));
+        a = (a + 8) % (1 << 20);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalMemoryReadWrite);
+
+void
+BM_MeshDelivery(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        ClockDomain clk(eq, "sys", 1000);
+        Mesh mesh(clk, MeshConfig{4, 4});
+        int delivered = 0;
+        for (unsigned t = 0; t < 16; ++t) {
+            mesh.registerEndpoint(
+                {static_cast<std::uint16_t>(t), TilePort::L3},
+                [&](const Message &) { ++delivered; });
+        }
+        for (unsigned i = 0; i < 256; ++i) {
+            Message m;
+            m.type = MsgType::GetS;
+            m.src = {static_cast<std::uint16_t>(i % 16), TilePort::L2};
+            m.dst = {static_cast<std::uint16_t>((i * 7) % 16),
+                     TilePort::L3};
+            mesh.inject(m);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MeshDelivery);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Hardware-augmentation example: the eFPGA-emulated task scheduler of
+ * paper Sec. III-B2 accelerating parallel discrete event simulation.
+ * Sweeps the core count to show the software baseline's MCS-lock convoy
+ * versus the widget's flat dispatch cost.
+ */
+
+#include <cstdio>
+
+#include "workload/apps.hh"
+
+using namespace duet;
+
+int
+main()
+{
+    std::printf("PDES with a hardware task scheduler (HA widget)\n");
+    std::printf("-----------------------------------------------\n");
+    std::printf("%6s %14s %14s %10s\n", "cores", "baseline (us)",
+                "duet (us)", "speedup");
+    struct Cfg
+    {
+        unsigned cores;
+        AppResult (*run)(SystemMode);
+    } cfgs[] = {{4, &runPdes4}, {8, &runPdes8}, {16, &runPdes16}};
+    for (auto &cfg : cfgs) {
+        AppResult cpu = cfg.run(SystemMode::CpuOnly);
+        AppResult duet = cfg.run(SystemMode::Duet);
+        std::printf("%6u %14.1f %14.1f %9.1fx %s\n", cfg.cores,
+                    cpu.runtime / 1e6, duet.runtime / 1e6,
+                    double(cpu.runtime) / duet.runtime,
+                    cpu.correct && duet.correct ? "" : "[INCORRECT]");
+    }
+    std::printf("\nThe baseline slows DOWN with more cores (lock convoy "
+                "on the shared event\nqueue) while the widget's dispatch "
+                "cost stays flat — the paper's motivation\nfor hardware "
+                "augmentation.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Soft-accelerator image factories — one per application benchmark of the
+ * paper's Sec. V-D, plus the synthetic scratchpad accelerator used by the
+ * Sec. V-C communication studies.
+ *
+ * Resource usage and Fmax are imported from the paper's Table II (the
+ * Yosys/VTR/PRGA CAD flow is not available offline; see DESIGN.md). The
+ * behavioural models implement the same interfaces, initiation intervals
+ * and pipeline depths the paper describes.
+ */
+
+#ifndef DUET_ACCEL_IMAGES_HH
+#define DUET_ACCEL_IMAGES_HH
+
+#include <cstdint>
+
+#include "core/adapter.hh"
+
+namespace duet::accel
+{
+
+// ---------------------------------------------------------------------
+// Fixed-point helpers shared by accelerators and CPU baselines (identical
+// arithmetic makes results bit-exact comparable).
+// ---------------------------------------------------------------------
+
+/** Q16.16 fixed-point tangent via 64-segment piecewise-linear table over
+ *  [0, 0.75] rad; max error ~0.3% (the paper's Catapult HLS design). */
+std::uint64_t pwlTangentQ16(std::uint64_t angle_q16);
+
+/** Reference Q16.16 tangent from libm (CPU baseline functional result). */
+std::uint64_t libmTangentQ16(std::uint64_t angle_q16);
+
+/** The Barnes-Hut fixed-point pair-force kernel (shared by the CalcForce
+ *  pipeline and the CPU baseline). Returns {fx, fy} contributions. */
+struct FixVec
+{
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+};
+FixVec bhForce(std::int64_t px, std::int64_t py, std::int64_t qx,
+               std::int64_t qy, std::int64_t qmass);
+
+/** PDES gate-update value for an event (commutative accumulation). */
+std::uint64_t pdesGateDelta(std::uint64_t time, std::uint64_t gate);
+
+// ---------------------------------------------------------------------
+// Image factories.
+// ---------------------------------------------------------------------
+
+/** Synthetic scratchpad accelerator for the Fig. 9/10/11 studies.
+ *  Registers: 0 FPGA-bound FIFO, 1 CPU-bound FIFO, 2/3 plain (buffer
+ *  addresses), 4 normal (doorbell/barrier), 5 token FIFO. */
+AccelImage scratchpadImage(unsigned num_hubs, bool with_soft_cache);
+
+/** Tangent (P1M0): FPGA-bound arg FIFO -> PWL pipeline -> CPU-bound
+ *  result FIFO. */
+AccelImage tangentImage();
+
+/** Popcount (P1M1): pops a 512-bit vector address, loads 4 lines through
+ *  the Memory Hub, reduces, pushes the count. */
+AccelImage popcountImage();
+
+/** Streaming sort network (P1M2) for N in {32, 64, 128} 4-byte keys:
+ *  hub 0 streams input, hub 1 streams output. */
+AccelImage sortImage(unsigned n);
+
+/** Dijkstra relaxation engine (P1M1) with a soft cache for adjacency
+ *  reuse between consecutive invocations. */
+AccelImage dijkstraImage();
+
+/** Barnes-Hut (P4M1): ApproxForce + CalcForce pipelines time-multiplexed
+ *  by up to 4 threads; force accumulation via hub atomics. */
+AccelImage barnesHutImage(unsigned threads);
+
+/** PDES hardware task scheduler widget (HA): scratchpad event queue,
+ *  FPGA-bound insert/complete FIFOs, CPU-bound dispatch FIFO. */
+AccelImage pdesSchedulerImage(unsigned cores, unsigned total_events);
+
+/** BFS lock-free frontier queue widget (HA, M0): register-only. */
+AccelImage bfsQueueImage(unsigned cores);
+
+/** Sentinels used by the widget protocols. */
+constexpr std::uint64_t kLevelSentinel = 0xFFFFFFFFull;
+constexpr std::uint64_t kDoneSentinel = 0xFFFFFFFEull;
+
+} // namespace duet::accel
+
+#endif // DUET_ACCEL_IMAGES_HH

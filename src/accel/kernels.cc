@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared fixed-point kernels used by both the soft accelerators and the
+ * CPU baselines, so results are bit-exact comparable across systems.
+ */
+
+#include <cmath>
+
+#include "accel/images.hh"
+
+namespace duet::accel
+{
+
+namespace
+{
+
+/** 64-entry PWL table for tan(x), x in [0, 0.75], Q16.16. Built once. */
+struct PwlTable
+{
+    std::uint32_t base[65];
+
+    PwlTable()
+    {
+        for (int i = 0; i <= 64; ++i) {
+            double x = 0.75 * i / 64.0;
+            base[i] = static_cast<std::uint32_t>(std::tan(x) * 65536.0);
+        }
+    }
+};
+
+const PwlTable &
+pwlTable()
+{
+    static PwlTable t;
+    return t;
+}
+
+} // namespace
+
+std::uint64_t
+pwlTangentQ16(std::uint64_t angle_q16)
+{
+    // Segment index + linear interpolation, exactly what the HLS design
+    // does with one BRAM read and one multiply.
+    const PwlTable &t = pwlTable();
+    // 0.75 in Q16.16 is 49152; clamp into the table domain.
+    std::uint64_t a = angle_q16 > 49151 ? 49151 : angle_q16;
+    std::uint64_t seg = (a * 64) / 49152;          // 0..63
+    std::uint64_t seg_start = seg * 49152 / 64;
+    std::uint64_t seg_len = 49152 / 64;
+    std::uint64_t frac = ((a - seg_start) << 16) / seg_len; // Q16 fraction
+    std::uint64_t lo = t.base[seg], hi = t.base[seg + 1];
+    return lo + (((hi - lo) * frac) >> 16);
+}
+
+std::uint64_t
+libmTangentQ16(std::uint64_t angle_q16)
+{
+    double x = static_cast<double>(angle_q16) / 65536.0;
+    return static_cast<std::uint64_t>(std::tan(x) * 65536.0);
+}
+
+FixVec
+bhForce(std::int64_t px, std::int64_t py, std::int64_t qx, std::int64_t qy,
+        std::int64_t qmass)
+{
+    // Softened inverse-square-style kernel in pure integer arithmetic:
+    // f = G * m / (r2 + eps); fx = f * dx / scale. Identical rounding on
+    // CPU and accelerator makes results bit-exact.
+    constexpr std::int64_t kG = 1 << 12;
+    constexpr std::int64_t kEps = 64;
+    std::int64_t dx = qx - px;
+    std::int64_t dy = qy - py;
+    std::int64_t r2 = dx * dx + dy * dy + kEps;
+    std::int64_t f = (kG * qmass) / r2;
+    FixVec out;
+    out.x = (f * dx) / 256;
+    out.y = (f * dy) / 256;
+    return out;
+}
+
+std::uint64_t
+pdesGateDelta(std::uint64_t time, std::uint64_t gate)
+{
+    // Commutative (additive) gate-state contribution: the final state is
+    // independent of event processing order.
+    return (time * 2654435761ull + gate * 40503ull + 1) & 0xffffffull;
+}
+
+} // namespace duet::accel

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Silicon area and frequency models (paper Table I, Table II, and the ADP
+ * metric of Fig. 12).
+ *
+ * Table I reproduces the paper's linear-MOSFET scaling computation from
+ * the published component numbers. Table II's per-accelerator Fmax and
+ * utilization come from the paper's Yosys/VTR/PRGA flow (not runnable
+ * offline — see DESIGN.md substitutions); from them the model derives the
+ * implied fabric composition and its silicon area.
+ */
+
+#ifndef DUET_AREA_AREA_MODEL_HH
+#define DUET_AREA_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duet::area
+{
+
+/** Linear MOSFET scaling: area scales with the square of feature size. */
+double scaleArea(double area_mm2, double from_nm, double to_nm);
+
+/** Linear MOSFET scaling: delay scales linearly with feature size. */
+double scaleFreq(double freq_mhz, double from_nm, double to_nm);
+
+/** One Table I row. */
+struct ComponentRow
+{
+    std::string name;
+    std::string technology;
+    double featureNm;   ///< effective node for the scaling model
+    double areaMm2;     ///< as published
+    double freqMhz;     ///< as published
+    bool scaled;        ///< the paper scales Ariane/P-Mesh; the hub
+                        ///< components were synthesized at 45 nm already
+    double scaledAreaMm2() const;
+    double scaledFreqMhz() const;
+};
+
+/** The four hard components of Table I. */
+const std::vector<ComponentRow> &tableOne();
+
+/** Ariane + P-Mesh socket area at 45 nm (the Table II normalizer). */
+double tileAreaMm2();
+
+/** One Table II row: the synthesis record + derived fabric. */
+struct AccelRow
+{
+    std::string key;       ///< registry key ("sort64", ...)
+    std::string display;   ///< paper row name
+    double fmaxMhz;        ///< paper-reported max frequency
+    double normArea;       ///< eFPGA area / (Ariane + socket)
+    double clbUtil;        ///< CLB utilization
+    double bramUtil;       ///< BRAM utilization
+    // Derived fabric composition (model output).
+    unsigned clbTiles() const;
+    unsigned bramTiles() const;
+    double fabricAreaMm2() const;
+};
+
+/** All Table II rows, in paper order. */
+const std::vector<AccelRow> &tableTwo();
+
+/** Look up an accelerator's row by registry key (nullptr if absent). */
+const AccelRow *findAccel(const std::string &key);
+
+/**
+ * Total silicon area of a system configuration (mm^2, 45 nm):
+ *  - CPU-only: p x (Ariane + socket)
+ *  - FPSoC:    + the benchmark's eFPGA
+ *  - Duet:     + the Duet Adapter tiles (control hub + memory hubs +
+ *               their P-Mesh sockets and coherent memory interfaces)
+ */
+double systemAreaMm2(unsigned p, unsigned m, int mode_0cpu_1fpsoc_2duet,
+                     const std::string &accel_key);
+
+} // namespace duet::area
+
+#endif // DUET_AREA_AREA_MODEL_HH

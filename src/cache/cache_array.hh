@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A generic set-associative tag array with true-LRU replacement.
+ *
+ * Data values are not stored (see DESIGN.md: functional memory is the
+ * source of truth); lines carry coherence state and user metadata only.
+ */
+
+#ifndef DUET_CACHE_CACHE_ARRAY_HH
+#define DUET_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+
+namespace duet
+{
+
+/**
+ * Tag array of LineT, which must provide:
+ *   Addr addr;     // full line-aligned address
+ *   bool valid;
+ * Replacement is true LRU via a monotonic use counter.
+ */
+template <typename LineT>
+class CacheArray
+{
+  public:
+    CacheArray(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+    {
+        simAssert(sets > 0 && (sets & (sets - 1)) == 0,
+                  "set count must be a power of two");
+        simAssert(ways > 0, "need at least one way");
+        lines_.resize(sets * ways);
+        lastUse_.resize(sets * ways, 0);
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Find the valid line holding @p line_addr; nullptr on miss. */
+    LineT *
+    find(Addr line_addr)
+    {
+        unsigned base = setIndex(line_addr) * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            LineT &l = lines_[base + w];
+            if (l.valid && l.addr == line_addr) {
+                lastUse_[base + w] = ++clock_;
+                return &l;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Find without updating LRU state (for probes). */
+    const LineT *
+    peek(Addr line_addr) const
+    {
+        unsigned base = setIndex(line_addr) * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const LineT &l = lines_[base + w];
+            if (l.valid && l.addr == line_addr)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Pick the victim slot for inserting @p line_addr: an invalid way if
+     * one exists, otherwise the LRU way. The caller must handle eviction
+     * of a valid victim before overwriting it.
+     * @return reference to the chosen slot (may be a valid line!)
+     */
+    LineT &
+    victimFor(Addr line_addr)
+    {
+        unsigned base = setIndex(line_addr) * ways_;
+        unsigned best = 0;
+        std::uint64_t best_use = ~0ull;
+        for (unsigned w = 0; w < ways_; ++w) {
+            LineT &l = lines_[base + w];
+            if (!l.valid)
+                return l;
+            if (lastUse_[base + w] < best_use) {
+                best_use = lastUse_[base + w];
+                best = w;
+            }
+        }
+        return lines_[base + best];
+    }
+
+    /**
+     * Install @p line_addr into @p slot (a reference previously returned by
+     * victimFor) and mark it most recently used.
+     */
+    void
+    install(LineT &slot, Addr line_addr)
+    {
+        slot = LineT{};
+        slot.addr = line_addr;
+        slot.valid = true;
+        lastUse_[indexOf(slot)] = ++clock_;
+    }
+
+    /** Invalidate the line holding @p line_addr if present. */
+    void
+    erase(Addr line_addr)
+    {
+        unsigned base = setIndex(line_addr) * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            LineT &l = lines_[base + w];
+            if (l.valid && l.addr == line_addr) {
+                l.valid = false;
+                return;
+            }
+        }
+    }
+
+    /** Count of valid lines (test/debug helper). */
+    unsigned
+    countValid() const
+    {
+        unsigned n = 0;
+        for (const LineT &l : lines_)
+            if (l.valid)
+                ++n;
+        return n;
+    }
+
+  private:
+    unsigned
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<unsigned>(lineNumber(line_addr)) & (sets_ - 1);
+    }
+
+    std::size_t
+    indexOf(const LineT &l) const
+    {
+        return static_cast<std::size_t>(&l - lines_.data());
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<LineT> lines_;
+    std::vector<std::uint64_t> lastUse_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace duet
+
+#endif // DUET_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Messages exchanged between the Control Hub (fast domain) and the Soft
+ * Register Interface logic in the eFPGA (slow domain) over the adapter's
+ * async FIFO pair (paper Sec. II-E/II-F).
+ */
+
+#ifndef DUET_CORE_CTRL_MSG_HH
+#define DUET_CORE_CTRL_MSG_HH
+
+#include <cstdint>
+
+#include "sim/latency_trace.hh"
+
+namespace duet
+{
+
+/** Control-path message kinds. */
+enum class CtrlMsgKind : std::uint8_t
+{
+    // CPU -> eFPGA
+    NormalWrite, ///< forwarded write to a normal soft register
+    NormalRead,  ///< forwarded read of a normal soft register
+    PlainUpdate, ///< shadow-plain value propagated into the eFPGA
+    FifoData,    ///< FPGA-bound FIFO payload
+
+    // eFPGA -> CPU
+    NormalWriteAck,
+    NormalReadData,
+    PlainSyncBack, ///< accelerator actively syncs a shadowed register
+    CpuFifoPush,   ///< CPU-bound FIFO payload
+    TokenPush,     ///< dataless token(s) for a token FIFO
+    FifoCredit,    ///< FPGA-bound FIFO entry consumed
+};
+
+/** One control-path message. */
+struct CtrlMsg
+{
+    CtrlMsgKind kind = CtrlMsgKind::NormalWrite;
+    std::uint16_t reg = 0;
+    std::uint64_t data = 0;
+    std::uint32_t txnId = 0;
+    LatencyTrace *trace = nullptr;
+};
+
+/** Returned by a downgraded-to-normal CPU-bound FIFO read when the FIFO
+ *  is empty. A blocking read would stall the entire (strictly ordered)
+ *  register pipeline behind the very writes that could unblock it, so an
+ *  FPSoC-style soft FIFO returns "empty" and software polls. */
+constexpr std::uint64_t kFifoEmpty = 0xFFFFFFFFFFFFFFFDull;
+
+/** Soft-register kinds, fixed at eFPGA programming time (Sec. II-F). */
+enum class RegKind : std::uint8_t
+{
+    Normal,    ///< lives in the eFPGA; strictly ordered, blocking accesses
+    Plain,     ///< shadow: last value wins; constants/parameters
+    FpgaFifo,  ///< shadow: CPU writes stream into the eFPGA
+    CpuFifo,   ///< shadow: eFPGA pushes; CPU reads block until data
+    TokenFifo, ///< shadow: dataless, non-blocking try-join semantics
+};
+
+} // namespace duet
+
+#endif // DUET_CORE_CTRL_MSG_HH

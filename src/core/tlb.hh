@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Memory Hub TLB (paper Sec. II-D).
+ *
+ * Fine-grained accelerators are untrusted and issue virtual addresses;
+ * each Memory Hub translates them with a small, fully-associative TLB
+ * managed by the kernel through MMIOs. A miss raises an interrupt; the
+ * kernel either fills the entry or kills the accelerator.
+ */
+
+#ifndef DUET_CORE_TLB_HH
+#define DUET_CORE_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+
+namespace duet
+{
+
+/** A fully-associative, LRU translation look-aside buffer. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries = 16) : entries_(entries) {}
+
+    /** Translate a virtual address; nullopt on miss. */
+    std::optional<Addr>
+    translate(Addr va)
+    {
+        auto it = map_.find(pageNumber(va));
+        if (it == map_.end()) {
+            misses.inc();
+            return std::nullopt;
+        }
+        hits.inc();
+        // LRU bump.
+        lru_.splice(lru_.end(), lru_, it->second.lruPos);
+        return it->second.ppn * kPageBytes + pageOffset(va);
+    }
+
+    /** Install a mapping (kernel MMIO path). */
+    void
+    insert(Addr vpn, Addr ppn)
+    {
+        auto it = map_.find(vpn);
+        if (it != map_.end()) {
+            it->second.ppn = ppn;
+            lru_.splice(lru_.end(), lru_, it->second.lruPos);
+            return;
+        }
+        if (map_.size() >= entries_) {
+            Addr victim = lru_.front();
+            lru_.pop_front();
+            map_.erase(victim);
+        }
+        lru_.push_back(vpn);
+        map_[vpn] = Entry{ppn, std::prev(lru_.end())};
+    }
+
+    void
+    invalidate(Addr vpn)
+    {
+        auto it = map_.find(vpn);
+        if (it == map_.end())
+            return;
+        lru_.erase(it->second.lruPos);
+        map_.erase(it);
+    }
+
+    void
+    flush()
+    {
+        map_.clear();
+        lru_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+    unsigned capacity() const { return entries_; }
+
+    Counter hits, misses;
+
+  private:
+    struct Entry
+    {
+        Addr ppn;
+        std::list<Addr>::iterator lruPos;
+    };
+
+    unsigned entries_;
+    std::unordered_map<Addr, Entry> map_;
+    std::list<Addr> lru_;
+};
+
+} // namespace duet
+
+#endif // DUET_CORE_TLB_HH

@@ -1,0 +1,178 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace duet
+{
+
+Core::Core(ClockDomain &clk, std::string name, unsigned tile,
+           PrivateCache &l2, Mesh &mesh,
+           std::function<NodeId(Addr)> mmio_route)
+    : clk_(clk), name_(std::move(name)), tile_(tile), l2_(l2), mesh_(mesh),
+      mmioRoute_(std::move(mmio_route))
+{
+    // Keep the L1 inclusive: lines leaving the L2 leave the L1 too.
+    l2_.setInvalidateHook(
+        [this](Addr a, std::uint64_t) { l1_.invalidateLine(a); });
+}
+
+void
+Core::registerStats(StatRegistry &reg) const
+{
+    reg.registerCounter(name_ + ".loads", &loads);
+    reg.registerCounter(name_ + ".stores", &stores);
+    reg.registerCounter(name_ + ".amos", &amos);
+    reg.registerCounter(name_ + ".mmios", &mmios);
+    reg.registerCounter(name_ + ".l1Hits", &l1Hits);
+    reg.registerCounter(name_ + ".irqs", &irqs);
+}
+
+void
+Core::start(std::function<CoTask<void>(Core &)> main)
+{
+    clk_.scheduleAtEdge(0, [this, main = std::move(main)] {
+        spawn([](Core &core,
+                 std::function<CoTask<void>(Core &)> m) -> CoTask<void> {
+            co_await m(core);
+            core.finished_ = true;
+            core.finishTick_ = core.clk_.eventQueue().now();
+        }(*this, std::move(main)));
+    });
+}
+
+Future<std::uint64_t>
+Core::load(Addr a, unsigned size, LatencyTrace *trace)
+{
+    loads.inc();
+    Future<std::uint64_t> fut;
+    auto set = fut.setter();
+    if (l1_.loadHit(a)) {
+        l1Hits.inc();
+        // 1-cycle L1 hit; the value still comes from functional memory.
+        clk_.scheduleAtEdge(l1_.params().hitLatency, [this, a, size, set] {
+            set.set(l2_.memoryRef().read(a, size));
+        });
+        return fut;
+    }
+    CacheReq r;
+    r.kind = CacheReq::Kind::Load;
+    r.addr = a;
+    r.size = size;
+    r.trace = trace;
+    r.done = [this, a, set](std::uint64_t v) {
+        l1_.fill(a);
+        set.set(v);
+    };
+    l2_.request(std::move(r));
+    return fut;
+}
+
+Future<void>
+Core::store(Addr a, std::uint64_t v, unsigned size, LatencyTrace *trace)
+{
+    stores.inc();
+    Future<void> fut;
+    auto set = fut.setter();
+    CacheReq r;
+    r.kind = CacheReq::Kind::Store;
+    r.addr = a;
+    r.size = size;
+    r.wdata = v;
+    r.trace = trace;
+    r.done = [set](std::uint64_t) { set.set(); };
+    l2_.request(std::move(r));
+    return fut;
+}
+
+Future<std::uint64_t>
+Core::amo(AmoOp op, Addr a, std::uint64_t operand, std::uint64_t operand2,
+          unsigned size)
+{
+    amos.inc();
+    Future<std::uint64_t> fut;
+    auto set = fut.setter();
+    CacheReq r;
+    r.kind = CacheReq::Kind::Amo;
+    r.amoOp = op;
+    r.addr = a;
+    r.size = size;
+    r.wdata = operand;
+    r.wdata2 = operand2;
+    r.done = [set](std::uint64_t old) { set.set(old); };
+    l2_.request(std::move(r));
+    return fut;
+}
+
+Future<std::uint64_t>
+Core::mmioRead(Addr a, LatencyTrace *trace)
+{
+    mmios.inc();
+    Future<std::uint64_t> fut;
+    std::uint32_t id = nextTxn_++;
+    pendingMmio_.emplace(id, fut.setter());
+    Message m;
+    m.type = MsgType::MmioRead;
+    m.src = {static_cast<std::uint16_t>(tile_), TilePort::Core};
+    m.dst = mmioRoute_(a);
+    m.addr = a;
+    m.txnId = id;
+    m.trace = trace;
+    mesh_.inject(m);
+    return fut;
+}
+
+Future<void>
+Core::mmioWrite(Addr a, std::uint64_t v, LatencyTrace *trace)
+{
+    mmios.inc();
+    Future<std::uint64_t> raw;
+    std::uint32_t id = nextTxn_++;
+    pendingMmio_.emplace(id, raw.setter());
+    Message m;
+    m.type = MsgType::MmioWrite;
+    m.src = {static_cast<std::uint16_t>(tile_), TilePort::Core};
+    m.dst = mmioRoute_(a);
+    m.addr = a;
+    m.value = v;
+    m.txnId = id;
+    m.trace = trace;
+    mesh_.inject(m);
+
+    // Adapt Future<uint64_t> (the ack) to Future<void> for the caller.
+    Future<void> fut;
+    auto set = fut.setter();
+    spawn([](Future<std::uint64_t> raw,
+             Future<void>::Setter set) -> CoTask<void> {
+        co_await raw;
+        set.set();
+    }(raw, set));
+    return fut;
+}
+
+void
+Core::receive(const Message &msg)
+{
+    simAssert(msg.type == MsgType::MmioResp,
+              name_ + ": unexpected NoC message at core");
+    auto it = pendingMmio_.find(msg.txnId);
+    simAssert(it != pendingMmio_.end(), name_ + ": stray MMIO response");
+    auto set = it->second;
+    pendingMmio_.erase(it);
+    set.set(msg.value);
+}
+
+void
+Core::raiseInterrupt(std::uint64_t cause)
+{
+    irqs.inc();
+    simAssert(static_cast<bool>(irqHandler_),
+              name_ + ": interrupt with no handler installed");
+    // The handler runs as an independent coroutine; a real kernel would
+    // preempt the user thread, but for our workloads the handler only
+    // competes for the same memory ports, which the model serializes.
+    clk_.scheduleAtEdge(1, [this, cause] {
+        spawn(irqHandler_(*this, cause));
+    });
+}
+
+} // namespace duet

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The in-order core model (Ariane stand-in).
+ *
+ * Workloads are C++20 coroutines that co_await memory operations and
+ * explicit compute delays. Loads and stores are blocking (in-order,
+ * single-issue core); stores write through the L1 into the private L2;
+ * MMIOs are strictly ordered (one outstanding per core) and travel the NoC
+ * to a Control Hub. Instruction-level work is modeled by compute(), whose
+ * cycle counts per benchmark are documented in workload/cost_model.hh.
+ */
+
+#ifndef DUET_CPU_CORE_HH
+#define DUET_CPU_CORE_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/l1_cache.hh"
+#include "cache/private_cache.hh"
+#include "noc/mesh.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace duet
+{
+
+/** An in-order, single-issue core with a private L1D and L2. */
+class Core
+{
+  public:
+    /**
+     * @param clk        the fast clock domain
+     * @param name       stats name
+     * @param tile       tile index (NoC coordinates)
+     * @param l2         the tile's private L2
+     * @param mesh       the NoC, for MMIO traffic
+     * @param mmio_route maps an MMIO address to the owning Control Hub
+     */
+    Core(ClockDomain &clk, std::string name, unsigned tile,
+         PrivateCache &l2, Mesh &mesh,
+         std::function<NodeId(Addr)> mmio_route);
+
+    /** Begin executing @p main at tick 0 (first clock edge). */
+    void start(std::function<CoTask<void>(Core &)> main);
+
+    /** True once the started workload ran to completion. */
+    bool finished() const { return finished_; }
+    /** Tick at which the workload completed. */
+    Tick finishTick() const { return finishTick_; }
+
+    // ------------------------------------------------------------------
+    // Workload API (co_await these from a workload coroutine).
+    // ------------------------------------------------------------------
+
+    /** Load @p size bytes; blocking. */
+    Future<std::uint64_t> load(Addr a, unsigned size = 8,
+                               LatencyTrace *trace = nullptr);
+
+    /** Store @p size bytes; blocking (write-through L1). */
+    Future<void> store(Addr a, std::uint64_t v, unsigned size = 8,
+                       LatencyTrace *trace = nullptr);
+
+    /** Atomic RMW at the directory; returns the old value. */
+    Future<std::uint64_t> amo(AmoOp op, Addr a, std::uint64_t operand,
+                              std::uint64_t operand2 = 0,
+                              unsigned size = 8);
+
+    /** Model @p cycles of pipeline work (ALU/FPU/branches). */
+    ClockDelay compute(Cycles cycles) { return ClockDelay(clk_, cycles); }
+
+    /** Strictly-ordered MMIO read (blocks the pipeline). */
+    Future<std::uint64_t> mmioRead(Addr a, LatencyTrace *trace = nullptr);
+
+    /** Strictly-ordered MMIO write (blocks until acknowledged). */
+    Future<void> mmioWrite(Addr a, std::uint64_t v,
+                           LatencyTrace *trace = nullptr);
+
+    // ------------------------------------------------------------------
+
+    /** Deliver an MMIO response from the NoC (wired by the system). */
+    void receive(const Message &msg);
+
+    /** Register a software interrupt handler (e.g. the TLB-miss handler).
+     *  The handler runs as a new coroutine on this core. */
+    void
+    setInterruptHandler(std::function<CoTask<void>(Core &, std::uint64_t)> h)
+    {
+        irqHandler_ = std::move(h);
+    }
+
+    /** Raise an interrupt with a cause word (e.g. the faulting VPN). */
+    void raiseInterrupt(std::uint64_t cause);
+
+    ClockDomain &clock() const { return clk_; }
+    unsigned tile() const { return tile_; }
+    L1Cache &l1() { return l1_; }
+    PrivateCache &l2() { return l2_; }
+    const std::string &name() const { return name_; }
+
+    Counter loads, stores, amos, mmios, l1Hits, irqs;
+
+    void registerStats(StatRegistry &reg) const;
+
+  private:
+    ClockDomain &clk_;
+    std::string name_;
+    unsigned tile_;
+    L1Cache l1_;
+    PrivateCache &l2_;
+    Mesh &mesh_;
+    std::function<NodeId(Addr)> mmioRoute_;
+    std::function<CoTask<void>(Core &, std::uint64_t)> irqHandler_;
+    std::unordered_map<std::uint32_t, Future<std::uint64_t>::Setter>
+        pendingMmio_;
+    std::uint32_t nextTxn_ = 1;
+    bool finished_ = false;
+    Tick finishTick_ = 0;
+};
+
+} // namespace duet
+
+#endif // DUET_CPU_CORE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The simple FPGA-side memory protocol the Proxy Cache exposes
+ * (paper Sec. II-C): Load/Store requests; LoadAck/StoreAck/Invalidation
+ * responses; optional atomic extension (AmoReq/AmoAck) enabled by a
+ * feature switch.
+ */
+
+#ifndef DUET_FPGA_MEM_IF_HH
+#define DUET_FPGA_MEM_IF_HH
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "mem/functional_mem.hh"
+#include "sim/latency_trace.hh"
+
+namespace duet
+{
+
+/** Request types the soft side sends towards a Memory Hub. */
+enum class FpgaMemOp : std::uint8_t
+{
+    Load,
+    Store,
+    Amo, ///< only when the Proxy Cache's atomic feature switch is on
+};
+
+/** A request from the eFPGA into a Memory Hub. */
+struct FpgaMemReq
+{
+    FpgaMemOp op = FpgaMemOp::Load;
+    Addr addr = 0;            ///< virtual (TLB on) or physical address
+    unsigned size = 8;
+    std::uint64_t wdata = 0;
+    std::uint64_t wdata2 = 0; ///< CAS desired value
+    AmoOp amoOp = AmoOp::Add;
+    std::uint32_t id = 0;     ///< echoed in the matching ack
+    bool parityOk = true;     ///< fault-injection hook (exception handler)
+    LatencyTrace *trace = nullptr;
+};
+
+/** Response types a Memory Hub sends into the eFPGA. */
+enum class FpgaMemRespType : std::uint8_t
+{
+    LoadAck,
+    StoreAck,
+    AmoAck,
+    Inv, ///< invalidation forwarded into the soft cache (never acked back)
+};
+
+/** A response/notification from a Memory Hub into the eFPGA. */
+struct FpgaMemResp
+{
+    FpgaMemRespType type = FpgaMemRespType::LoadAck;
+    Addr addr = 0;           ///< the request's (virtual) address
+    Addr paddr = 0;          ///< translated physical address (for fills)
+    std::uint64_t data = 0;  ///< load/amo result
+    std::uint32_t id = 0;
+    LatencyTrace *trace = nullptr;
+};
+
+} // namespace duet
+
+#endif // DUET_FPGA_MEM_IF_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A BRAM scratchpad: non-coherent memory private to the soft accelerator
+ * (paper Fig. 3, "Non-Coherent Memory"). One read or write port access per
+ * eFPGA cycle; the accelerator coroutine pays the cycle via its own clock.
+ */
+
+#ifndef DUET_FPGA_SCRATCHPAD_HH
+#define DUET_FPGA_SCRATCHPAD_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace duet
+{
+
+/** Simple byte-addressable scratchpad backed by BRAM resources. */
+class Scratchpad
+{
+  public:
+    explicit Scratchpad(std::size_t bytes) : data_(bytes, 0) {}
+
+    std::size_t size() const { return data_.size(); }
+
+    std::uint64_t
+    read(std::size_t offset, unsigned size = 8) const
+    {
+        simAssert(offset + size <= data_.size(), "scratchpad OOB read");
+        std::uint64_t v = 0;
+        std::memcpy(&v, data_.data() + offset, size);
+        reads.inc();
+        return v;
+    }
+
+    void
+    write(std::size_t offset, std::uint64_t v, unsigned size = 8)
+    {
+        simAssert(offset + size <= data_.size(), "scratchpad OOB write");
+        std::memcpy(data_.data() + offset, &v, size);
+        writes.inc();
+    }
+
+    void clear() { std::fill(data_.begin(), data_.end(), 0); }
+
+    /** BRAM bits this scratchpad consumes in the fabric. */
+    std::size_t bramBits() const { return data_.size() * 8; }
+
+    mutable Counter reads;
+    Counter writes;
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace duet
+
+#endif // DUET_FPGA_SCRATCHPAD_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The eFPGA-emulated soft cache (paper Sec. II-C).
+ *
+ * Built from fabric BRAM, clocked by the slow eFPGA clock, tightly
+ * integrated into the accelerator datapath. Per the Duet protocol it is
+ * write-through (with an optional write buffer), receives invalidations
+ * from the Proxy Cache and *never acknowledges them* — the Proxy Cache has
+ * already responded to the coherence protocol. It can be configured
+ * write-allocate or write-no-allocate.
+ *
+ * Setting SoftCacheParams::enabled = false degenerates into a pass-through
+ * port (the "hard-only" organization of Fig. 4): every access crosses the
+ * CDC into the Memory Hub.
+ */
+
+#ifndef DUET_FPGA_SOFT_CACHE_HH
+#define DUET_FPGA_SOFT_CACHE_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "fpga/async_fifo.hh"
+#include "fpga/mem_if.hh"
+#include "mem/functional_mem.hh"
+#include "sim/task.hh"
+
+namespace duet
+{
+
+/** Soft-cache geometry and behavior knobs (accelerator-designer chosen). */
+struct SoftCacheParams
+{
+    bool enabled = true;
+    unsigned sizeBytes = 2048;
+    unsigned ways = 2;
+    Cycles hitLatency = 1;          ///< in eFPGA cycles
+    unsigned writeBufferEntries = 4;
+    unsigned mshrs = 4;
+    bool writeAllocate = false;
+};
+
+/** A line in the soft cache: virtually indexed/tagged, PA remembered. */
+struct SoftLine
+{
+    Addr addr = 0; ///< line-aligned virtual address
+    bool valid = false;
+    Addr paddr = 0; ///< line-aligned physical address (from the fill)
+};
+
+/**
+ * The soft cache / FPGA-side memory port. The accelerator issues loads,
+ * stores and (if the Proxy Cache's feature switch allows) atomics; the
+ * cache talks to the Memory Hub through a pair of async FIFOs.
+ */
+class SoftCache
+{
+  public:
+    SoftCache(ClockDomain &fpga_clk, std::string name,
+              const SoftCacheParams &params, FunctionalMemory &mem);
+
+    /** Wire the outbound request FIFO (towards the Memory Hub). */
+    void bindOut(AsyncFifo<FpgaMemReq> *out) { out_ = out; }
+
+    /** Inbound drain: responses/invalidations from the Memory Hub. */
+    void receive(FpgaMemResp &&resp);
+
+    // --------------------------------------------------------------
+    // Accelerator-side operations (co_await from accelerator tasks).
+    // --------------------------------------------------------------
+
+    /** Load @p size bytes at (virtual) address @p a. */
+    Future<std::uint64_t> load(Addr a, unsigned size = 8,
+                               LatencyTrace *trace = nullptr);
+
+    /** Write-through store; completes when buffered. */
+    Future<void> store(Addr a, std::uint64_t v, unsigned size = 8,
+                       LatencyTrace *trace = nullptr);
+
+    /** Atomic through the hub (requires the hub's atomic switch). */
+    Future<std::uint64_t> amo(AmoOp op, Addr a, std::uint64_t operand,
+                              std::uint64_t operand2 = 0,
+                              unsigned size = 8);
+
+    /** Prefetch a full line (used by streaming accelerators). */
+    Future<void> prefetchLine(Addr line_va, LatencyTrace *trace = nullptr);
+
+    /** Fence: completes once every buffered store has been acknowledged
+     *  by the Memory Hub (i.e. is globally visible). */
+    Future<void> drainWrites();
+
+    /** Probe (tests): is the line resident? */
+    bool resident(Addr va) const
+    {
+        return params_.enabled && array_.peek(lineAlign(va)) != nullptr;
+    }
+
+    const std::string &name() const { return name_; }
+
+    Counter hits, misses, invsReceived, wbStores, fills;
+
+  private:
+    struct PendingOp
+    {
+        FpgaMemOp op;
+        Addr addr;
+        unsigned size;
+        std::uint64_t wdata, wdata2;
+        AmoOp amoOp;
+        LatencyTrace *trace;
+        Future<std::uint64_t>::Setter done;
+        bool lineFill = false; ///< fill/prefetch (no value expected)
+    };
+
+    struct Mshr
+    {
+        std::vector<PendingOp> waiters;
+    };
+
+    struct WbEntry
+    {
+        Addr addr;
+        unsigned size;
+        std::uint64_t data;
+    };
+
+    /** Start the issue pump if idle. */
+    void schedulePump();
+    void pump();
+
+    /** Try to issue the op; returns false if resources are exhausted. */
+    bool issue(PendingOp &op);
+
+    std::uint64_t readWithForwarding(Addr pa, Addr va, unsigned size) const;
+
+    ClockDomain &clk_;
+    std::string name_;
+    SoftCacheParams params_;
+    FunctionalMemory &mem_;
+    AsyncFifo<FpgaMemReq> *out_ = nullptr;
+
+    CacheArray<SoftLine> array_;
+    std::deque<PendingOp> queue_;
+    std::unordered_map<Addr, Mshr> mshrs_;             ///< by VA line
+    std::unordered_map<std::uint32_t, WbEntry> wb_;    ///< by request id
+    std::unordered_map<std::uint32_t, PendingOp> pendingAmos_;
+    std::vector<Future<void>::Setter> drainWaiters_;
+    std::uint32_t nextId_ = 1;
+    bool pumping_ = false;
+
+    void checkDrained();
+};
+
+} // namespace duet
+
+#endif // DUET_FPGA_SOFT_CACHE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Address types and line/page arithmetic.
+ *
+ * Dolly (the paper's prototype) uses 16-byte cache lines (OpenPiton P-Mesh)
+ * and 4 KB pages; both are compile-time constants here.
+ */
+
+#ifndef DUET_MEM_ADDR_HH
+#define DUET_MEM_ADDR_HH
+
+#include <cstdint>
+
+namespace duet
+{
+
+/** A physical or virtual address. */
+using Addr = std::uint64_t;
+
+/** Cache line size in bytes (P-Mesh uses 16 B lines). */
+constexpr unsigned kLineBytes = 16;
+
+/** Page size in bytes. */
+constexpr unsigned kPageBytes = 4096;
+
+/** Align @p a down to its cache line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Offset of @p a within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineBytes - 1));
+}
+
+/** Line number (address divided by line size). */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a / kLineBytes;
+}
+
+/** Align @p a down to its page. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+/** Virtual/physical page number. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a / kPageBytes;
+}
+
+/** Offset within the page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (kPageBytes - 1);
+}
+
+} // namespace duet
+
+#endif // DUET_MEM_ADDR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A simple per-process page table used by the Memory Hub TLB model.
+ *
+ * Fine-grained accelerators are untrusted and access memory through virtual
+ * addresses; the "OS" in a workload populates this table and services TLB
+ * faults (paper Sec. II-D).
+ */
+
+#ifndef DUET_MEM_PAGE_TABLE_HH
+#define DUET_MEM_PAGE_TABLE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+
+namespace duet
+{
+
+/** Maps virtual page numbers to physical page numbers with permissions. */
+class PageTable
+{
+  public:
+    struct Entry
+    {
+        Addr ppn;
+        bool writable = true;
+    };
+
+    /** Install a VPN->PPN mapping. */
+    void
+    map(Addr vpn, Addr ppn, bool writable = true)
+    {
+        table_[vpn] = Entry{ppn, writable};
+    }
+
+    /** Remove a mapping (e.g., after an munmap). */
+    void unmap(Addr vpn) { table_.erase(vpn); }
+
+    /** Look up a virtual page number. */
+    std::optional<Entry>
+    lookup(Addr vpn) const
+    {
+        auto it = table_.find(vpn);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Translate a full virtual address; nullopt on fault. */
+    std::optional<Addr>
+    translate(Addr va) const
+    {
+        auto e = lookup(pageNumber(va));
+        if (!e)
+            return std::nullopt;
+        return e->ppn * kPageBytes + pageOffset(va);
+    }
+
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<Addr, Entry> table_;
+};
+
+} // namespace duet
+
+#endif // DUET_MEM_PAGE_TABLE_HH

@@ -1,0 +1,120 @@
+#include "noc/mesh.hh"
+
+#include "sim/logging.hh"
+
+namespace duet
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetM: return "GetM";
+      case MsgType::PutS: return "PutS";
+      case MsgType::PutM: return "PutM";
+      case MsgType::Atomic: return "Atomic";
+      case MsgType::Inv: return "Inv";
+      case MsgType::RecallS: return "RecallS";
+      case MsgType::RecallM: return "RecallM";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataE: return "DataE";
+      case MsgType::DataM: return "DataM";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::RecallAckData: return "RecallAckData";
+      case MsgType::RecallAckClean: return "RecallAckClean";
+      case MsgType::WbAck: return "WbAck";
+      case MsgType::AtomicResp: return "AtomicResp";
+      case MsgType::MmioRead: return "MmioRead";
+      case MsgType::MmioWrite: return "MmioWrite";
+      case MsgType::MmioResp: return "MmioResp";
+    }
+    return "?";
+}
+
+Mesh::Mesh(ClockDomain &clk, const MeshConfig &cfg)
+    : clk_(clk), cfg_(cfg), routers_(cfg.width * cfg.height),
+      sinks_(cfg.width * cfg.height)
+{
+    simAssert(cfg.width >= 1 && cfg.height >= 1, "mesh must be non-empty");
+}
+
+void
+Mesh::registerEndpoint(NodeId id, Sink sink)
+{
+    simAssert(id.tile < numTiles(), "endpoint tile out of range");
+    auto &slot = sinks_[id.tile][static_cast<unsigned>(id.port)];
+    simAssert(!slot, "endpoint registered twice");
+    slot = std::move(sink);
+}
+
+void
+Mesh::inject(Message msg)
+{
+    simAssert(msg.src.tile < numTiles(), "source tile out of range");
+    simAssert(msg.dst.tile < numTiles(), "dest tile out of range");
+    msg.injectTick = clk_.eventQueue().now();
+    // Enter the source router at the next clock edge.
+    unsigned tile = msg.src.tile;
+    clk_.scheduleAtEdge(0, [this, tile, msg] { step(tile, msg); });
+}
+
+void
+Mesh::step(unsigned tile, Message msg)
+{
+    EventQueue &eq = clk_.eventQueue();
+    const Tick now = eq.now();
+
+    // XY routing: X first, then Y, then local ejection.
+    unsigned x = xOf(tile), y = yOf(tile);
+    unsigned dx = xOf(msg.dst.tile), dy = yOf(msg.dst.tile);
+    Dir dir;
+    unsigned next;
+    if (dx > x) {
+        dir = East;
+        next = tileAt(x + 1, y);
+    } else if (dx < x) {
+        dir = West;
+        next = tileAt(x - 1, y);
+    } else if (dy > y) {
+        dir = North;
+        next = tileAt(x, y + 1);
+    } else if (dy < y) {
+        dir = South;
+        next = tileAt(x, y - 1);
+    } else {
+        // Arrived: eject to the local port.
+        Tick when = clk_.edgeAtOrAfter(now) +
+                    clk_.cyclesToTicks(cfg_.ejectCycles);
+        eq.schedule(when, [this, msg] { deliver(msg); });
+        return;
+    }
+
+    // Router pipeline, then serialize flits onto the output link.
+    Router &r = routers_[tile];
+    const unsigned flits = flitsOf(msg.type);
+    Tick ready = clk_.edgeAtOrAfter(now) +
+                 clk_.cyclesToTicks(cfg_.routerCycles);
+    Tick depart = std::max(ready, r.linkFree[dir]);
+    Tick occupy = clk_.cyclesToTicks(flits);
+    r.linkFree[dir] = depart + occupy;
+    flitCycles_.inc(flits);
+
+    Tick arrive = depart + occupy + clk_.cyclesToTicks(cfg_.linkCycles);
+    eq.schedule(arrive, [this, next, msg] { step(next, msg); });
+}
+
+void
+Mesh::deliver(const Message &msg)
+{
+    const Sink &sink = sinks_[msg.dst.tile][static_cast<unsigned>(msg.dst.port)];
+    simAssert(static_cast<bool>(sink), "message to unregistered endpoint");
+    if (msg.trace) {
+        msg.trace->add(LatencyTrace::Cat::NoC,
+                       clk_.eventQueue().now() - msg.injectTick);
+    }
+    delivered_.inc();
+    sink(msg);
+}
+
+} // namespace duet

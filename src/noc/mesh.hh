@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A 2D-mesh network-on-chip with XY dimension-ordered routing.
+ *
+ * Model: store-and-forward routers clocked in the fast (processor) clock
+ * domain. Each hop costs a fixed router pipeline delay plus link
+ * serialization of one flit per cycle; each physical link is a serialized
+ * resource, so contention shows up as queueing delay. XY routing plus
+ * in-order event processing gives point-to-point ordered delivery per
+ * (source, destination) pair — a property the Duet Proxy Cache protocol
+ * relies on (paper Sec. II-C: "the asynchronous FIFOs deliver messages in
+ * order").
+ */
+
+#ifndef DUET_NOC_MESH_HH
+#define DUET_NOC_MESH_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "noc/message.hh"
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+
+namespace duet
+{
+
+/** Mesh configuration knobs. */
+struct MeshConfig
+{
+    unsigned width = 2;         ///< columns
+    unsigned height = 1;        ///< rows
+    Cycles routerCycles = 2;    ///< per-hop pipeline latency
+    Cycles linkCycles = 1;      ///< per-hop wire latency
+    Cycles ejectCycles = 1;     ///< local ejection latency
+};
+
+/**
+ * The mesh fabric. Endpoints register per-(tile, port) sinks; anyone holding
+ * the mesh may inject messages from a registered source.
+ */
+class Mesh
+{
+  public:
+    using Sink = std::function<void(const Message &)>;
+
+    Mesh(ClockDomain &clk, const MeshConfig &cfg);
+
+    /** Register the receive callback for an endpoint. */
+    void registerEndpoint(NodeId id, Sink sink);
+
+    /**
+     * Inject @p msg at its source tile. Delivery is asynchronous; the
+     * destination sink runs at a later tick.
+     */
+    void inject(Message msg);
+
+    unsigned numTiles() const { return cfg_.width * cfg_.height; }
+    const MeshConfig &config() const { return cfg_; }
+
+    /** Total messages delivered. */
+    const Counter &delivered() const { return delivered_; }
+    /** Total flit-cycles of link occupancy (for utilization stats). */
+    const Counter &flitCycles() const { return flitCycles_; }
+
+  private:
+    /** Output directions from a router. */
+    enum Dir : unsigned { East = 0, West = 1, North = 2, South = 3,
+                          Local = 4, kNumDirs = 5 };
+
+    struct Router
+    {
+        /** Earliest tick each output link is free. */
+        std::array<Tick, kNumDirs> linkFree{};
+    };
+
+    unsigned xOf(unsigned tile) const { return tile % cfg_.width; }
+    unsigned yOf(unsigned tile) const { return tile / cfg_.width; }
+    unsigned tileAt(unsigned x, unsigned y) const
+    {
+        return y * cfg_.width + x;
+    }
+
+    /** Process @p msg at router @p tile at the current tick. */
+    void step(unsigned tile, Message msg);
+
+    /** Deliver @p msg to its registered local sink. */
+    void deliver(const Message &msg);
+
+    ClockDomain &clk_;
+    MeshConfig cfg_;
+    std::vector<Router> routers_;
+    // sinks_[tile][port]
+    std::vector<std::array<Sink, 4>> sinks_;
+    Counter delivered_;
+    Counter flitCycles_;
+};
+
+} // namespace duet
+
+#endif // DUET_NOC_MESH_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * NoC message definitions shared by the coherence protocol and MMIO.
+ *
+ * The NoC carries three virtual networks like P-Mesh (requests, forwards,
+ * responses) so the blocking directory protocol cannot deadlock, plus MMIO
+ * messages for the Duet Control Hub (paper Sec. IV: "The NoC ... supports
+ * additional message types besides the coherence messages, enabling on-chip
+ * MMIOs required by Dolly").
+ */
+
+#ifndef DUET_NOC_MESSAGE_HH
+#define DUET_NOC_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/addr.hh"
+#include "mem/functional_mem.hh"
+#include "sim/latency_trace.hh"
+#include "sim/types.hh"
+
+namespace duet
+{
+
+/** Virtual networks (message classes). */
+enum class VNet : std::uint8_t
+{
+    Req = 0,  ///< cache -> directory requests, MMIO requests
+    Fwd = 1,  ///< directory -> cache invalidations/recalls
+    Resp = 2, ///< data/ack responses
+};
+
+/** All message types carried on the NoC. */
+enum class MsgType : std::uint8_t
+{
+    // Private cache -> home directory (Req vnet).
+    GetS,       ///< read miss: request shared (or exclusive if sole) copy
+    GetM,       ///< write miss/upgrade: request exclusive ownership
+    PutS,       ///< clean eviction notice of a shared line
+    PutM,       ///< dirty eviction writeback
+    Atomic,     ///< atomic RMW executed at the directory
+
+    // Directory -> private caches (Fwd vnet).
+    Inv,        ///< invalidate a shared copy
+    RecallS,    ///< downgrade M/E to S, return data
+    RecallM,    ///< invalidate M/E, return data
+
+    // Responses (Resp vnet).
+    DataS,          ///< line data, shared permission
+    DataE,          ///< line data, exclusive-clean permission
+    DataM,          ///< line data, exclusive ownership
+    InvAck,         ///< sharer invalidated
+    RecallAckData,  ///< owner recalled; carried dirty data
+    RecallAckClean, ///< owner recalled; line was clean or already gone
+    WbAck,          ///< eviction (PutS/PutM) acknowledged
+    AtomicResp,     ///< atomic result (old value)
+
+    // Memory-mapped I/O (Req vnet out, Resp vnet back).
+    MmioRead,
+    MmioWrite,
+    MmioResp,
+};
+
+/** Ports within a tile that can source/sink messages. */
+enum class TilePort : std::uint8_t
+{
+    L2 = 0,   ///< the tile's private cache (or proxy cache)
+    L3 = 1,   ///< the tile's L3 shard + directory slice
+    Ctrl = 2, ///< Control Hub MMIO endpoint (C-tiles)
+    Core = 3, ///< core-side MMIO initiator
+};
+
+/** A network endpoint: (tile index, port). */
+struct NodeId
+{
+    std::uint16_t tile = 0;
+    TilePort port = TilePort::L2;
+
+    bool
+    operator==(const NodeId &o) const
+    {
+        return tile == o.tile && port == o.port;
+    }
+};
+
+/** One NoC message. Data values live in functional memory; messages carry
+ *  only identifiers, MMIO payloads and protocol metadata. */
+struct Message
+{
+    MsgType type = MsgType::GetS;
+    NodeId src;
+    NodeId dst;
+    Addr addr = 0;             ///< line address (coherence) or MMIO address
+    std::uint64_t value = 0;   ///< MMIO data / AMO operand / resp payload
+    std::uint64_t value2 = 0;  ///< second AMO operand (CAS desired value)
+    std::uint8_t size = 8;     ///< MMIO/AMO access size in bytes
+    AmoOp amoOp = AmoOp::Add;  ///< valid when type == Atomic
+    std::uint32_t txnId = 0;   ///< requester-chosen id echoed in responses
+    LatencyTrace *trace = nullptr; ///< optional latency attribution
+    Tick injectTick = 0;       ///< set by the mesh at injection
+};
+
+/** Virtual network a message type travels on. */
+constexpr VNet
+vnetOf(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutS:
+      case MsgType::PutM:
+      case MsgType::Atomic:
+      case MsgType::MmioRead:
+      case MsgType::MmioWrite:
+        return VNet::Req;
+      case MsgType::Inv:
+      case MsgType::RecallS:
+      case MsgType::RecallM:
+        return VNet::Fwd;
+      default:
+        return VNet::Resp;
+    }
+}
+
+/** Number of 8-byte flits a message occupies on a link. */
+constexpr unsigned
+flitsOf(MsgType t)
+{
+    switch (t) {
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+      case MsgType::RecallAckData:
+      case MsgType::PutM:
+        return 1 + kLineBytes / 8; // header + line payload
+      case MsgType::MmioRead:
+      case MsgType::MmioWrite:
+      case MsgType::MmioResp:
+      case MsgType::Atomic:
+      case MsgType::AtomicResp:
+        return 2; // header + one data word
+      default:
+        return 1; // header only
+    }
+}
+
+/** Human-readable message type name (debug/trace). */
+const char *msgTypeName(MsgType t);
+
+} // namespace duet
+
+#endif // DUET_NOC_MESSAGE_HH

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace duet
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past");
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (top.when > limit) {
+            now_ = limit;
+            return false;
+        }
+        // Move the callback out before popping so the callback may schedule
+        // new events (which mutates the heap).
+        Callback cb = std::move(const_cast<Entry &>(top).cb);
+        now_ = top.when;
+        heap_.pop();
+        ++executed_;
+        cb();
+    }
+    return true;
+}
+
+} // namespace duet

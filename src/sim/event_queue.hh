@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The global discrete-event queue driving the simulation.
+ *
+ * Events are arbitrary callbacks scheduled at absolute ticks. Events
+ * scheduled for the same tick execute in insertion order, which makes every
+ * simulation bit-for-bit deterministic.
+ */
+
+#ifndef DUET_SIM_EVENT_QUEUE_HH
+#define DUET_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duet
+{
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * One EventQueue instance drives one Simulation. Components capture a
+ * reference and schedule callbacks at absolute ticks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleAfter(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * @return true if the queue drained, false if the limit stopped us.
+     */
+    bool run(Tick limit = kMaxTick);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace duet
+
+#endif // DUET_SIM_EVENT_QUEUE_HH

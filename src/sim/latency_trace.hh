@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Latency attribution for CPU-eFPGA transactions (paper Fig. 9).
+ *
+ * Components along a transaction's path add the time they account for into
+ * one of four categories: NoC traversal, cache logic in the fast clock
+ * domain, cache/register logic in the slow (eFPGA) clock domain, and
+ * clock-domain-crossing overhead. A transaction carries a LatencyTrace
+ * pointer (optional; null when not measuring).
+ */
+
+#ifndef DUET_SIM_LATENCY_TRACE_HH
+#define DUET_SIM_LATENCY_TRACE_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace duet
+{
+
+/** Per-transaction latency breakdown accumulator. */
+class LatencyTrace
+{
+  public:
+    enum class Cat : std::size_t
+    {
+        NoC = 0,       ///< router pipelines, link serialization
+        FastCache = 1, ///< cache/directory/hub logic in the fast domain
+        SlowCache = 2, ///< cache/register logic in the eFPGA domain
+        Cdc = 3,       ///< async-FIFO synchronizer wait
+        kNumCats = 4
+    };
+
+    /** Attribute @p t ticks to category @p c. */
+    void
+    add(Cat c, Tick t)
+    {
+        buckets_[static_cast<std::size_t>(c)] += t;
+    }
+
+    Tick
+    get(Cat c) const
+    {
+        return buckets_[static_cast<std::size_t>(c)];
+    }
+
+    Tick
+    total() const
+    {
+        Tick sum = 0;
+        for (Tick b : buckets_)
+            sum += b;
+        return sum;
+    }
+
+    void reset() { buckets_.fill(0); }
+
+  private:
+    std::array<Tick, static_cast<std::size_t>(Cat::kNumCats)> buckets_{};
+};
+
+} // namespace duet
+
+#endif // DUET_SIM_LATENCY_TRACE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * configuration errors (clean exit); warn() informs without stopping.
+ */
+
+#ifndef DUET_SIM_LOGGING_HH
+#define DUET_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace duet
+{
+
+/** Exception thrown by panic(); tests can assert on it. */
+class SimPanic : public std::logic_error
+{
+  public:
+    explicit SimPanic(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(); indicates a user/config error. */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Report an internal simulator invariant violation.
+ * @param msg description of the broken invariant
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw SimPanic("panic: " + msg);
+}
+
+/**
+ * Report an unrecoverable user/configuration error.
+ * @param msg description of the error
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw SimFatal("fatal: " + msg);
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Assert a simulator invariant; panics with @p msg when @p cond is false. */
+inline void
+simAssert(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace duet
+
+#endif // DUET_SIM_LOGGING_HH

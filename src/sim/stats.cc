@@ -1,0 +1,20 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace duet
+{
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, s] : samples_) {
+        os << name << " count=" << s->count() << " mean=" << std::fixed
+           << std::setprecision(2) << s->mean() << " min=" << s->min()
+           << " max=" << s->max() << "\n";
+    }
+}
+
+} // namespace duet

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components own Counter/Histogram objects registered under hierarchical
+ * names; a StatRegistry dumps them in a stable, sorted order.
+ */
+
+#ifndef DUET_SIM_STATS_HH
+#define DUET_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace duet
+{
+
+/** A monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count/sum/min/max/mean. */
+class SampleStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Registry of named statistics. Components register pointers; the registry
+ * does not own them, so register objects that outlive the registry's use.
+ */
+class StatRegistry
+{
+  public:
+    void registerCounter(const std::string &name, const Counter *c)
+    {
+        counters_[name] = c;
+    }
+
+    void registerSample(const std::string &name, const SampleStat *s)
+    {
+        samples_[name] = s;
+    }
+
+    /** Dump all registered stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const Counter *findCounter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? nullptr : it->second;
+    }
+
+    const SampleStat *findSample(const std::string &name) const
+    {
+        auto it = samples_.find(name);
+        return it == samples_.end() ? nullptr : it->second;
+    }
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const SampleStat *> samples_;
+};
+
+} // namespace duet
+
+#endif // DUET_SIM_STATS_HH

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * C++20 coroutine plumbing for simulated threads of execution.
+ *
+ * Workloads (software running on simulated cores) and soft accelerators
+ * (logic emulated in the eFPGA clock domain) are written as coroutines that
+ * co_await simulated operations. The kernel provides:
+ *
+ *  - CoTask<T>: a lazy, awaitable subtask with continuation chaining, so a
+ *    workload can be factored into ordinary-looking functions;
+ *  - Future<T>/Future<T>::Setter: a one-shot rendezvous between a coroutine
+ *    and an event-queue callback;
+ *  - spawn(): detach a CoTask<void> as a top-level simulated thread;
+ *  - ClockDelay: co_await n cycles in a clock domain.
+ */
+
+#ifndef DUET_SIM_TASK_HH
+#define DUET_SIM_TASK_HH
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/clock.hh"
+#include "sim/logging.hh"
+
+namespace duet
+{
+
+/**
+ * A lazy coroutine task returning T. Starts when awaited; resumes its
+ * awaiter (via symmetric transfer) when it finishes.
+ */
+template <typename T>
+class [[nodiscard]] CoTask
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) const noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::optional<T> value;
+        std::coroutine_handle<> continuation;
+
+        CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_value(T v) { value = std::move(v); }
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    CoTask(CoTask &&other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    // Awaitable interface: starting the subtask hands control to it.
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        h_.promise().continuation = cont;
+        return h_;
+    }
+
+    T await_resume() { return std::move(*h_.promise().value); }
+
+  private:
+    explicit CoTask(Handle h) : h_(h) {}
+    Handle h_;
+};
+
+/** CoTask specialization for void-returning subtasks. */
+template <>
+class [[nodiscard]] CoTask<void>
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) const noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    CoTask(CoTask &&other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        h_.promise().continuation = cont;
+        return h_;
+    }
+
+    void await_resume() {}
+
+  private:
+    explicit CoTask(Handle h) : h_(h) {}
+    Handle h_;
+};
+
+namespace detail
+{
+
+/** Self-destroying top-level coroutine used by spawn(). */
+struct Detached
+{
+    struct promise_type
+    {
+        Detached get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+};
+
+inline Detached
+spawnImpl(CoTask<void> task)
+{
+    co_await std::move(task);
+}
+
+} // namespace detail
+
+/**
+ * Detach @p task as an independent simulated thread. The task starts
+ * executing immediately (in the caller's event context) until its first
+ * suspension point.
+ */
+inline void
+spawn(CoTask<void> task)
+{
+    detail::spawnImpl(std::move(task));
+}
+
+/**
+ * One-shot rendezvous between a coroutine (the consumer) and an
+ * event/callback (the producer). Copy the Setter into a completion
+ * callback; co_await the Future.
+ */
+template <typename T>
+class Future
+{
+    struct State
+    {
+        std::optional<T> value;
+        std::coroutine_handle<> waiter;
+    };
+
+  public:
+    Future() : st_(std::make_shared<State>()) {}
+
+    /** The producer half; copyable into std::function callbacks. */
+    class Setter
+    {
+      public:
+        Setter() = default;
+        explicit Setter(std::shared_ptr<State> st) : st_(std::move(st)) {}
+
+        void
+        set(T v) const
+        {
+            simAssert(st_ != nullptr, "Setter unbound");
+            simAssert(!st_->value.has_value(), "Future set twice");
+            st_->value = std::move(v);
+            if (st_->waiter) {
+                auto w = std::exchange(st_->waiter, nullptr);
+                w.resume();
+            }
+        }
+
+      private:
+        std::shared_ptr<State> st_;
+    };
+
+    Setter setter() const { return Setter(st_); }
+
+    bool await_ready() const noexcept { return st_->value.has_value(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        simAssert(!st_->waiter, "Future awaited twice");
+        st_->waiter = h;
+    }
+
+    T await_resume() const { return std::move(*st_->value); }
+
+  private:
+    std::shared_ptr<State> st_;
+};
+
+/** Future specialization for completion-only (void) rendezvous. */
+template <>
+class Future<void>
+{
+    struct State
+    {
+        bool done = false;
+        std::coroutine_handle<> waiter;
+    };
+
+  public:
+    Future() : st_(std::make_shared<State>()) {}
+
+    class Setter
+    {
+      public:
+        Setter() = default;
+        explicit Setter(std::shared_ptr<State> st) : st_(std::move(st)) {}
+
+        void
+        set() const
+        {
+            simAssert(st_ != nullptr, "Setter unbound");
+            simAssert(!st_->done, "Future set twice");
+            st_->done = true;
+            if (st_->waiter) {
+                auto w = std::exchange(st_->waiter, nullptr);
+                w.resume();
+            }
+        }
+
+      private:
+        std::shared_ptr<State> st_;
+    };
+
+    Setter setter() const { return Setter(st_); }
+
+    bool await_ready() const noexcept { return st_->done; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        simAssert(!st_->waiter, "Future awaited twice");
+        st_->waiter = h;
+    }
+
+    void await_resume() const {}
+
+  private:
+    std::shared_ptr<State> st_;
+};
+
+/**
+ * Awaitable that suspends for @p cycles rising edges of a clock domain.
+ * Resumes on the target edge (aligned: first edge at-or-after now, plus
+ * further whole periods).
+ */
+class ClockDelay
+{
+  public:
+    ClockDelay(const ClockDomain &clk, Cycles cycles)
+        : clk_(clk), cycles_(cycles)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        clk_.scheduleAtEdge(cycles_, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    const ClockDomain &clk_;
+    Cycles cycles_;
+};
+
+} // namespace duet
+
+#endif // DUET_SIM_TASK_HH

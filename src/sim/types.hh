@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, frequencies.
+ *
+ * The simulation kernel is tick-based with one tick equal to one picosecond.
+ * All clock domains (the 1 GHz processor clock, the 20-500 MHz eFPGA clock)
+ * align naturally on a picosecond grid.
+ */
+
+#ifndef DUET_SIM_TYPES_HH
+#define DUET_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace duet
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per nanosecond (1 tick = 1 ps). */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Ticks per microsecond. */
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+
+/** Convert a frequency in MHz to a clock period in ticks (ps). */
+constexpr Tick
+periodFromMHz(std::uint64_t freq_mhz)
+{
+    // 1 MHz -> 1e6 Hz -> period 1e-6 s = 1e6 ps.
+    return 1000000 / freq_mhz;
+}
+
+/** Convert a clock period in ticks (ps) to a frequency in MHz (rounded). */
+constexpr std::uint64_t
+mhzFromPeriod(Tick period_ps)
+{
+    return (1000000 + period_ps / 2) / period_ps;
+}
+
+} // namespace duet
+
+#endif // DUET_SIM_TYPES_HH

@@ -1,0 +1,65 @@
+#include "workload/apps.hh"
+
+#include "core/ctrl_msg.hh"
+
+namespace duet
+{
+
+SystemConfig
+appConfig(unsigned p, unsigned m, SystemMode mode)
+{
+    SystemConfig cfg;
+    cfg.numCores = p;
+    cfg.numMemHubs = m;
+    cfg.mode = mode;
+    // Application runs disable the blocking-access timeout: the HA widgets
+    // legitimately park CPU-bound FIFO readers for long stretches.
+    cfg.ctrl.timeoutCycles = 0;
+    // A fabric large enough for the biggest accelerator (Barnes-Hut).
+    cfg.fabric.clbColumns = 20;
+    cfg.fabric.clbRows = 20;
+    cfg.fabric.bramTiles = 12;
+    cfg.fabric.multTiles = 32;
+    return cfg;
+}
+
+CoTask<std::uint64_t>
+popReg(Core &c, Addr reg_addr)
+{
+    while (true) {
+        std::uint64_t v = co_await c.mmioRead(reg_addr);
+        if (v != kFifoEmpty)
+            co_return v;
+        co_await c.compute(8); // poll back-off
+    }
+}
+
+void
+installOrDie(System &sys, const AccelImage &img)
+{
+    bool ok = sys.installAccel(img);
+    simAssert(ok, "accelerator image failed to install: " + img.name);
+}
+
+const std::vector<AppSpec> &
+allApps()
+{
+    static const std::vector<AppSpec> apps = {
+        {"tangent", "tangent", 1, 0, &runTangent},
+        {"popcount", "popcount", 1, 1, &runPopcount},
+        {"sort/32", "sort32", 1, 2, &runSort32},
+        {"sort/64", "sort64", 1, 2, &runSort64},
+        {"sort/128", "sort128", 1, 2, &runSort128},
+        {"dijkstra", "dijkstra", 1, 1, &runDijkstra},
+        {"barnes-hut", "barnes-hut", 4, 1, &runBarnesHut},
+        {"pdes/4", "pdes", 4, 1, &runPdes4},
+        {"pdes/8", "pdes", 8, 1, &runPdes8},
+        {"pdes/16", "pdes", 16, 1, &runPdes16},
+        {"bfs/4", "bfs", 4, 0, &runBfs4},
+        {"bfs/8", "bfs", 8, 0, &runBfs8},
+        {"bfs/16", "bfs", 16, 0, &runBfs16},
+    };
+    return apps;
+}
+
+} // namespace duet

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The application-benchmark registry (paper Sec. V-D, Fig. 12).
+ *
+ * Every benchmark runs in three system flavors — CpuOnly baseline, FPSoC
+ * baseline, and Duet — returning the timed-region runtime and a functional
+ * correctness verdict (results are checked against host-computed
+ * references; accelerated and baseline variants share bit-exact kernels).
+ */
+
+#ifndef DUET_WORKLOAD_APPS_HH
+#define DUET_WORKLOAD_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace duet
+{
+
+/** Result of one benchmark run. */
+struct AppResult
+{
+    std::string name;
+    SystemMode mode = SystemMode::CpuOnly;
+    Tick runtime = 0; ///< ticks of the timed region
+    bool correct = false;
+};
+
+/** One Fig. 12 configuration. */
+struct AppSpec
+{
+    std::string name;     ///< e.g. "sort/64"
+    std::string accelKey; ///< Table II row ("sort64", "bfs", ...)
+    unsigned p = 1;       ///< cores (Dolly-PpMm)
+    unsigned m = 1;       ///< memory hubs
+    AppResult (*run)(SystemMode);
+};
+
+/** All thirteen Fig. 12 configurations, in the paper's order. */
+const std::vector<AppSpec> &allApps();
+
+/** Common system configuration for a benchmark. */
+SystemConfig appConfig(unsigned p, unsigned m, SystemMode mode);
+
+/** Install an image, aborting the simulation if it does not fit. */
+void installOrDie(System &sys, const AccelImage &img);
+
+/**
+ * Pop one value from a CPU-bound FIFO register. Under Duet the shadow
+ * register blocks the reader until data arrives; under FPSoC the
+ * downgraded register returns kFifoEmpty and the software polls.
+ */
+CoTask<std::uint64_t> popReg(Core &c, Addr reg_addr);
+
+// Individual benchmarks (exposed for tests/examples).
+AppResult runTangent(SystemMode mode);
+AppResult runPopcount(SystemMode mode);
+AppResult runSort32(SystemMode mode);
+AppResult runSort64(SystemMode mode);
+AppResult runSort128(SystemMode mode);
+AppResult runDijkstra(SystemMode mode);
+AppResult runBarnesHut(SystemMode mode);
+AppResult runPdes4(SystemMode mode);
+AppResult runPdes8(SystemMode mode);
+AppResult runPdes16(SystemMode mode);
+AppResult runBfs4(SystemMode mode);
+AppResult runBfs8(SystemMode mode);
+AppResult runBfs16(SystemMode mode);
+
+} // namespace duet
+
+#endif // DUET_WORKLOAD_APPS_HH

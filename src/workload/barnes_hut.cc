@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Barnes-Hut benchmark (P4M1, fine-grained acceleration; paper Sec. III-A2
+ * and V-D).
+ *
+ * One force-calculation step over a 2D quadtree of fixed-point particles.
+ * The processors always walk the tree and handle the dynamic control flow
+ * (MAC tests, recursion); the accelerated version offloads the force
+ * evaluations (ApproxForce for distant cells, CalcForce for leaf
+ * particles) to the two eFPGA pipelines, time-multiplexed by all four
+ * threads, with force accumulation through coherent hub atomics.
+ */
+
+#include <vector>
+
+#include "accel/images.hh"
+#include "workload/apps.hh"
+#include "workload/cost_model.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kParticles = 96;
+constexpr unsigned kThreads = 4;
+constexpr Addr kParticleBase = 0x10000; // 32 B each: x, y, fx, fy
+constexpr Addr kNodeBase = 0x40000;     // 96 B records
+constexpr std::uint64_t kNil = ~0ull;
+
+// Node record offsets.
+constexpr unsigned kNodeCx = 0, kNodeCy = 8, kNodeHalf = 16, kNodeComX = 24,
+                   kNodeComY = 32, kNodeMass = 40, kNodeChild0 = 48,
+                   kNodeFirst = 80, kNodeCount = 88;
+
+struct HostNode
+{
+    std::int64_t cx, cy, half;
+    std::int64_t comX = 0, comY = 0, mass = 0;
+    std::int64_t child[4] = {-1, -1, -1, -1};
+    std::vector<unsigned> particles; // leaf payload (<= 4)
+    bool leaf = true;
+};
+
+struct HostTree
+{
+    std::vector<HostNode> nodes;
+    std::vector<std::int64_t> px, py;
+
+    unsigned
+    newNode(std::int64_t cx, std::int64_t cy, std::int64_t half)
+    {
+        nodes.push_back(HostNode{cx, cy, half});
+        return static_cast<unsigned>(nodes.size() - 1);
+    }
+
+    void
+    insert(unsigned n, unsigned p)
+    {
+        HostNode &node = nodes[n];
+        if (node.leaf && node.particles.size() < 4) {
+            node.particles.push_back(p);
+            return;
+        }
+        if (node.leaf) {
+            // Split: redistribute existing particles.
+            std::vector<unsigned> old = std::move(node.particles);
+            node.particles.clear();
+            node.leaf = false;
+            old.push_back(p);
+            for (unsigned q : old)
+                insertIntoChild(n, q);
+            return;
+        }
+        insertIntoChild(n, p);
+    }
+
+    void
+    insertIntoChild(unsigned n, unsigned p)
+    {
+        // NOTE: nodes may reallocate; re-fetch references after newNode.
+        std::int64_t cx = nodes[n].cx, cy = nodes[n].cy,
+                     half = nodes[n].half;
+        unsigned quad = (px[p] >= cx ? 1 : 0) | (py[p] >= cy ? 2 : 0);
+        if (nodes[n].child[quad] < 0) {
+            std::int64_t h2 = half / 2;
+            std::int64_t ncx = cx + (quad & 1 ? h2 : -h2);
+            std::int64_t ncy = cy + (quad & 2 ? h2 : -h2);
+            unsigned child = newNode(ncx, ncy, h2);
+            nodes[n].child[quad] = child;
+        }
+        insert(static_cast<unsigned>(nodes[n].child[quad]), p);
+    }
+
+    void
+    summarize(unsigned n)
+    {
+        HostNode &node = nodes[n];
+        if (node.leaf) {
+            for (unsigned p : node.particles) {
+                node.comX += px[p];
+                node.comY += py[p];
+                node.mass += 1;
+            }
+        } else {
+            for (int q = 0; q < 4; ++q) {
+                if (node.child[q] < 0)
+                    continue;
+                unsigned ch = static_cast<unsigned>(node.child[q]);
+                summarize(ch);
+                node.comX += nodes[ch].comX * nodes[ch].mass;
+                node.comY += nodes[ch].comY * nodes[ch].mass;
+                node.mass += nodes[ch].mass;
+            }
+        }
+        if (node.mass > 0) {
+            node.comX /= node.mass;
+            node.comY /= node.mass;
+        }
+    }
+};
+
+HostTree
+buildTree()
+{
+    HostTree t;
+    std::uint64_t x = 31337;
+    auto rnd = [&x]() {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<std::int64_t>((x >> 33) & 0xffff);
+    };
+    for (unsigned p = 0; p < kParticles; ++p) {
+        t.px.push_back(rnd());
+        t.py.push_back(rnd());
+    }
+    t.newNode(32768, 32768, 32768);
+    for (unsigned p = 0; p < kParticles; ++p)
+        t.insert(0, p);
+    t.summarize(0);
+    return t;
+}
+
+/** Multipole-acceptance criterion shared by all variants. */
+constexpr bool
+macAccept(std::int64_t half, std::int64_t dist2)
+{
+    return 16 * half * half < dist2;
+}
+
+/** Host reference forces (same traversal + same fixed-point kernel). */
+void
+hostForces(const HostTree &t, std::vector<std::int64_t> &fx,
+           std::vector<std::int64_t> &fy)
+{
+    fx.assign(kParticles, 0);
+    fy.assign(kParticles, 0);
+    for (unsigned p = 0; p < kParticles; ++p) {
+        std::vector<unsigned> stack{0};
+        while (!stack.empty()) {
+            unsigned n = stack.back();
+            stack.pop_back();
+            const HostNode &node = t.nodes[n];
+            if (node.mass == 0)
+                continue;
+            std::int64_t dx = t.px[p] - node.comX;
+            std::int64_t dy = t.py[p] - node.comY;
+            std::int64_t d2 = dx * dx + dy * dy;
+            if (macAccept(node.half, d2)) {
+                auto f = accel::bhForce(t.px[p], t.py[p], node.comX,
+                                        node.comY, node.mass);
+                fx[p] += f.x;
+                fy[p] += f.y;
+            } else if (node.leaf) {
+                for (unsigned q : node.particles) {
+                    if (q == p)
+                        continue;
+                    auto f = accel::bhForce(t.px[p], t.py[p], t.px[q],
+                                            t.py[q], 1);
+                    fx[p] += f.x;
+                    fy[p] += f.y;
+                }
+            } else {
+                for (int q = 0; q < 4; ++q)
+                    if (node.child[q] >= 0)
+                        stack.push_back(
+                            static_cast<unsigned>(node.child[q]));
+            }
+        }
+    }
+}
+
+void
+setup(System &sys, const HostTree &t)
+{
+    for (unsigned p = 0; p < kParticles; ++p) {
+        Addr pa = kParticleBase + 32 * p;
+        sys.memory().write(pa, 8, static_cast<std::uint64_t>(t.px[p]));
+        sys.memory().write(pa + 8, 8, static_cast<std::uint64_t>(t.py[p]));
+        sys.memory().write(pa + 16, 8, 0);
+        sys.memory().write(pa + 24, 8, 0);
+    }
+    for (unsigned n = 0; n < t.nodes.size(); ++n) {
+        const HostNode &node = t.nodes[n];
+        Addr na = kNodeBase + 96 * n;
+        sys.memory().write(na + kNodeCx, 8,
+                           static_cast<std::uint64_t>(node.cx));
+        sys.memory().write(na + kNodeCy, 8,
+                           static_cast<std::uint64_t>(node.cy));
+        sys.memory().write(na + kNodeHalf, 8,
+                           static_cast<std::uint64_t>(node.half));
+        sys.memory().write(na + kNodeComX, 8,
+                           static_cast<std::uint64_t>(node.comX));
+        sys.memory().write(na + kNodeComY, 8,
+                           static_cast<std::uint64_t>(node.comY));
+        sys.memory().write(na + kNodeMass, 8,
+                           static_cast<std::uint64_t>(node.mass));
+        for (int q = 0; q < 4; ++q) {
+            // Leaves reuse the child slots for particle indices.
+            std::uint64_t v = kNil;
+            if (node.leaf) {
+                if (static_cast<std::size_t>(q) < node.particles.size())
+                    v = node.particles[q];
+            } else if (node.child[q] >= 0) {
+                v = static_cast<std::uint64_t>(node.child[q]);
+            }
+            sys.memory().write(na + kNodeChild0 + 8 * q, 8, v);
+        }
+        sys.memory().write(na + kNodeFirst, 8, node.leaf ? 1 : 0);
+        sys.memory().write(na + kNodeCount, 8,
+                           node.leaf ? node.particles.size() : 0);
+    }
+}
+
+bool
+check(System &sys, const std::vector<std::int64_t> &fx,
+      const std::vector<std::int64_t> &fy)
+{
+    for (unsigned p = 0; p < kParticles; ++p) {
+        Addr pa = kParticleBase + 32 * p;
+        auto gx = static_cast<std::int64_t>(sys.memory().read(pa + 16, 8));
+        auto gy = static_cast<std::int64_t>(sys.memory().read(pa + 24, 8));
+        if (gx != fx[p] || gy != fy[p])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Shared tree walk. @p issue is called for every force evaluation:
+ * (is_approx, source index). The walk itself (control flow, MAC) always
+ * runs on the processor — the essence of fine-grained acceleration.
+ */
+CoTask<void>
+treeWalk(Core &c, unsigned p,
+         std::function<CoTask<void>(bool, std::uint64_t)> issue)
+{
+    Addr pa = kParticleBase + 32 * p;
+    std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));
+    std::int64_t py = static_cast<std::int64_t>(co_await c.load(pa + 8));
+    std::vector<std::uint64_t> stack{0};
+    while (!stack.empty()) {
+        std::uint64_t n = stack.back();
+        stack.pop_back();
+        Addr na = kNodeBase + 96 * n;
+        auto mass = static_cast<std::int64_t>(
+            co_await c.load(na + kNodeMass));
+        if (mass == 0)
+            continue;
+        auto half = static_cast<std::int64_t>(
+            co_await c.load(na + kNodeHalf));
+        auto comx = static_cast<std::int64_t>(
+            co_await c.load(na + kNodeComX));
+        auto comy = static_cast<std::int64_t>(
+            co_await c.load(na + kNodeComY));
+        co_await c.compute(cost::kBhMacOps);
+        std::int64_t dx = px - comx, dy = py - comy;
+        std::int64_t d2 = dx * dx + dy * dy;
+        bool is_leaf = co_await c.load(na + kNodeFirst) != 0;
+        if (macAccept(half, d2)) {
+            co_await issue(true, n);
+        } else if (is_leaf) {
+            // One CalcForce invocation per leaf (Fig. 7: "Invoke
+            // CalcForce" per visited node); the callback decides whether
+            // to iterate in software or offload the whole leaf.
+            co_await issue(false, n);
+        } else {
+            for (int q = 0; q < 4; ++q) {
+                std::uint64_t ch =
+                    co_await c.load(na + kNodeChild0 + 8 * q);
+                if (ch != kNil)
+                    stack.push_back(ch);
+            }
+        }
+    }
+}
+
+CoTask<void>
+cpuThread(Core &c, unsigned tid)
+{
+    for (unsigned p = tid; p < kParticles; p += kThreads) {
+        std::int64_t fx = 0, fy = 0;
+        Addr pa = kParticleBase + 32 * p;
+        std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));
+        std::int64_t py =
+            static_cast<std::int64_t>(co_await c.load(pa + 8));
+        co_await treeWalk(
+            c, p,
+            [&](bool approx, std::uint64_t src) -> CoTask<void> {
+                if (approx) {
+                    Addr na = kNodeBase + 96 * src;
+                    auto cx = static_cast<std::int64_t>(
+                        co_await c.load(na + kNodeComX));
+                    auto cy = static_cast<std::int64_t>(
+                        co_await c.load(na + kNodeComY));
+                    auto m = static_cast<std::int64_t>(
+                        co_await c.load(na + kNodeMass));
+                    co_await c.compute(cost::kBhApproxOps);
+                    auto f = accel::bhForce(px, py, cx, cy, m);
+                    fx += f.x;
+                    fy += f.y;
+                } else {
+                    // Software CalcForce over the leaf's particles.
+                    Addr na = kNodeBase + 96 * src;
+                    std::uint64_t count =
+                        co_await c.load(na + kNodeCount);
+                    for (std::uint64_t i = 0; i < count; ++i) {
+                        std::uint64_t q =
+                            co_await c.load(na + kNodeChild0 + 8 * i);
+                        if (q == p)
+                            continue;
+                        Addr qa = kParticleBase + 32 * q;
+                        auto qx = static_cast<std::int64_t>(
+                            co_await c.load(qa));
+                        auto qy = static_cast<std::int64_t>(
+                            co_await c.load(qa + 8));
+                        co_await c.compute(cost::kBhForceOps);
+                        auto f = accel::bhForce(px, py, qx, qy, 1);
+                        fx += f.x;
+                        fy += f.y;
+                    }
+                }
+            });
+        co_await c.store(pa + 16, static_cast<std::uint64_t>(fx));
+        co_await c.store(pa + 24, static_cast<std::uint64_t>(fy));
+    }
+}
+
+CoTask<void>
+accelThread(Core &c, System &sys, unsigned tid)
+{
+    unsigned issued = 0;
+    for (unsigned p = tid; p < kParticles; p += kThreads) {
+        co_await treeWalk(
+            c, p,
+            [&, p](bool approx, std::uint64_t src) -> CoTask<void> {
+                std::uint64_t req = (approx ? 1u : 0u) |
+                                    (static_cast<std::uint64_t>(tid) << 2) |
+                                    (static_cast<std::uint64_t>(p) << 5) |
+                                    (src << 19);
+                co_await c.mmioWrite(sys.regAddr(0), req);
+                ++issued;
+            });
+    }
+    // Wait for all of this thread's force evaluations (token FIFO pops;
+    // the non-blocking try_join of Sec. II-F).
+    unsigned done = 0;
+    while (done < issued) {
+        std::uint64_t got = co_await c.mmioRead(sys.regAddr(1 + tid));
+        if (got)
+            ++done;
+        else
+            co_await c.compute(20);
+    }
+    // Flush the accumulated forces of this thread's particles.
+    unsigned flushes = 0;
+    for (unsigned p = tid; p < kParticles; p += kThreads) {
+        std::uint64_t req = 2u | (static_cast<std::uint64_t>(tid) << 2) |
+                            (static_cast<std::uint64_t>(p) << 5);
+        co_await c.mmioWrite(sys.regAddr(0), req);
+        ++flushes;
+    }
+    done = 0;
+    while (done < flushes) {
+        std::uint64_t got = co_await c.mmioRead(sys.regAddr(1 + tid));
+        if (got)
+            ++done;
+        else
+            co_await c.compute(20);
+    }
+}
+
+} // namespace
+
+AppResult
+runBarnesHut(SystemMode mode)
+{
+    HostTree t = buildTree();
+    std::vector<std::int64_t> fx, fy;
+    hostForces(t, fx, fy);
+
+    System sys(appConfig(kThreads, 1, mode));
+    setup(sys, t);
+    if (mode != SystemMode::CpuOnly) {
+        AccelImage img = accel::barnesHutImage(kThreads);
+        sys.installAccel(img);
+        // Plain parameter registers: particle and node bases.
+        sys.adapter().regs()->receive(
+            CtrlMsg{CtrlMsgKind::PlainUpdate, 5, kParticleBase, 0, nullptr});
+        sys.adapter().regs()->receive(
+            CtrlMsg{CtrlMsgKind::PlainUpdate, 6, kNodeBase, 0, nullptr});
+    }
+    Tick t0 = sys.eventQueue().now();
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+        if (mode == SystemMode::CpuOnly) {
+            sys.core(tid).start(
+                [tid](Core &c) { return cpuThread(c, tid); });
+        } else {
+            sys.core(tid).start([&sys, tid](Core &c) {
+                return accelThread(c, sys, tid);
+            });
+        }
+    }
+    sys.run();
+    return {"barnes-hut", mode, sys.lastCoreFinish() - t0,
+            check(sys, fx, fy)};
+}
+
+} // namespace duet

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * BFS benchmark (P4/8/16 M0, hardware augmentation; paper Sec. V-D).
+ *
+ * Barrier-synchronized level-order traversal of a 256-node graph. Nodes
+ * are claimed with an atomic CAS on the distance word (so both variants
+ * produce exactly the BFS level). CPU baseline: software frontier arrays
+ * with atomic head/tail counters and a sense-reversing barrier — heavy
+ * synchronization traffic. Accelerated: the lock-free hardware queue
+ * widget streams the current frontier through a CPU-bound FIFO and
+ * collects discoveries through an FPGA-bound FIFO (M0: registers only, no
+ * memory hub).
+ */
+
+#include <vector>
+
+#include "accel/images.hh"
+#include "workload/apps.hh"
+#include "workload/cost_model.hh"
+#include "workload/sync.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kV = 256;
+constexpr Addr kOffsets = 0x10000; // (kV+1) x 4 B
+constexpr Addr kEdges = 0x12000;   // 4 B per edge
+constexpr Addr kDist = 0x20000;    // 8 B per node; 0 = unvisited
+constexpr Addr kCurQ = 0x30000;
+constexpr Addr kNextQ = 0x34000;
+constexpr Addr kCurSize = 0x38000;
+constexpr Addr kCurHead = 0x38040;
+constexpr Addr kNextTail = 0x38080;
+constexpr Addr kBarrier = 0x38100;
+constexpr Addr kLockWord = 0x38200;
+constexpr Addr kQnodes = 0x39000; // MCS qnodes, 64 B apart
+
+struct HostGraph
+{
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> edges;
+};
+
+HostGraph
+buildGraph()
+{
+    HostGraph g;
+    std::uint64_t x = 777;
+    auto rnd = [&x](unsigned m) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<unsigned>((x >> 33) % m);
+    };
+    std::vector<std::vector<std::uint32_t>> adj(kV);
+    for (unsigned u = 0; u < kV; ++u) {
+        adj[u].push_back((u + 1) % kV); // ring for connectivity
+        for (int e = 0; e < 3; ++e) {
+            unsigned v = rnd(kV);
+            if (v != u)
+                adj[u].push_back(v);
+        }
+    }
+    g.offsets.push_back(0);
+    for (unsigned u = 0; u < kV; ++u) {
+        for (std::uint32_t v : adj[u])
+            g.edges.push_back(v);
+        g.offsets.push_back(static_cast<std::uint32_t>(g.edges.size()));
+    }
+    return g;
+}
+
+std::vector<unsigned>
+hostBfs(const HostGraph &g)
+{
+    std::vector<unsigned> level(kV, 0);
+    level[0] = 1;
+    std::vector<unsigned> cur{0};
+    unsigned depth = 1;
+    while (!cur.empty()) {
+        std::vector<unsigned> next;
+        for (unsigned u : cur) {
+            for (unsigned e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+                unsigned v = g.edges[e];
+                if (level[v] == 0) {
+                    level[v] = depth + 1;
+                    next.push_back(v);
+                }
+            }
+        }
+        cur = std::move(next);
+        ++depth;
+    }
+    return level;
+}
+
+void
+setup(System &sys, const HostGraph &g)
+{
+    for (unsigned i = 0; i < g.offsets.size(); ++i)
+        sys.memory().write(kOffsets + 4 * i, 4, g.offsets[i]);
+    for (unsigned i = 0; i < g.edges.size(); ++i)
+        sys.memory().write(kEdges + 4 * i, 4, g.edges[i]);
+    sys.memory().write(kDist, 8, 1); // source claimed at depth 1
+}
+
+bool
+check(System &sys, const std::vector<unsigned> &want)
+{
+    for (unsigned v = 0; v < kV; ++v)
+        if (sys.memory().read(kDist + 8 * v, 8) != want[v])
+            return false;
+    return true;
+}
+
+/** Scan node u's edges, claim unvisited neighbors at @p depth_plus_1;
+ *  calls @p found for each claimed neighbor. */
+CoTask<void>
+scanNode(Core &c, std::uint64_t u, std::uint64_t depth_plus_1,
+         std::function<CoTask<void>(std::uint64_t)> found)
+{
+    std::uint64_t beg = co_await c.load(kOffsets + 4 * u, 4);
+    std::uint64_t end = co_await c.load(kOffsets + 4 * (u + 1), 4);
+    for (std::uint64_t e = beg; e < end; ++e) {
+        std::uint64_t v = co_await c.load(kEdges + 4 * e, 4);
+        co_await c.compute(cost::kBfsEdgeOps);
+        // Claim: CAS 0 -> depth+1 on the distance word.
+        std::uint64_t old =
+            co_await c.amo(AmoOp::Cas, kDist + 8 * v, 0, depth_plus_1);
+        if (old == 0)
+            co_await found(v);
+    }
+}
+
+CoTask<void>
+cpuThread(Core &c, unsigned tid, unsigned cores)
+{
+    // The software frontier queues are protected by one MCS lock (the
+    // "synchronization bottleneck" the paper's lock-free hardware queues
+    // remove, Sec. V-D).
+    SpinBarrier barrier(kBarrier, cores);
+    McsLock lock(kLockWord);
+    const Addr qnode = kQnodes + 64ull * tid;
+    bool sense = false;
+    std::uint64_t depth = 1;
+    if (tid == 0) {
+        co_await c.store(kCurQ, 0);     // frontier = {source}
+        co_await c.store(kCurSize, 1);
+        co_await c.store(kCurHead, 0);
+        co_await c.store(kNextTail, 0);
+    }
+    co_await barrier.wait(c, sense);
+    while (true) {
+        std::uint64_t cur_size = co_await c.load(kCurSize);
+        if (cur_size == 0)
+            co_return;
+        while (true) {
+            // Locked dequeue from the current frontier.
+            co_await lock.acquire(c, qnode);
+            std::uint64_t idx = co_await c.load(kCurHead);
+            bool has = idx < cur_size;
+            std::uint64_t u = 0;
+            if (has) {
+                co_await c.store(kCurHead, idx + 1);
+                u = co_await c.load(kCurQ + 8 * idx);
+            }
+            co_await lock.release(c, qnode);
+            if (!has)
+                break;
+            co_await scanNode(
+                c, u, depth + 1,
+                [&](std::uint64_t v) -> CoTask<void> {
+                    // Locked enqueue onto the next frontier.
+                    co_await lock.acquire(c, qnode);
+                    std::uint64_t t = co_await c.load(kNextTail);
+                    co_await c.store(kNextQ + 8 * t, v);
+                    co_await c.store(kNextTail, t + 1);
+                    co_await lock.release(c, qnode);
+                });
+        }
+        co_await barrier.wait(c, sense);
+        if (tid == 0) {
+            // Swap frontiers (copy next into cur; descriptor reset).
+            std::uint64_t n = co_await c.load(kNextTail);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t v = co_await c.load(kNextQ + 8 * i);
+                co_await c.store(kCurQ + 8 * i, v);
+            }
+            co_await c.store(kCurSize, n);
+            co_await c.store(kCurHead, 0);
+            co_await c.store(kNextTail, 0);
+        }
+        ++depth;
+        co_await barrier.wait(c, sense);
+    }
+}
+
+CoTask<void>
+accelThread(Core &c, System &sys, unsigned tid, unsigned cores)
+{
+    if (tid == 0)
+        co_await c.mmioWrite(sys.regAddr(1 + cores), 0); // seed the widget
+    std::uint64_t depth = 1;
+    while (true) {
+        std::uint64_t u = co_await popReg(c, sys.regAddr(1 + tid));
+        if (u == accel::kDoneSentinel)
+            co_return;
+        if (u == accel::kLevelSentinel) {
+            ++depth;
+            co_await c.mmioWrite(sys.regAddr(0), accel::kLevelSentinel);
+            continue;
+        }
+        co_await scanNode(c, u, depth + 1,
+                          [&](std::uint64_t v) -> CoTask<void> {
+                              co_await c.mmioWrite(sys.regAddr(0), v);
+                          });
+    }
+}
+
+AppResult
+runBfs(SystemMode mode, unsigned cores)
+{
+    HostGraph g = buildGraph();
+    std::vector<unsigned> want = hostBfs(g);
+    System sys(appConfig(cores, 0, mode));
+    setup(sys, g);
+    if (mode != SystemMode::CpuOnly)
+        installOrDie(sys, accel::bfsQueueImage(cores));
+    Tick t0 = sys.eventQueue().now();
+    for (unsigned tid = 0; tid < cores; ++tid) {
+        if (mode == SystemMode::CpuOnly) {
+            sys.core(tid).start([tid, cores](Core &c) {
+                return cpuThread(c, tid, cores);
+            });
+        } else {
+            sys.core(tid).start([&sys, tid, cores](Core &c) {
+                return accelThread(c, sys, tid, cores);
+            });
+        }
+    }
+    sys.run();
+    return {"bfs/" + std::to_string(cores), mode,
+            sys.lastCoreFinish() - t0, check(sys, want)};
+}
+
+} // namespace
+
+AppResult
+runBfs4(SystemMode mode)
+{
+    return runBfs(mode, 4);
+}
+
+AppResult
+runBfs8(SystemMode mode)
+{
+    return runBfs(mode, 8);
+}
+
+AppResult
+runBfs16(SystemMode mode)
+{
+    return runBfs(mode, 16);
+}
+
+} // namespace duet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Software cycle-cost model.
+ *
+ * We do not simulate the RISC-V ISA instruction by instruction; software
+ * compute is charged through Core::compute() using the constants below,
+ * calibrated against instruction counts of the C implementations on an
+ * in-order, single-issue RV64 core like Ariane (see DESIGN.md
+ * substitutions). Loads/stores/atomics/MMIOs are fully simulated and NOT
+ * part of these constants.
+ */
+
+#ifndef DUET_WORKLOAD_COST_MODEL_HH
+#define DUET_WORKLOAD_COST_MODEL_HH
+
+#include "sim/types.hh"
+
+namespace duet::cost
+{
+
+// Integer pipeline.
+constexpr Cycles kAluOp = 1;    ///< add/sub/logic/shift
+constexpr Cycles kBranch = 1;   ///< compare+branch (statically predicted)
+constexpr Cycles kMul = 3;
+constexpr Cycles kDiv = 20;
+
+// Ariane's FPU (non-pipelined issue on an in-order core).
+constexpr Cycles kFpAdd = 3;
+constexpr Cycles kFpMul = 4;
+constexpr Cycles kFpDiv = 25;
+constexpr Cycles kFpSqrt = 30;
+
+/** Polynomial libm tangent: argument reduction + 13-term poly + division
+ *  (~40 FP ops on an in-order core). */
+constexpr Cycles kLibmTan = 160;
+
+/** Byte-LUT popcount step: shift + mask + table index + add per byte
+ *  (the table lookup load is simulated separately). */
+constexpr Cycles kPopcountByteOps = 3;
+
+/** Baseline quicksort per-element-compare cost: libc-qsort style with an
+ *  indirect comparator call (call/return + branch mispredicts on an
+ *  in-order core); element loads/stores are simulated separately. */
+constexpr Cycles kSortCompareOps = 30;
+
+/** Hand-tuned k-way merge: compare + select per tournament stage. */
+constexpr Cycles kMergeCompareOps = 3;
+
+/** Binary-heap bookkeeping per level (index math, compare);
+ *  key loads/stores are simulated. */
+constexpr Cycles kHeapLevelOps = 4;
+
+/** Dijkstra relaxation per edge (add, compare, branch, index math). */
+constexpr Cycles kRelaxOps = 10;
+
+/** Barnes-Hut force evaluation: dx/dy, r^2, reciprocal (integer divide is
+ *  ~20 cycles on Ariane), scale, two accumulates. */
+constexpr Cycles kBhForceOps = 150;
+/** Barnes-Hut multipole approximation (same datapath, fewer terms). */
+constexpr Cycles kBhApproxOps = 130;
+/** Tree-walk bookkeeping per visited node (MAC test arithmetic). */
+constexpr Cycles kBhMacOps = 12;
+
+/** PDES event processing payload (gate evaluation: fan-in gather,
+ *  truth-table lookup arithmetic, output schedule computation). */
+constexpr Cycles kPdesEventOps = 120;
+
+/** BFS per-edge bookkeeping (index math, visited test branch). */
+constexpr Cycles kBfsEdgeOps = 3;
+
+} // namespace duet::cost
+
+#endif // DUET_WORKLOAD_COST_MODEL_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Dijkstra benchmark (P1M1, fine-grained acceleration).
+ *
+ * CPU baseline: binary-heap SSSP entirely over simulated memory.
+ * Accelerated: the CPU keeps the priority queue; each extracted node is
+ * shipped to the relaxation engine, whose soft cache exploits adjacency
+ * locality between consecutive invocations (paper Sec. V-D). The engine
+ * writes improved distances through the coherent Memory Hub and streams
+ * (node, dist) updates back for the CPU to push into its heap.
+ */
+
+#include <vector>
+
+#include "accel/images.hh"
+#include "workload/apps.hh"
+#include "workload/cost_model.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kV = 128;
+constexpr Addr kOffsets = 0x10000; // (kV+1) x 4 B
+constexpr Addr kEdges = 0x11000;   // 8 B per edge: v | w<<32
+constexpr Addr kDist = 0x20000;    // 8 B per node
+constexpr Addr kHeap = 0x30000;    // CPU-side binary heap (8 B entries)
+constexpr std::uint64_t kInf = 0x00ffffffffffffffull;
+
+struct HostGraph
+{
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint64_t> edges; // v | w<<32
+};
+
+HostGraph
+buildGraph()
+{
+    HostGraph g;
+    std::uint64_t x = 4242;
+    auto rnd = [&x](unsigned m) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<unsigned>((x >> 33) % m);
+    };
+    std::vector<std::vector<std::uint64_t>> adj(kV);
+    for (unsigned u = 0; u < kV; ++u) {
+        // Ring for connectivity + 7 random edges.
+        adj[u].push_back(((u + 1) % kV) |
+                         (static_cast<std::uint64_t>(1 + rnd(15)) << 32));
+        for (int e = 0; e < 7; ++e) {
+            unsigned v = rnd(kV);
+            if (v != u)
+                adj[u].push_back(
+                    v | (static_cast<std::uint64_t>(1 + rnd(15)) << 32));
+        }
+    }
+    g.offsets.push_back(0);
+    for (unsigned u = 0; u < kV; ++u) {
+        for (std::uint64_t e : adj[u])
+            g.edges.push_back(e);
+        g.offsets.push_back(static_cast<std::uint32_t>(g.edges.size()));
+    }
+    return g;
+}
+
+std::vector<std::uint64_t>
+hostDijkstra(const HostGraph &g)
+{
+    std::vector<std::uint64_t> dist(kV, kInf);
+    dist[0] = 0;
+    std::vector<std::pair<std::uint64_t, unsigned>> heap{{0, 0}};
+    auto cmp = [](auto &a, auto &b) { return a.first > b.first; };
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        auto [d, u] = heap.back();
+        heap.pop_back();
+        if (d > dist[u])
+            continue;
+        for (unsigned e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+            unsigned v = g.edges[e] & 0xffffffffu;
+            std::uint64_t w = g.edges[e] >> 32;
+            if (d + w < dist[v]) {
+                dist[v] = d + w;
+                heap.emplace_back(d + w, v);
+                std::push_heap(heap.begin(), heap.end(), cmp);
+            }
+        }
+    }
+    return dist;
+}
+
+void
+setup(System &sys, const HostGraph &g)
+{
+    for (unsigned i = 0; i < g.offsets.size(); ++i)
+        sys.memory().write(kOffsets + 4 * i, 4, g.offsets[i]);
+    for (unsigned i = 0; i < g.edges.size(); ++i)
+        sys.memory().write(kEdges + 8 * i, 8, g.edges[i]);
+    for (unsigned v = 0; v < kV; ++v)
+        sys.memory().write(kDist + 8 * v, 8, kInf);
+    sys.memory().write(kDist, 8, 0);
+}
+
+bool
+check(System &sys, const std::vector<std::uint64_t> &want)
+{
+    for (unsigned v = 0; v < kV; ++v)
+        if (sys.memory().read(kDist + 8 * v, 8) != want[v])
+            return false;
+    return true;
+}
+
+// ------------------- CPU-side binary heap over memory -----------------
+
+struct MemHeap
+{
+    Core &c;
+    unsigned size = 0;
+
+    CoTask<void>
+    push(std::uint64_t packed)
+    {
+        unsigned i = size++;
+        co_await c.store(kHeap + 8 * i, packed);
+        while (i > 0) {
+            unsigned parent = (i - 1) / 2;
+            std::uint64_t pv = co_await c.load(kHeap + 8 * parent);
+            std::uint64_t cv = co_await c.load(kHeap + 8 * i);
+            co_await c.compute(cost::kHeapLevelOps);
+            if (pv <= cv)
+                break;
+            co_await c.store(kHeap + 8 * parent, cv);
+            co_await c.store(kHeap + 8 * i, pv);
+            i = parent;
+        }
+    }
+
+    CoTask<std::uint64_t>
+    pop()
+    {
+        std::uint64_t top = co_await c.load(kHeap);
+        std::uint64_t last = co_await c.load(kHeap + 8 * (--size));
+        co_await c.store(kHeap, last);
+        unsigned i = 0;
+        while (true) {
+            unsigned l = 2 * i + 1, r = 2 * i + 2, m = i;
+            std::uint64_t mv = co_await c.load(kHeap + 8 * i);
+            co_await c.compute(cost::kHeapLevelOps);
+            if (l < size) {
+                std::uint64_t lv = co_await c.load(kHeap + 8 * l);
+                if (lv < mv) {
+                    m = l;
+                    mv = lv;
+                }
+            }
+            if (r < size) {
+                std::uint64_t rv = co_await c.load(kHeap + 8 * r);
+                if (rv < mv) {
+                    m = r;
+                    mv = rv;
+                }
+            }
+            if (m == i)
+                break;
+            std::uint64_t a = co_await c.load(kHeap + 8 * i);
+            std::uint64_t b = co_await c.load(kHeap + 8 * m);
+            co_await c.store(kHeap + 8 * i, b);
+            co_await c.store(kHeap + 8 * m, a);
+            i = m;
+        }
+        co_return top;
+    }
+};
+
+// Heap entries pack (dist << 16) | node so min-heap order is by distance.
+constexpr std::uint64_t
+packEntry(std::uint64_t dist, std::uint64_t node)
+{
+    return (dist << 16) | node;
+}
+
+CoTask<void>
+cpuWorkload(Core &c)
+{
+    MemHeap heap{c};
+    co_await heap.push(packEntry(0, 0));
+    while (heap.size > 0) {
+        std::uint64_t e = co_await heap.pop();
+        std::uint64_t u = e & 0xffff;
+        std::uint64_t du = e >> 16;
+        std::uint64_t cur = co_await c.load(kDist + 8 * u);
+        co_await c.compute(cost::kAluOp);
+        if (du > cur)
+            continue; // stale (lazy deletion)
+        std::uint64_t beg = co_await c.load(kOffsets + 4 * u, 4);
+        std::uint64_t end = co_await c.load(kOffsets + 4 * (u + 1), 4);
+        for (std::uint64_t i = beg; i < end; ++i) {
+            std::uint64_t vw = co_await c.load(kEdges + 8 * i);
+            std::uint64_t v = vw & 0xffffffffull;
+            std::uint64_t w = vw >> 32;
+            std::uint64_t dv = co_await c.load(kDist + 8 * v);
+            co_await c.compute(cost::kRelaxOps);
+            if (du + w < dv) {
+                co_await c.store(kDist + 8 * v, du + w);
+                co_await heap.push(packEntry(du + w, v));
+            }
+        }
+    }
+}
+
+CoTask<void>
+accelWorkload(Core &c, System &sys)
+{
+    co_await c.mmioWrite(sys.regAddr(2), kOffsets);
+    co_await c.mmioWrite(sys.regAddr(3), kEdges);
+    co_await c.mmioWrite(sys.regAddr(4), kDist);
+    MemHeap heap{c};
+    co_await heap.push(packEntry(0, 0));
+    while (heap.size > 0) {
+        std::uint64_t e = co_await heap.pop();
+        std::uint64_t u = e & 0xffff;
+        std::uint64_t du = e >> 16;
+        std::uint64_t cur = co_await c.load(kDist + 8 * u);
+        co_await c.compute(cost::kAluOp);
+        if (du > cur)
+            continue;
+        // Offload the relaxation of u's adjacency to the engine.
+        co_await c.mmioWrite(sys.regAddr(0), u | (du << 32));
+        while (true) {
+            std::uint64_t upd = co_await popReg(c, sys.regAddr(1));
+            if (upd == accel::kLevelSentinel)
+                break;
+            std::uint64_t v = upd & 0xffffffffull;
+            std::uint64_t nd = upd >> 32;
+            co_await heap.push(packEntry(nd, v));
+        }
+    }
+}
+
+} // namespace
+
+AppResult
+runDijkstra(SystemMode mode)
+{
+    HostGraph g = buildGraph();
+    std::vector<std::uint64_t> want = hostDijkstra(g);
+    System sys(appConfig(1, 1, mode));
+    setup(sys, g);
+    if (mode != SystemMode::CpuOnly)
+        installOrDie(sys, accel::dijkstraImage());
+    Tick t0 = sys.eventQueue().now();
+    if (mode == SystemMode::CpuOnly) {
+        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
+    } else {
+        sys.core(0).start(
+            [&sys](Core &c) { return accelWorkload(c, sys); });
+    }
+    sys.run();
+    return {"dijkstra", mode, sys.lastCoreFinish() - t0, check(sys, want)};
+}
+
+} // namespace duet

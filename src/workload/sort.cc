@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Sort benchmark (P1M2, fine-grained acceleration).
+ *
+ * A 512-key (4 B) array. CPU baseline: quicksort with every key access a
+ * simulated load/store. Accelerated: the streaming sort network sorts
+ * N-key slices through two memory hubs while the processor merge-sorts the
+ * sorted slices with a loser-tree k-way merge (paper Sec. V-D).
+ */
+
+#include "accel/images.hh"
+#include "workload/apps.hh"
+#include "workload/cost_model.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kKeys = 512;
+constexpr Addr kIn = 0x10000;
+constexpr Addr kSliced = 0x20000; // slice-sorted intermediate
+constexpr Addr kOut = 0x30000;
+
+void
+setup(System &sys)
+{
+    std::uint64_t x = 7;
+    for (unsigned i = 0; i < kKeys; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        sys.memory().write(kIn + 4 * i, 4, (x >> 32) & 0x7fffffff);
+    }
+}
+
+bool
+check(System &sys, Addr where)
+{
+    std::uint64_t prev = 0, sum_in = 0, sum_out = 0;
+    for (unsigned i = 0; i < kKeys; ++i) {
+        std::uint64_t v = sys.memory().read(where + 4 * i, 4);
+        if (v < prev)
+            return false;
+        prev = v;
+        sum_out += v;
+        sum_in += sys.memory().read(kIn + 4 * i, 4);
+    }
+    return sum_in == sum_out;
+}
+
+/** Quicksort over simulated memory (Lomuto partition, recursion via
+ *  CoTask). Every key access is a real 4 B load/store. */
+CoTask<void>
+quicksort(Core &c, Addr arr, int lo, int hi)
+{
+    if (lo >= hi)
+        co_return;
+    std::uint64_t pivot = co_await c.load(arr + 4 * hi, 4);
+    int i = lo - 1;
+    for (int j = lo; j < hi; ++j) {
+        std::uint64_t vj = co_await c.load(arr + 4 * j, 4);
+        co_await c.compute(cost::kSortCompareOps);
+        if (vj <= pivot) {
+            ++i;
+            std::uint64_t vi = co_await c.load(arr + 4 * i, 4);
+            co_await c.store(arr + 4 * i, vj, 4);
+            co_await c.store(arr + 4 * j, vi, 4);
+        }
+    }
+    std::uint64_t vi1 = co_await c.load(arr + 4 * (i + 1), 4);
+    co_await c.store(arr + 4 * (i + 1), pivot, 4);
+    co_await c.store(arr + 4 * hi, vi1, 4);
+    co_await quicksort(c, arr, lo, i);
+    co_await quicksort(c, arr, i + 2, hi);
+}
+
+CoTask<void>
+cpuWorkload(Core &c)
+{
+    // Copy input to output, then quicksort in place (the baseline sorts
+    // the whole array).
+    for (unsigned i = 0; i < kKeys; ++i) {
+        std::uint64_t v = co_await c.load(kIn + 4 * i, 4);
+        co_await c.store(kOut + 4 * i, v, 4);
+    }
+    co_await quicksort(c, kOut, 0, kKeys - 1);
+}
+
+/** Loser-tree k-way merge of the slice-sorted intermediate array. Head
+ *  keys stay in registers; each output costs log2(k) compares, one load
+ *  (the winner's successor) and one store. */
+CoTask<void>
+kwayMerge(Core &c, unsigned slice_keys)
+{
+    const unsigned k = kKeys / slice_keys;
+    std::vector<unsigned> pos(k, 0);
+    std::vector<std::uint64_t> head(k);
+    unsigned lg = 0;
+    while ((1u << lg) < k)
+        ++lg;
+    for (unsigned s = 0; s < k; ++s)
+        head[s] = co_await c.load(kSliced + 4ull * s * slice_keys, 4);
+    for (unsigned out = 0; out < kKeys; ++out) {
+        unsigned best = 0;
+        std::uint64_t best_v = ~0ull;
+        for (unsigned s = 0; s < k; ++s) {
+            if (pos[s] < slice_keys && head[s] < best_v) {
+                best_v = head[s];
+                best = s;
+            }
+        }
+        // Loser-tree cost: log2(k) compares, not k (the scan above is
+        // host-side selection; the simulated cost is charged here).
+        co_await c.compute(std::max(1u, lg) * cost::kMergeCompareOps);
+        co_await c.store(kOut + 4 * out, best_v, 4);
+        if (++pos[best] < slice_keys) {
+            head[best] = co_await c.load(
+                kSliced + 4ull * (best * slice_keys + pos[best]), 4);
+        }
+    }
+}
+
+CoTask<void>
+accelWorkload(Core &c, System &sys, unsigned slice_keys)
+{
+    const unsigned slices = kKeys / slice_keys;
+    co_await c.mmioWrite(sys.regAddr(2), kIn);
+    co_await c.mmioWrite(sys.regAddr(3), kSliced);
+    co_await c.mmioWrite(sys.regAddr(4), slice_keys);
+    // Push all slice commands; the accelerator pipelines them.
+    for (unsigned s = 0; s < slices; ++s)
+        co_await c.mmioWrite(sys.regAddr(0), s);
+    for (unsigned s = 0; s < slices; ++s)
+        co_await popReg(c, sys.regAddr(1)); // done tokens
+    co_await kwayMerge(c, slice_keys);
+}
+
+AppResult
+runSort(SystemMode mode, unsigned n)
+{
+    System sys(appConfig(1, 2, mode));
+    setup(sys);
+    if (mode != SystemMode::CpuOnly)
+        installOrDie(sys, accel::sortImage(n));
+    Tick t0 = sys.eventQueue().now();
+    if (mode == SystemMode::CpuOnly) {
+        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
+    } else {
+        sys.core(0).start(
+            [&sys, n](Core &c) { return accelWorkload(c, sys, n); });
+    }
+    sys.run();
+    return {"sort/" + std::to_string(n), mode,
+            sys.lastCoreFinish() - t0, check(sys, kOut)};
+}
+
+} // namespace
+
+AppResult
+runSort32(SystemMode mode)
+{
+    return runSort(mode, 32);
+}
+
+AppResult
+runSort64(SystemMode mode)
+{
+    return runSort(mode, 64);
+}
+
+AppResult
+runSort128(SystemMode mode)
+{
+    return runSort(mode, 128);
+}
+
+} // namespace duet

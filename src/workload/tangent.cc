@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tangent benchmark (P1M0, fine-grained acceleration).
+ *
+ * CPU baseline: libm-style polynomial tangent, cost-modeled at
+ * cost::kLibmTan cycles per call. Accelerated: the PWL tangent unit; the
+ * argument travels through an FPGA-bound FIFO and the result returns
+ * through a CPU-bound FIFO (paper Sec. V-D). The driver software-pipelines
+ * requests so the accelerator's II=1 pipeline stays busy.
+ */
+
+#include <cmath>
+#include <cstdlib>
+
+#include "accel/images.hh"
+#include "workload/apps.hh"
+#include "workload/cost_model.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kCalls = 400;
+constexpr Addr kArgs = 0x10000;
+constexpr Addr kResults = 0x20000;
+constexpr unsigned kPipeDepth = 4;
+
+void
+setup(System &sys)
+{
+    // Angles in [0, 0.7) rad, Q16.16; deterministic.
+    std::uint64_t x = 12345;
+    for (unsigned i = 0; i < kCalls; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        std::uint64_t angle = (x >> 33) % 45875;
+        sys.memory().write(kArgs + 8 * i, 8, angle);
+    }
+}
+
+bool
+check(System &sys)
+{
+    for (unsigned i = 0; i < kCalls; ++i) {
+        std::uint64_t angle = sys.memory().read(kArgs + 8 * i, 8);
+        double got =
+            static_cast<double>(sys.memory().read(kResults + 8 * i, 8));
+        double want = static_cast<double>(accel::libmTangentQ16(angle));
+        if (want > 0 && std::abs(got - want) / want > 0.01)
+            return false;
+        if (want == 0 && got > 700) // tan(small) in Q16.16
+            return false;
+    }
+    return true;
+}
+
+CoTask<void>
+cpuWorkload(Core &c)
+{
+    for (unsigned i = 0; i < kCalls; ++i) {
+        std::uint64_t angle = co_await c.load(kArgs + 8 * i);
+        co_await c.compute(cost::kLibmTan);
+        co_await c.store(kResults + 8 * i, accel::libmTangentQ16(angle));
+    }
+}
+
+CoTask<void>
+accelWorkload(Core &c, System &sys)
+{
+    // Software pipelining: keep kPipeDepth requests in flight.
+    unsigned sent = 0, received = 0;
+    while (received < kCalls) {
+        while (sent < kCalls && sent - received < kPipeDepth) {
+            std::uint64_t angle = co_await c.load(kArgs + 8 * sent);
+            co_await c.mmioWrite(sys.regAddr(0), angle);
+            ++sent;
+        }
+        std::uint64_t r = co_await popReg(c, sys.regAddr(1));
+        co_await c.store(kResults + 8 * received, r);
+        ++received;
+    }
+}
+
+} // namespace
+
+AppResult
+runTangent(SystemMode mode)
+{
+    System sys(appConfig(1, 0, mode));
+    setup(sys);
+    if (mode != SystemMode::CpuOnly)
+        installOrDie(sys, accel::tangentImage());
+    Tick t0 = sys.eventQueue().now();
+    if (mode == SystemMode::CpuOnly) {
+        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
+    } else {
+        sys.core(0).start(
+            [&sys](Core &c) { return accelWorkload(c, sys); });
+    }
+    sys.run();
+    return {"tangent", mode, sys.lastCoreFinish() - t0, check(sys)};
+}
+
+} // namespace duet

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Integration tests of the application benchmarks: functional correctness
+ * in every system mode, plus the headline performance shapes of Fig. 12
+ * (Duet beats FPSoC; HA baselines degrade under contention).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/apps.hh"
+
+namespace duet
+{
+namespace
+{
+
+TEST(AppRegistry, ThirteenConfigsInPaperOrder)
+{
+    const auto &apps = allApps();
+    ASSERT_EQ(apps.size(), 13u);
+    EXPECT_EQ(apps.front().name, "tangent");
+    EXPECT_EQ(apps.back().name, "bfs/16");
+    EXPECT_EQ(apps[6].name, "barnes-hut");
+    EXPECT_EQ(apps[6].p, 4u);
+    EXPECT_EQ(apps[6].m, 1u);
+}
+
+struct ModeTriple
+{
+    AppResult cpu, fpsoc, duet;
+};
+
+ModeTriple
+runAll(AppResult (*fn)(SystemMode))
+{
+    return {fn(SystemMode::CpuOnly), fn(SystemMode::Fpsoc),
+            fn(SystemMode::Duet)};
+}
+
+void
+expectShape(const ModeTriple &t, bool duet_beats_cpu = true)
+{
+    EXPECT_TRUE(t.cpu.correct);
+    EXPECT_TRUE(t.fpsoc.correct);
+    EXPECT_TRUE(t.duet.correct);
+    // Duet always beats the FPSoC baseline (the paper's core claim).
+    EXPECT_LT(t.duet.runtime, t.fpsoc.runtime);
+    if (duet_beats_cpu)
+        EXPECT_LT(t.duet.runtime, t.cpu.runtime);
+}
+
+TEST(Apps, Tangent)
+{
+    expectShape(runAll(&runTangent));
+}
+
+TEST(Apps, Popcount)
+{
+    expectShape(runAll(&runPopcount));
+}
+
+TEST(Apps, Sort32)
+{
+    expectShape(runAll(&runSort32));
+}
+
+TEST(Apps, Sort128)
+{
+    expectShape(runAll(&runSort128));
+}
+
+TEST(Apps, SortSpeedupGrowsWithSliceSize)
+{
+    // Paper: sort/128 > sort/64 > sort/32 (fewer merge levels).
+    Tick t32 = runSort32(SystemMode::Duet).runtime;
+    Tick t64 = runSort64(SystemMode::Duet).runtime;
+    Tick t128 = runSort128(SystemMode::Duet).runtime;
+    EXPECT_LT(t64, t32);
+    EXPECT_LT(t128, t64);
+}
+
+TEST(Apps, Dijkstra)
+{
+    expectShape(runAll(&runDijkstra));
+}
+
+TEST(Apps, BarnesHut)
+{
+    expectShape(runAll(&runBarnesHut));
+}
+
+TEST(Apps, Pdes4)
+{
+    expectShape(runAll(&runPdes4));
+}
+
+TEST(Apps, PdesBaselineDegradesWithCores)
+{
+    // The MCS-lock convoy makes the software baseline *slower* with more
+    // cores while the widget-dispatch runtime stays flat.
+    Tick b4 = runPdes4(SystemMode::CpuOnly).runtime;
+    Tick b16 = runPdes16(SystemMode::CpuOnly).runtime;
+    EXPECT_GT(b16, b4);
+    Tick d4 = runPdes4(SystemMode::Duet).runtime;
+    Tick d16 = runPdes16(SystemMode::Duet).runtime;
+    EXPECT_LT(d16, 2 * d4);
+}
+
+TEST(Apps, Bfs4)
+{
+    expectShape(runAll(&runBfs4));
+}
+
+TEST(Apps, BfsSuperlinearScalingFromBaselineContention)
+{
+    // Paper Sec. V-D: superlinear speedup scaling 4 -> 8 cores because
+    // the baseline degrades under lock contention.
+    AppResult c4 = runBfs4(SystemMode::CpuOnly);
+    AppResult c8 = runBfs8(SystemMode::CpuOnly);
+    AppResult d4 = runBfs4(SystemMode::Duet);
+    AppResult d8 = runBfs8(SystemMode::Duet);
+    ASSERT_TRUE(c4.correct && c8.correct && d4.correct && d8.correct);
+    double s4 = double(c4.runtime) / d4.runtime;
+    double s8 = double(c8.runtime) / d8.runtime;
+    EXPECT_GT(s8, 1.5 * s4); // superlinear in core count
+}
+
+} // namespace
+} // namespace duet

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the 2D-mesh NoC: routing, latency, ordering, contention,
+ * and latency-trace attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace duet
+{
+namespace
+{
+
+struct MeshFixture : public ::testing::Test
+{
+    EventQueue eq;
+    ClockDomain clk{eq, "sys", 1000}; // 1 GHz
+};
+
+Message
+mkMsg(MsgType t, unsigned src_tile, unsigned dst_tile)
+{
+    Message m;
+    m.type = t;
+    m.src = {static_cast<std::uint16_t>(src_tile), TilePort::L2};
+    m.dst = {static_cast<std::uint16_t>(dst_tile), TilePort::L3};
+    return m;
+}
+
+TEST_F(MeshFixture, DeliversToRegisteredSink)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    std::vector<Message> got;
+    mesh.registerEndpoint({1, TilePort::L3},
+                          [&](const Message &m) { got.push_back(m); });
+    mesh.inject(mkMsg(MsgType::GetS, 0, 1));
+    eq.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].type, MsgType::GetS);
+    EXPECT_EQ(mesh.delivered().value(), 1u);
+}
+
+TEST_F(MeshFixture, LocalDeliveryWithinTile)
+{
+    Mesh mesh(clk, MeshConfig{2, 2});
+    Tick when = 0;
+    mesh.registerEndpoint({0, TilePort::L3},
+                          [&](const Message &) { when = eq.now(); });
+    mesh.inject(mkMsg(MsgType::GetS, 0, 0));
+    eq.run();
+    // Same tile: just the ejection latency (1 cycle).
+    EXPECT_EQ(when, 1000u);
+}
+
+TEST_F(MeshFixture, OneHopLatency)
+{
+    MeshConfig cfg{2, 1};
+    Mesh mesh(clk, cfg);
+    Tick when = 0;
+    mesh.registerEndpoint({1, TilePort::L3},
+                          [&](const Message &) { when = eq.now(); });
+    mesh.inject(mkMsg(MsgType::GetS, 0, 1)); // 1 flit
+    eq.run();
+    // router(2) + serialize(1) + link(1) + eject(1) = 5 cycles.
+    EXPECT_EQ(when, 5000u);
+}
+
+TEST_F(MeshFixture, DataMessagesSerializeMoreFlits)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    Tick when = 0;
+    mesh.registerEndpoint({1, TilePort::L3},
+                          [&](const Message &) { when = eq.now(); });
+    mesh.inject(mkMsg(MsgType::DataM, 0, 1)); // 3 flits
+    eq.run();
+    // router(2) + serialize(3) + link(1) + eject(1) = 7 cycles.
+    EXPECT_EQ(when, 7000u);
+}
+
+TEST_F(MeshFixture, XYRoutingHopCount)
+{
+    // 4x4 mesh, corner to corner: 3 X hops + 3 Y hops.
+    Mesh mesh(clk, MeshConfig{4, 4});
+    Tick when = 0;
+    mesh.registerEndpoint({15, TilePort::L3},
+                          [&](const Message &) { when = eq.now(); });
+    mesh.inject(mkMsg(MsgType::GetS, 0, 15));
+    eq.run();
+    // 6 hops * (2 router + 1 serialize + 1 link) + 1 eject = 25 cycles.
+    EXPECT_EQ(when, 25'000u);
+}
+
+TEST_F(MeshFixture, PointToPointOrderingPreserved)
+{
+    Mesh mesh(clk, MeshConfig{4, 1});
+    std::vector<std::uint32_t> order;
+    mesh.registerEndpoint({3, TilePort::L3}, [&](const Message &m) {
+        order.push_back(m.txnId);
+    });
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        auto m = mkMsg(i % 2 ? MsgType::DataM : MsgType::GetS, 0, 3);
+        m.txnId = i;
+        mesh.inject(m);
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST_F(MeshFixture, LinkContentionAddsQueueingDelay)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    std::vector<Tick> arrivals;
+    mesh.registerEndpoint({1, TilePort::L3}, [&](const Message &) {
+        arrivals.push_back(eq.now());
+    });
+    // Two 3-flit messages injected back to back from the same tile.
+    mesh.inject(mkMsg(MsgType::DataM, 0, 1));
+    mesh.inject(mkMsg(MsgType::DataM, 0, 1));
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    // Second message waits for the first's 3 flits on the link.
+    EXPECT_EQ(arrivals[1] - arrivals[0], 3000u);
+}
+
+TEST_F(MeshFixture, IndependentLinksDoNotContend)
+{
+    Mesh mesh(clk, MeshConfig{3, 1});
+    std::vector<Tick> arrivals(2, 0);
+    mesh.registerEndpoint({0, TilePort::L3}, [&](const Message &) {
+        arrivals[0] = eq.now();
+    });
+    mesh.registerEndpoint({2, TilePort::L3}, [&](const Message &) {
+        arrivals[1] = eq.now();
+    });
+    // Tile 1 sends west and east simultaneously: different links.
+    mesh.inject(mkMsg(MsgType::DataM, 1, 0));
+    mesh.inject(mkMsg(MsgType::DataM, 1, 2));
+    eq.run();
+    EXPECT_EQ(arrivals[0], arrivals[1]);
+}
+
+TEST_F(MeshFixture, TraceAccumulatesNocLatency)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    LatencyTrace trace;
+    mesh.registerEndpoint({1, TilePort::L3}, [&](const Message &) {});
+    auto m = mkMsg(MsgType::GetS, 0, 1);
+    m.trace = &trace;
+    mesh.inject(m);
+    eq.run();
+    EXPECT_EQ(trace.get(LatencyTrace::Cat::NoC), 5000u);
+    EXPECT_EQ(trace.get(LatencyTrace::Cat::Cdc), 0u);
+}
+
+TEST_F(MeshFixture, MultipleEndpointsPerTile)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    int l2_hits = 0, l3_hits = 0;
+    mesh.registerEndpoint({1, TilePort::L2},
+                          [&](const Message &) { ++l2_hits; });
+    mesh.registerEndpoint({1, TilePort::L3},
+                          [&](const Message &) { ++l3_hits; });
+    auto a = mkMsg(MsgType::GetS, 0, 1);
+    a.dst.port = TilePort::L2;
+    auto b = mkMsg(MsgType::GetS, 0, 1);
+    b.dst.port = TilePort::L3;
+    mesh.inject(a);
+    mesh.inject(b);
+    eq.run();
+    EXPECT_EQ(l2_hits, 1);
+    EXPECT_EQ(l3_hits, 1);
+}
+
+TEST_F(MeshFixture, VNetClassification)
+{
+    EXPECT_EQ(vnetOf(MsgType::GetS), VNet::Req);
+    EXPECT_EQ(vnetOf(MsgType::GetM), VNet::Req);
+    EXPECT_EQ(vnetOf(MsgType::Atomic), VNet::Req);
+    EXPECT_EQ(vnetOf(MsgType::MmioRead), VNet::Req);
+    EXPECT_EQ(vnetOf(MsgType::Inv), VNet::Fwd);
+    EXPECT_EQ(vnetOf(MsgType::RecallM), VNet::Fwd);
+    EXPECT_EQ(vnetOf(MsgType::DataS), VNet::Resp);
+    EXPECT_EQ(vnetOf(MsgType::InvAck), VNet::Resp);
+    EXPECT_EQ(vnetOf(MsgType::MmioResp), VNet::Resp);
+}
+
+TEST_F(MeshFixture, FlitSizes)
+{
+    EXPECT_EQ(flitsOf(MsgType::GetS), 1u);
+    EXPECT_EQ(flitsOf(MsgType::Inv), 1u);
+    EXPECT_EQ(flitsOf(MsgType::DataM), 3u);   // 16B line = 2 flits + header
+    EXPECT_EQ(flitsOf(MsgType::PutM), 3u);
+    EXPECT_EQ(flitsOf(MsgType::MmioWrite), 2u);
+}
+
+TEST_F(MeshFixture, UnregisteredEndpointPanics)
+{
+    Mesh mesh(clk, MeshConfig{2, 1});
+    mesh.inject(mkMsg(MsgType::GetS, 0, 1));
+    EXPECT_THROW(eq.run(), SimPanic);
+}
+
+} // namespace
+} // namespace duet

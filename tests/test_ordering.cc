@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ordering-property tests.
+ *
+ *  - Paper Fig. 6c: strict I/O ordering at the Soft Register Interface —
+ *    a shadowed access issued behind an outstanding normal-register
+ *    access is not processed until the normal access's eFPGA-side
+ *    acknowledgement returns.
+ *  - NoC: per-(source, destination) FIFO delivery under a randomized
+ *    many-to-many message storm (the property the Proxy Cache protocol
+ *    relies on, Sec. II-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "accel/images.hh"
+#include "noc/mesh.hh"
+#include "system/system.hh"
+
+namespace duet
+{
+namespace
+{
+
+TEST(StrictOrdering, ShadowWriteWaitsBehindNormalWriteAck)
+{
+    // Fig. 6c: WR:A (normal) then WR:B (shadowed). B's fast-domain ack
+    // must not overtake A's round trip through the slow domain.
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.numMemHubs = 1;
+    cfg.ctrl.timeoutCycles = 0;
+    System sys(cfg);
+    AccelImage img;
+    img.name = "ordering";
+    img.resources = FabricResources{60, 90, 0, 0};
+    img.fmaxMHz = 20; // very slow eFPGA: long normal round trip
+    img.regLayout.kinds = {RegKind::Normal, RegKind::Plain};
+    ASSERT_TRUE(sys.installAccel(img));
+
+    Tick normal_done = 0, shadow_done = 0;
+    // Core 0 issues the normal write first (the cores contend at the
+    // hub; core 0's message is injected one cycle earlier).
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.mmioWrite(sys.regAddr(0), 0xA);
+        normal_done = c.clock().eventQueue().now();
+    });
+    sys.core(1).start([&](Core &c) -> CoTask<void> {
+        co_await c.compute(5); // arrive at the hub strictly after core 0
+        co_await c.mmioWrite(sys.regAddr(1), 0xB);
+        shadow_done = c.clock().eventQueue().now();
+    });
+    sys.run();
+    ASSERT_GT(normal_done, 0u);
+    ASSERT_GT(shadow_done, 0u);
+    // The shadowed write is acked only after the normal write's ack
+    // (minus the response NoC hop, which may overlap): with a 20 MHz
+    // eFPGA the normal round trip dominates by microseconds.
+    EXPECT_GT(shadow_done, normal_done - 20'000);
+}
+
+TEST(StrictOrdering, ShadowAloneIsFast)
+{
+    // Control experiment: without the older normal access, the same
+    // shadowed write completes in tens of nanoseconds.
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.numMemHubs = 1;
+    System sys(cfg);
+    AccelImage img;
+    img.name = "ordering2";
+    img.resources = FabricResources{60, 90, 0, 0};
+    img.fmaxMHz = 20;
+    img.regLayout.kinds = {RegKind::Normal, RegKind::Plain};
+    ASSERT_TRUE(sys.installAccel(img));
+    Tick t0 = 0, t1 = 0;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        co_await c.compute(5);
+        t0 = c.clock().eventQueue().now();
+        co_await c.mmioWrite(sys.regAddr(1), 0xB);
+        t1 = c.clock().eventQueue().now();
+    });
+    sys.run();
+    EXPECT_LT(t1 - t0, 100 * kTicksPerNs);
+}
+
+class NocFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(NocFuzz, PerPairFifoOrderUnderRandomStorm)
+{
+    std::mt19937 rng(GetParam());
+    EventQueue eq;
+    ClockDomain clk(eq, "sys", 1000);
+    const unsigned w = 4, h = 4, tiles = w * h;
+    Mesh mesh(clk, MeshConfig{w, h});
+
+    // received[src][dst] must be an increasing sequence.
+    std::map<std::pair<unsigned, unsigned>, std::vector<std::uint32_t>>
+        received;
+    for (unsigned t = 0; t < tiles; ++t) {
+        mesh.registerEndpoint(
+            {static_cast<std::uint16_t>(t), TilePort::L3},
+            [&received, t](const Message &m) {
+                received[{m.src.tile, t}].push_back(m.txnId);
+            });
+    }
+
+    std::map<std::pair<unsigned, unsigned>, std::uint32_t> next_seq;
+    std::uniform_int_distribution<unsigned> tile_dist(0, tiles - 1);
+    std::uniform_int_distribution<int> type_dist(0, 2);
+    std::uniform_int_distribution<Tick> when_dist(0, 5000);
+    unsigned total = 800;
+    for (unsigned i = 0; i < total; ++i) {
+        unsigned src = tile_dist(rng), dst = tile_dist(rng);
+        Message m;
+        m.type = type_dist(rng) == 0   ? MsgType::GetS
+                 : type_dist(rng) == 1 ? MsgType::DataM
+                                       : MsgType::Inv;
+        m.src = {static_cast<std::uint16_t>(src), TilePort::L2};
+        m.dst = {static_cast<std::uint16_t>(dst), TilePort::L3};
+        m.txnId = next_seq[{src, dst}]++;
+        Tick when = eq.now() + when_dist(rng);
+        eq.schedule(when, [&mesh, m] { mesh.inject(m); });
+        eq.run(when); // advance so injections are time-ordered per pair
+    }
+    eq.run();
+
+    std::uint64_t delivered = 0;
+    for (auto &[pair, seq] : received) {
+        delivered += seq.size();
+        for (std::size_t i = 1; i < seq.size(); ++i)
+            EXPECT_EQ(seq[i], seq[i - 1] + 1)
+                << "pair " << pair.first << "->" << pair.second;
+        EXPECT_EQ(seq.size(), next_seq[pair]);
+    }
+    EXPECT_EQ(delivered, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NocFuzz,
+                         ::testing::Values(3u, 17u, 99u, 123u));
+
+} // namespace
+} // namespace duet

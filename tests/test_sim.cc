@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, clock domains,
+ * coroutine tasks/futures, stats, latency traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/latency_trace.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace duet
+{
+namespace
+{
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, SameTickRunsInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] { ++hits; });
+    eq.schedule(50, [&] { ++hits; });
+    EXPECT_FALSE(eq.run(20));
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), SimPanic);
+}
+
+TEST(Clock, PeriodFromFrequency)
+{
+    EXPECT_EQ(periodFromMHz(1000), 1000u); // 1 GHz -> 1000 ps
+    EXPECT_EQ(periodFromMHz(500), 2000u);
+    EXPECT_EQ(periodFromMHz(100), 10000u);
+    EXPECT_EQ(periodFromMHz(20), 50000u);
+    EXPECT_EQ(mhzFromPeriod(1000), 1000u);
+    EXPECT_EQ(mhzFromPeriod(50000), 20u);
+}
+
+TEST(Clock, EdgeAlignment)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, "sys", 1000); // 1 GHz -> 1000 ps period
+    EXPECT_EQ(clk.edgeAtOrAfter(0), 0u);
+    EXPECT_EQ(clk.edgeAtOrAfter(1), 1000u);
+    EXPECT_EQ(clk.edgeAtOrAfter(999), 1000u);
+    EXPECT_EQ(clk.edgeAtOrAfter(1000), 1000u);
+    EXPECT_EQ(clk.edgeAfter(1000), 2000u);
+}
+
+TEST(Clock, FrequencyChangeRealignsEdges)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, "fpga", 100); // 10 ns period
+    eq.schedule(3'500, [&] { clk.setFrequencyMHz(500); });
+    eq.run();
+    // Origin moved to t=3500; next edges at 3500 + k*2000.
+    EXPECT_EQ(clk.period(), 2000u);
+    EXPECT_EQ(clk.edgeAtOrAfter(3500), 3500u);
+    EXPECT_EQ(clk.edgeAtOrAfter(3501), 5500u);
+}
+
+TEST(Clock, ScheduleAtEdge)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, "sys", 100); // 10 ns
+    Tick fired = 0;
+    eq.schedule(12'345, [&] {
+        clk.scheduleAtEdge(2, [&] { fired = eq.now(); });
+    });
+    eq.run();
+    // Next edge at-or-after 12,345 is 20,000; +2 cycles = 40,000.
+    EXPECT_EQ(fired, 40'000u);
+}
+
+CoTask<int>
+addLater(EventQueue &eq, int a, int b)
+{
+    Future<int> f;
+    auto s = f.setter();
+    eq.scheduleAfter(100, [s, a, b] { s.set(a + b); });
+    int v = co_await f;
+    co_return v;
+}
+
+TEST(Task, FutureRendezvous)
+{
+    EventQueue eq;
+    int result = 0;
+    spawn([](EventQueue &eq, int &result) -> CoTask<void> {
+        result = co_await addLater(eq, 2, 3);
+    }(eq, result));
+    eq.run();
+    EXPECT_EQ(result, 5);
+}
+
+TEST(Task, FutureAlreadySetDoesNotSuspend)
+{
+    EventQueue eq;
+    Future<int> f;
+    f.setter().set(42);
+    int got = 0;
+    spawn([](Future<int> f, int &got) -> CoTask<void> {
+        got = co_await f;
+    }(f, got));
+    // No events needed; the coroutine never suspended.
+    EXPECT_EQ(got, 42);
+}
+
+CoTask<int>
+fib(EventQueue &eq, int n)
+{
+    if (n <= 1)
+        co_return n;
+    int a = co_await fib(eq, n - 1);
+    int b = co_await fib(eq, n - 2);
+    co_return a + b;
+}
+
+TEST(Task, DeepNestedSubtasks)
+{
+    EventQueue eq;
+    int result = 0;
+    spawn([](EventQueue &eq, int &result) -> CoTask<void> {
+        result = co_await fib(eq, 12);
+    }(eq, result));
+    eq.run();
+    EXPECT_EQ(result, 144);
+}
+
+TEST(Task, ClockDelayAdvancesTime)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, "sys", 1000);
+    std::vector<Tick> stamps;
+    spawn([](EventQueue &eq, ClockDomain &clk,
+             std::vector<Tick> &stamps) -> CoTask<void> {
+        stamps.push_back(eq.now());
+        co_await ClockDelay(clk, 5);
+        stamps.push_back(eq.now());
+        co_await ClockDelay(clk, 3);
+        stamps.push_back(eq.now());
+    }(eq, clk, stamps));
+    eq.run();
+    ASSERT_EQ(stamps.size(), 3u);
+    EXPECT_EQ(stamps[0], 0u);
+    EXPECT_EQ(stamps[1], 5000u);
+    EXPECT_EQ(stamps[2], 8000u);
+}
+
+TEST(Task, TwoThreadsInterleaveDeterministically)
+{
+    EventQueue eq;
+    ClockDomain fast(eq, "fast", 1000); // 1 ns
+    ClockDomain slow(eq, "slow", 200);  // 5 ns
+    std::vector<std::pair<char, Tick>> log;
+    auto thread = [](ClockDomain &clk, char id, int iters,
+                     std::vector<std::pair<char, Tick>> &log,
+                     EventQueue &eq) -> CoTask<void> {
+        for (int i = 0; i < iters; ++i) {
+            co_await ClockDelay(clk, 1);
+            log.emplace_back(id, eq.now());
+        }
+    };
+    spawn(thread(fast, 'F', 10, log, eq));
+    spawn(thread(slow, 'S', 2, log, eq));
+    eq.run();
+    EXPECT_EQ(log.size(), 12u);
+    // Slow thread ticks at 5 ns and 10 ns; fast at 1..10 ns.
+    int slow_count = 0;
+    for (auto &[id, t] : log)
+        if (id == 'S') {
+            ++slow_count;
+            EXPECT_EQ(t % 5000, 0u);
+        }
+    EXPECT_EQ(slow_count, 2);
+}
+
+TEST(Stats, CounterAndSample)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    SampleStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, RegistryLookupAndDump)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(7);
+    reg.registerCounter("l2.hits", &c);
+    ASSERT_NE(reg.findCounter("l2.hits"), nullptr);
+    EXPECT_EQ(reg.findCounter("l2.hits")->value(), 7u);
+    EXPECT_EQ(reg.findCounter("nope"), nullptr);
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("l2.hits 7"), std::string::npos);
+}
+
+TEST(LatencyTrace, AccumulatesPerCategory)
+{
+    LatencyTrace t;
+    t.add(LatencyTrace::Cat::NoC, 10);
+    t.add(LatencyTrace::Cat::NoC, 5);
+    t.add(LatencyTrace::Cat::Cdc, 20);
+    EXPECT_EQ(t.get(LatencyTrace::Cat::NoC), 15u);
+    EXPECT_EQ(t.get(LatencyTrace::Cat::Cdc), 20u);
+    EXPECT_EQ(t.get(LatencyTrace::Cat::FastCache), 0u);
+    EXPECT_EQ(t.total(), 35u);
+    t.reset();
+    EXPECT_EQ(t.total(), 0u);
+}
+
+} // namespace
+} // namespace duet

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Direct unit tests of the eFPGA soft cache against a mock Memory Hub:
+ * fills, hits, write-through buffering with read-after-write forwarding,
+ * no-ack invalidations, pass-through mode, MSHR coalescing, and the
+ * drain-writes fence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "fpga/soft_cache.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** A mock hub: answers requests after a fixed fast-domain delay. */
+struct MockHub
+{
+    EventQueue eq;
+    ClockDomain fastClk{eq, "sys", 1000};
+    ClockDomain fpgaClk{eq, "fpga", 100};
+    FunctionalMemory mem;
+    AsyncFifo<FpgaMemReq> req{"req", fastClk, 8, 2};
+    AsyncFifo<FpgaMemResp> resp{"resp", fpgaClk, 16, 2};
+    SoftCache cache;
+    unsigned loadsSeen = 0, storesSeen = 0;
+    Tick serviceDelay = 20 * 1000; // 20 ns per request
+
+    explicit MockHub(SoftCacheParams p = {})
+        : cache(fpgaClk, "softCache", p, mem)
+    {
+        cache.bindOut(&req);
+        resp.setDrain([this](FpgaMemResp &&r) {
+            cache.receive(std::move(r));
+        });
+        req.setDrain([this](FpgaMemReq &&r) {
+            if (r.op == FpgaMemOp::Load)
+                ++loadsSeen;
+            else if (r.op == FpgaMemOp::Store)
+                ++storesSeen;
+            eq.scheduleAfter(serviceDelay, [this, r] {
+                FpgaMemResp out;
+                out.id = r.id;
+                out.addr = r.addr;
+                out.paddr = r.addr; // identity translation
+                switch (r.op) {
+                  case FpgaMemOp::Load:
+                    out.type = FpgaMemRespType::LoadAck;
+                    out.data = mem.read(lineAlign(r.addr), 8);
+                    break;
+                  case FpgaMemOp::Store:
+                    out.type = FpgaMemRespType::StoreAck;
+                    mem.write(r.addr, r.size, r.wdata);
+                    break;
+                  case FpgaMemOp::Amo:
+                    out.type = FpgaMemRespType::AmoAck;
+                    out.data = mem.amo(r.amoOp, r.addr, r.size, r.wdata,
+                                       r.wdata2);
+                    break;
+                }
+                pushResp(out);
+            });
+        });
+    }
+
+    void
+    pushResp(FpgaMemResp r)
+    {
+        if (resp.full()) {
+            eq.scheduleAfter(1000, [this, r] { pushResp(r); });
+            return;
+        }
+        resp.push(std::move(r));
+    }
+
+    /** Inject an invalidation like the hub's forward-invs path. */
+    void
+    invalidate(Addr va_line)
+    {
+        FpgaMemResp inv;
+        inv.type = FpgaMemRespType::Inv;
+        inv.addr = va_line;
+        pushResp(inv);
+    }
+
+    std::uint64_t
+    load(Addr a)
+    {
+        std::uint64_t out = 0;
+        bool done = false;
+        spawn([](SoftCache &c, Addr a, std::uint64_t &out,
+                 bool &done) -> CoTask<void> {
+            out = co_await c.load(a);
+            done = true;
+        }(cache, a, out, done));
+        eq.run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    void
+    store(Addr a, std::uint64_t v)
+    {
+        bool done = false;
+        spawn([](SoftCache &c, Addr a, std::uint64_t v,
+                 bool &done) -> CoTask<void> {
+            co_await c.store(a, v);
+            done = true;
+        }(cache, a, v, done));
+        eq.run();
+        EXPECT_TRUE(done);
+    }
+};
+
+TEST(SoftCache, MissFillsThenHits)
+{
+    MockHub hub;
+    hub.mem.write(0x100, 8, 99);
+    EXPECT_EQ(hub.load(0x100), 99u);
+    EXPECT_EQ(hub.cache.misses.value(), 1u);
+    EXPECT_TRUE(hub.cache.resident(0x100));
+    EXPECT_EQ(hub.load(0x100), 99u);
+    EXPECT_EQ(hub.cache.hits.value(), 1u);
+    EXPECT_EQ(hub.loadsSeen, 1u); // second access never left the eFPGA
+}
+
+TEST(SoftCache, HitIsFasterThanMiss)
+{
+    MockHub hub;
+    Tick t0 = hub.eq.now();
+    hub.load(0x200);
+    Tick miss = hub.eq.now() - t0;
+    t0 = hub.eq.now();
+    hub.load(0x200);
+    Tick hit = hub.eq.now() - t0;
+    EXPECT_LT(hit, miss / 2);
+}
+
+TEST(SoftCache, WriteThroughReachesMemoryAfterAck)
+{
+    MockHub hub;
+    hub.store(0x300, 42); // store() completes when buffered...
+    hub.eq.run();         // ...the ack drains the write buffer
+    EXPECT_EQ(hub.mem.read(0x300, 8), 42u);
+    EXPECT_EQ(hub.storesSeen, 1u);
+}
+
+TEST(SoftCache, ReadAfterWriteForwarding)
+{
+    MockHub hub;
+    hub.mem.write(0x400, 8, 1);
+    hub.load(0x400); // fill the line
+    // Slow down acks so the write sits in the buffer.
+    hub.serviceDelay = 2'000'000; // 2 us
+    std::uint64_t observed = 0;
+    bool done = false;
+    spawn([](SoftCache &c, std::uint64_t &observed,
+             bool &done) -> CoTask<void> {
+        co_await c.store(0x400, 7); // buffered, ack far away
+        observed = co_await c.load(0x400);
+        done = true;
+    }(hub.cache, observed, done));
+    hub.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(observed, 7u); // forwarded from the write buffer
+}
+
+TEST(SoftCache, InvalidationIsNeverAcknowledged)
+{
+    MockHub hub;
+    hub.load(0x500);
+    ASSERT_TRUE(hub.cache.resident(0x500));
+    unsigned loads_before = hub.loadsSeen;
+    hub.invalidate(lineAlign(Addr{0x500}));
+    hub.eq.run();
+    EXPECT_FALSE(hub.cache.resident(0x500));
+    EXPECT_EQ(hub.cache.invsReceived.value(), 1u);
+    // The soft cache produced no response (the Duet no-ack protocol):
+    EXPECT_EQ(hub.loadsSeen, loads_before);
+    EXPECT_EQ(hub.storesSeen, 0u);
+    // A later access re-fetches.
+    hub.load(0x500);
+    EXPECT_EQ(hub.loadsSeen, loads_before + 1);
+}
+
+TEST(SoftCache, MshrCoalescesConcurrentSameLineLoads)
+{
+    MockHub hub;
+    int completions = 0;
+    for (int i = 0; i < 3; ++i) {
+        spawn([](SoftCache &c, Addr a, int &completions) -> CoTask<void> {
+            co_await c.load(a);
+            ++completions;
+        }(hub.cache, 0x600 + 8 * i, completions));
+    }
+    hub.eq.run();
+    EXPECT_EQ(completions, 3);
+    EXPECT_EQ(hub.loadsSeen, 2u); // 0x600/0x608 share a line; 0x610 not
+}
+
+TEST(SoftCache, PassThroughModeForwardsEveryAccess)
+{
+    SoftCacheParams p;
+    p.enabled = false;
+    MockHub hub(p);
+    hub.mem.write(0x700, 8, 5);
+    EXPECT_EQ(hub.load(0x700), 5u);
+    EXPECT_EQ(hub.load(0x700), 5u);
+    EXPECT_EQ(hub.loadsSeen, 2u); // no caching
+    EXPECT_FALSE(hub.cache.resident(0x700));
+}
+
+TEST(SoftCache, AmoPassesThroughAndReturnsOldValue)
+{
+    MockHub hub;
+    hub.mem.write(0x800, 8, 10);
+    std::uint64_t old = 0;
+    bool done = false;
+    spawn([](SoftCache &c, std::uint64_t &old, bool &done) -> CoTask<void> {
+        old = co_await c.amo(AmoOp::Add, 0x800, 5);
+        done = true;
+    }(hub.cache, old, done));
+    hub.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(old, 10u);
+    EXPECT_EQ(hub.mem.read(0x800, 8), 15u);
+}
+
+TEST(SoftCache, DrainWritesWaitsForAllAcks)
+{
+    MockHub hub;
+    hub.serviceDelay = 500'000; // 0.5 us per store
+    Tick drained_at = 0;
+    spawn([](SoftCache &c, Tick &drained_at,
+             EventQueue &eq) -> CoTask<void> {
+        for (int i = 0; i < 4; ++i)
+            co_await c.store(0x900 + 8 * i, i);
+        co_await c.drainWrites();
+        drained_at = eq.now();
+    }(hub.cache, drained_at, hub.eq));
+    hub.eq.run();
+    // All four stores must be in memory by the drain point.
+    EXPECT_GE(drained_at, 500'000u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(hub.mem.read(0x900 + 8 * i, 8),
+                  static_cast<std::uint64_t>(i));
+}
+
+TEST(SoftCache, EvictionOnCapacity)
+{
+    SoftCacheParams p;
+    p.sizeBytes = 2 * kLineBytes; // two lines, 2-way: one set
+    p.ways = 2;
+    MockHub hub(p);
+    hub.load(0x0);
+    hub.load(0x10);
+    hub.load(0x20); // evicts the LRU line (0x0)
+    EXPECT_FALSE(hub.cache.resident(0x0));
+    EXPECT_TRUE(hub.cache.resident(0x10));
+    EXPECT_TRUE(hub.cache.resident(0x20));
+}
+
+} // namespace
+} // namespace duet
