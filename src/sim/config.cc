@@ -1,0 +1,233 @@
+#include "sim/config.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "system/system.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** Parse a decimal flag value; returns false on garbage or overflow. */
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    // strtoull accepts leading whitespace and signs (wrapping negatives
+    // modulo 2^64); only plain digit strings are valid flag values.
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+// Cache capacities are stored in bytes as `unsigned`; 1 GiB (2^20 KiB)
+// keeps the * 1024 in applySimOverrides from wrapping.
+constexpr unsigned kMaxCacheKiB = 1u << 20;
+
+} // namespace
+
+const char *
+simUsage()
+{
+    return
+        "usage: duet_sim [options]\n"
+        "\n"
+        "Runs one Duet benchmark scenario and reports runtime, correctness\n"
+        "and the full statistics registry.\n"
+        "\n"
+        "scenario selection:\n"
+        "  --workload NAME   bfs | dijkstra | sort | popcount | barnes_hut\n"
+        "                    | pdes | tangent        (default: bfs)\n"
+        "  --mode MODE       duet | cpu | fpsoc      (default: duet)\n"
+        "  --cores N         worker threads (bfs/pdes; others are fixed)\n"
+        "  --size N          sort element count: 32 | 64 | 128\n"
+        "\n"
+        "system shape:\n"
+        "  --l2-kib N        private (L2) cache capacity per tile, KiB\n"
+        "  --l2-ways N       private cache associativity\n"
+        "  --l3-kib N        L3 capacity per shard, KiB\n"
+        "  --l3-ways N       L3 shard associativity\n"
+        "  --cpu-mhz N       core clock, MHz\n"
+        "  --fpga-mhz N      eFPGA clock before an image overrides it, MHz\n"
+        "  --max-us N        simulated-time watchdog, microseconds\n"
+        "\n"
+        "output:\n"
+        "  --json            dump scenario result + stats registry as JSON\n"
+        "  --stats           dump the stats registry as text\n"
+        "  --list            list available workloads and exit\n"
+        "  --help            this text\n";
+}
+
+bool
+parseSystemMode(const std::string &name, SystemMode &mode)
+{
+    if (name == "duet") {
+        mode = SystemMode::Duet;
+    } else if (name == "cpu" || name == "cpu-only" || name == "baseline") {
+        mode = SystemMode::CpuOnly;
+    } else if (name == "fpsoc") {
+        mode = SystemMode::Fpsoc;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+systemModeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::CpuOnly:
+        return "cpu";
+      case SystemMode::Duet:
+        return "duet";
+      case SystemMode::Fpsoc:
+        return "fpsoc";
+    }
+    return "?";
+}
+
+ParseStatus
+parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&](std::string &out) {
+            if (i + 1 >= argc) {
+                err = "missing value for " + flag;
+                return false;
+            }
+            out = argv[++i];
+            return true;
+        };
+        auto u32 = [&](unsigned &out) {
+            std::string v;
+            if (!value(v))
+                return false;
+            if (!parseU32(v, out)) {
+                err = "bad value for " + flag + ": " + v;
+                return false;
+            }
+            return true;
+        };
+        auto u64 = [&](std::uint64_t &out) {
+            std::string v;
+            if (!value(v))
+                return false;
+            if (!parseU64(v, out)) {
+                err = "bad value for " + flag + ": " + v;
+                return false;
+            }
+            return true;
+        };
+
+        if (flag == "--help" || flag == "-h") {
+            opts.help = true;
+            return ParseStatus::Exit;
+        } else if (flag == "--list") {
+            opts.list = true;
+            return ParseStatus::Exit;
+        } else if (flag == "--json") {
+            opts.json = true;
+        } else if (flag == "--stats") {
+            opts.stats = true;
+        } else if (flag == "--workload") {
+            if (!value(opts.workload))
+                return ParseStatus::Error;
+        } else if (flag == "--mode") {
+            if (!value(opts.modeName))
+                return ParseStatus::Error;
+            SystemMode m;
+            if (!parseSystemMode(opts.modeName, m)) {
+                err = "unknown --mode: " + opts.modeName +
+                      " (want duet|cpu|fpsoc)";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--cores") {
+            if (!u32(opts.cores))
+                return ParseStatus::Error;
+            if (opts.cores == 0) {
+                err = "--cores must be positive";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--size") {
+            if (!u32(opts.sortElems))
+                return ParseStatus::Error;
+        } else if (flag == "--l2-kib") {
+            if (!u32(opts.l2KiB))
+                return ParseStatus::Error;
+            if (opts.l2KiB > kMaxCacheKiB) {
+                err = "--l2-kib too large (max 1048576)";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--l2-ways") {
+            if (!u32(opts.l2Ways))
+                return ParseStatus::Error;
+        } else if (flag == "--l3-kib") {
+            if (!u32(opts.l3KiB))
+                return ParseStatus::Error;
+            if (opts.l3KiB > kMaxCacheKiB) {
+                err = "--l3-kib too large (max 1048576)";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--l3-ways") {
+            if (!u32(opts.l3Ways))
+                return ParseStatus::Error;
+        } else if (flag == "--cpu-mhz") {
+            if (!u64(opts.cpuFreqMhz))
+                return ParseStatus::Error;
+        } else if (flag == "--fpga-mhz") {
+            if (!u64(opts.fpgaFreqMhz))
+                return ParseStatus::Error;
+        } else if (flag == "--max-us") {
+            if (!u64(opts.maxTicksUs))
+                return ParseStatus::Error;
+            if (opts.maxTicksUs > ~0ull / kTicksPerUs) {
+                err = "--max-us too large";
+                return ParseStatus::Error;
+            }
+        } else {
+            err = "unknown flag: " + flag;
+            return ParseStatus::Error;
+        }
+    }
+    return ParseStatus::Ok;
+}
+
+void
+applySimOverrides(const SimOptions &opts, SystemConfig &cfg)
+{
+    if (opts.l2KiB)
+        cfg.l2.sizeBytes = opts.l2KiB * 1024; // bounded at parse time
+    if (opts.l2Ways)
+        cfg.l2.ways = opts.l2Ways;
+    if (opts.l3KiB)
+        cfg.l3.sizeBytes = opts.l3KiB * 1024;
+    if (opts.l3Ways)
+        cfg.l3.ways = opts.l3Ways;
+    if (opts.cpuFreqMhz)
+        cfg.cpuFreqMhz = opts.cpuFreqMhz;
+    if (opts.fpgaFreqMhz)
+        cfg.fpgaFreqMhz = opts.fpgaFreqMhz;
+    if (opts.maxTicksUs)
+        cfg.maxTicks = opts.maxTicksUs * kTicksPerUs;
+}
+
+} // namespace duet

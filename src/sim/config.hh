@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Command-line option and configuration layer for the `duet_sim` scenario
+ * driver. Parses `--workload`/`--cores`/`--mode`/cache-size flags into a
+ * SimOptions record and layers the overrides onto a SystemConfig, so every
+ * scripted sweep composes the same SystemConfig the workloads run with.
+ */
+
+#ifndef DUET_SIM_CONFIG_HH
+#define DUET_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace duet
+{
+
+struct SystemConfig; // system/system.hh
+enum class SystemMode;
+
+/** Everything the duet_sim CLI can ask for. Zero means "workload default". */
+struct SimOptions
+{
+    std::string workload = "bfs"; ///< bfs, dijkstra, sort, popcount,
+                                  ///< barnes_hut, pdes, tangent
+    std::string modeName = "duet"; ///< duet, cpu, fpsoc
+    unsigned cores = 0;            ///< thread/core count (bfs, pdes)
+    unsigned sortElems = 0;        ///< sort problem size (32/64/128)
+    unsigned l2KiB = 0;            ///< private-cache capacity override
+    unsigned l2Ways = 0;
+    unsigned l3KiB = 0; ///< per-shard L3 capacity override
+    unsigned l3Ways = 0;
+    std::uint64_t cpuFreqMhz = 0;
+    std::uint64_t fpgaFreqMhz = 0;
+    std::uint64_t maxTicksUs = 0; ///< watchdog override, in simulated us
+    bool json = false;            ///< machine-readable stats dump
+    bool stats = false;           ///< human-readable stats dump
+    bool list = false;            ///< print the workload table and exit
+    bool help = false;
+};
+
+/** Outcome of parseSimOptions. */
+enum class ParseStatus
+{
+    Ok,
+    Exit, ///< --help/--list handled; caller should exit 0
+    Error ///< malformed flags; see the error string
+};
+
+/**
+ * Parse duet_sim argv. On Error, @p err holds a one-line diagnostic.
+ * Does not validate the workload name (the driver owns the table).
+ */
+ParseStatus parseSimOptions(int argc, char **argv, SimOptions &opts,
+                            std::string &err);
+
+/** The duet_sim usage text. */
+const char *simUsage();
+
+/** Map "duet"/"cpu"/"fpsoc" to a SystemMode. @return false if unknown. */
+bool parseSystemMode(const std::string &name, SystemMode &mode);
+
+/** Canonical name for a mode ("duet"/"cpu"/"fpsoc"). */
+const char *systemModeName(SystemMode mode);
+
+/**
+ * Layer the non-zero overrides in @p opts (cache geometry, clock
+ * frequencies, watchdog) onto @p cfg. Core counts and mode are not applied
+ * here: the workloads own their thread topology, so the driver passes those
+ * explicitly.
+ */
+void applySimOverrides(const SimOptions &opts, SystemConfig &cfg);
+
+} // namespace duet
+
+#endif // DUET_SIM_CONFIG_HH

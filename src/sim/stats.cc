@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace duet
@@ -15,6 +16,55 @@ StatRegistry::dump(std::ostream &os) const
            << std::setprecision(2) << s->mean() << " min=" << s->min()
            << " max=" << s->max() << "\n";
     }
+}
+
+// Stat names are component paths ("core0.l2.hits") — no quotes, backslashes
+// or control characters — but escape defensively anyway.
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ", ") << jsonQuote(name) << ": " << c->value();
+        first = false;
+    }
+    os << "}, \"samples\": {";
+    first = true;
+    for (const auto &[name, s] : samples_) {
+        os << (first ? "" : ", ") << jsonQuote(name) << ": {\"count\": "
+           << s->count() << ", \"sum\": " << s->sum()
+           << ", \"min\": " << s->min() << ", \"max\": " << s->max()
+           << ", \"mean\": " << s->mean() << "}";
+        first = false;
+    }
+    os << "}}";
 }
 
 } // namespace duet

@@ -19,6 +19,9 @@
 namespace duet
 {
 
+/** Quote @p s as a JSON string literal (escapes ", \\ and control chars). */
+std::string jsonQuote(const std::string &s);
+
 /** A monotonically increasing 64-bit counter. */
 class Counter
 {
@@ -85,6 +88,12 @@ class StatRegistry
 
     /** Dump all registered stats, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump all registered stats as one JSON object:
+     * `{"counters": {name: value, ...}, "samples": {name: {...}, ...}}`.
+     */
+    void dumpJson(std::ostream &os) const;
 
     const Counter *findCounter(const std::string &name) const
     {

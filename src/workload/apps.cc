@@ -4,6 +4,38 @@
 
 namespace duet
 {
+namespace
+{
+
+// The one active ScenarioScope (duet_sim is single-threaded; benchmarks
+// run systems one at a time).
+ScenarioScope::Shaper *activeShaper = nullptr;
+ScenarioScope::Observer *activeObserver = nullptr;
+
+} // namespace
+
+ScenarioScope::ScenarioScope(Shaper shape, Observer observe)
+{
+    simAssert(activeShaper == nullptr && activeObserver == nullptr,
+              "nested ScenarioScope");
+    activeShaper = new Shaper(std::move(shape));
+    activeObserver = new Observer(std::move(observe));
+}
+
+ScenarioScope::~ScenarioScope()
+{
+    delete activeShaper;
+    delete activeObserver;
+    activeShaper = nullptr;
+    activeObserver = nullptr;
+}
+
+void
+reportRun(System &sys)
+{
+    if (activeObserver != nullptr && *activeObserver)
+        (*activeObserver)(sys);
+}
 
 SystemConfig
 appConfig(unsigned p, unsigned m, SystemMode mode)
@@ -20,6 +52,8 @@ appConfig(unsigned p, unsigned m, SystemMode mode)
     cfg.fabric.clbRows = 20;
     cfg.fabric.bramTiles = 12;
     cfg.fabric.multTiles = 32;
+    if (activeShaper != nullptr && *activeShaper)
+        (*activeShaper)(cfg);
     return cfg;
 }
 

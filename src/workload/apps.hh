@@ -11,6 +11,7 @@
 #ifndef DUET_WORKLOAD_APPS_HH
 #define DUET_WORKLOAD_APPS_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,35 @@ const std::vector<AppSpec> &allApps();
 /** Common system configuration for a benchmark. */
 SystemConfig appConfig(unsigned p, unsigned m, SystemMode mode);
 
+/**
+ * Scoped scenario customization used by the `duet_sim` driver.
+ *
+ * While an instance is alive, appConfig() layers @p shape over its defaults
+ * (cache geometry, clock frequencies, watchdog — anything but the thread
+ * topology, which the workloads own), and every benchmark hands its System
+ * to @p observe after the run completes but before teardown, so the caller
+ * can dump the stats registry. Not reentrant: create at most one at a time.
+ */
+class ScenarioScope
+{
+  public:
+    using Shaper = std::function<void(SystemConfig &)>;
+    using Observer = std::function<void(System &)>;
+
+    ScenarioScope(Shaper shape, Observer observe);
+    ~ScenarioScope();
+
+    ScenarioScope(const ScenarioScope &) = delete;
+    ScenarioScope &operator=(const ScenarioScope &) = delete;
+};
+
+/**
+ * Report a finished benchmark system to the active ScenarioScope (no-op
+ * without one). Every workload calls this right before tearing its System
+ * down.
+ */
+void reportRun(System &sys);
+
 /** Install an image, aborting the simulation if it does not fit. */
 void installOrDie(System &sys, const AccelImage &img);
 
@@ -68,6 +98,11 @@ AppResult runPdes16(SystemMode mode);
 AppResult runBfs4(SystemMode mode);
 AppResult runBfs8(SystemMode mode);
 AppResult runBfs16(SystemMode mode);
+
+// Parameterized entry points for the scenario driver.
+AppResult runBfsN(SystemMode mode, unsigned cores);
+AppResult runPdesN(SystemMode mode, unsigned cores);
+AppResult runSortN(SystemMode mode, unsigned n);
 
 } // namespace duet
 

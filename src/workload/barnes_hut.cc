@@ -38,7 +38,7 @@ struct HostNode
     std::int64_t cx, cy, half;
     std::int64_t comX = 0, comY = 0, mass = 0;
     std::int64_t child[4] = {-1, -1, -1, -1};
-    std::vector<unsigned> particles; // leaf payload (<= 4)
+    std::vector<unsigned> particles{}; // leaf payload (<= 4)
     bool leaf = true;
 };
 
@@ -421,8 +421,10 @@ runBarnesHut(SystemMode mode)
         }
     }
     sys.run();
-    return {"barnes-hut", mode, sys.lastCoreFinish() - t0,
-            check(sys, fx, fy)};
+    AppResult res{"barnes-hut", mode, sys.lastCoreFinish() - t0,
+                  check(sys, fx, fy)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace duet

@@ -239,8 +239,10 @@ runBfs(SystemMode mode, unsigned cores)
         }
     }
     sys.run();
-    return {"bfs/" + std::to_string(cores), mode,
-            sys.lastCoreFinish() - t0, check(sys, want)};
+    AppResult res{"bfs/" + std::to_string(cores), mode,
+                  sys.lastCoreFinish() - t0, check(sys, want)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace
@@ -261,6 +263,12 @@ AppResult
 runBfs16(SystemMode mode)
 {
     return runBfs(mode, 16);
+}
+
+AppResult
+runBfsN(SystemMode mode, unsigned cores)
+{
+    return runBfs(mode, cores);
 }
 
 } // namespace duet

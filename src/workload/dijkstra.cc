@@ -257,7 +257,10 @@ runDijkstra(SystemMode mode)
             [&sys](Core &c) { return accelWorkload(c, sys); });
     }
     sys.run();
-    return {"dijkstra", mode, sys.lastCoreFinish() - t0, check(sys, want)};
+    AppResult res{"dijkstra", mode, sys.lastCoreFinish() - t0,
+                  check(sys, want)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace duet

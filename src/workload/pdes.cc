@@ -246,8 +246,10 @@ runPdes(SystemMode mode, unsigned cores)
         }
     }
     sys.run();
-    return {"pdes/" + std::to_string(cores), mode,
-            sys.lastCoreFinish() - t0, check(sys)};
+    AppResult res{"pdes/" + std::to_string(cores), mode,
+                  sys.lastCoreFinish() - t0, check(sys)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace
@@ -268,6 +270,12 @@ AppResult
 runPdes16(SystemMode mode)
 {
     return runPdes(mode, 16);
+}
+
+AppResult
+runPdesN(SystemMode mode, unsigned cores)
+{
+    return runPdes(mode, cores);
 }
 
 } // namespace duet

@@ -102,7 +102,9 @@ runPopcount(SystemMode mode)
             [&sys](Core &c) { return accelWorkload(c, sys); });
     }
     sys.run();
-    return {"popcount", mode, sys.lastCoreFinish() - t0, check(sys)};
+    AppResult res{"popcount", mode, sys.lastCoreFinish() - t0, check(sys)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace duet

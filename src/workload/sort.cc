@@ -149,8 +149,10 @@ runSort(SystemMode mode, unsigned n)
             [&sys, n](Core &c) { return accelWorkload(c, sys, n); });
     }
     sys.run();
-    return {"sort/" + std::to_string(n), mode,
-            sys.lastCoreFinish() - t0, check(sys, kOut)};
+    AppResult res{"sort/" + std::to_string(n), mode,
+                  sys.lastCoreFinish() - t0, check(sys, kOut)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace
@@ -171,6 +173,12 @@ AppResult
 runSort128(SystemMode mode)
 {
     return runSort(mode, 128);
+}
+
+AppResult
+runSortN(SystemMode mode, unsigned n)
+{
+    return runSort(mode, n);
 }
 
 } // namespace duet

@@ -98,7 +98,9 @@ runTangent(SystemMode mode)
             [&sys](Core &c) { return accelWorkload(c, sys); });
     }
     sys.run();
-    return {"tangent", mode, sys.lastCoreFinish() - t0, check(sys)};
+    AppResult res{"tangent", mode, sys.lastCoreFinish() - t0, check(sys)};
+    reportRun(sys);
+    return res;
 }
 
 } // namespace duet

@@ -45,8 +45,9 @@ expectShape(const ModeTriple &t, bool duet_beats_cpu = true)
     EXPECT_TRUE(t.duet.correct);
     // Duet always beats the FPSoC baseline (the paper's core claim).
     EXPECT_LT(t.duet.runtime, t.fpsoc.runtime);
-    if (duet_beats_cpu)
+    if (duet_beats_cpu) {
         EXPECT_LT(t.duet.runtime, t.cpu.runtime);
+    }
 }
 
 TEST(Apps, Tangent)

@@ -533,11 +533,13 @@ TEST_P(CoherenceFuzz, RandomTrafficKeepsInvariants)
                 ++sharers;
         }
         EXPECT_LE(owners, 1u) << "line " << line;
-        if (owners)
+        if (owners) {
             EXPECT_EQ(sharers, 0u) << "line " << line;
+        }
         // Invariant 2: directory ownership matches reality.
-        if (sys.homeOf(a).isOwned(a))
+        if (sys.homeOf(a).isOwned(a)) {
             EXPECT_EQ(owners, 1u) << "line " << line;
+        }
     }
 
     // Invariant 3: the shared counter saw every AMO exactly once.
