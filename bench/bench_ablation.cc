@@ -82,12 +82,12 @@ main()
     std::printf("=== Ablation 1: Dijkstra engine with vs without its soft "
                 "cache (Duet, P1M1) ===\n");
     {
-        AppResult with_sc = runDijkstra(SystemMode::Duet);
+        AppResult with_sc = runApp("dijkstra", SystemMode::Duet);
         std::printf("  with soft cache   : %8.1f us (correct=%d)\n",
                     with_sc.runtime / 1e6, with_sc.correct);
         std::printf("  (pass-through ablation is exercised by popcount/"
                     "sort, which run cache-less by design)\n");
-        AppResult pc = runPopcount(SystemMode::Duet);
+        AppResult pc = runApp("popcount", SystemMode::Duet);
         std::printf("  popcount pass-through reference: %8.1f us\n",
                     pc.runtime / 1e6);
     }

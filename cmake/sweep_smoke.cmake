@@ -1,0 +1,40 @@
+# Sweep smoke test: run a tiny `duet_sim --sweep` cross-product and assert
+# the aggregated CSV has exactly one data row per scenario.
+#
+# Usage:
+#   cmake -DDUET_SIM=<path> -DCSV=<path> -DEXPECT_ROWS=<n> \
+#         -P cmake/sweep_smoke.cmake
+
+if(NOT DUET_SIM OR NOT CSV OR NOT EXPECT_ROWS)
+  message(FATAL_ERROR "need -DDUET_SIM=, -DCSV= and -DEXPECT_ROWS=")
+endif()
+
+execute_process(
+  COMMAND ${DUET_SIM} --sweep
+          --workload popcount,tangent --mode duet,cpu --size 8
+          --csv ${CSV}
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "duet_sim --sweep exited with ${rv}")
+endif()
+
+file(STRINGS ${CSV} lines)
+list(LENGTH lines total)
+math(EXPR data_rows "${total} - 1") # minus the header line
+if(NOT data_rows EQUAL ${EXPECT_ROWS})
+  message(FATAL_ERROR
+          "expected ${EXPECT_ROWS} CSV data rows in ${CSV}, got ${data_rows}")
+endif()
+
+list(GET lines 0 header)
+if(NOT header MATCHES "^workload,.*,runtime_ticks,runtime_ns,correct$")
+  message(FATAL_ERROR "unexpected CSV header: ${header}")
+endif()
+
+foreach(line IN LISTS lines)
+  if(line MATCHES ",false$")
+    message(FATAL_ERROR "sweep produced an incorrect scenario: ${line}")
+  endif()
+endforeach()
+
+message(STATUS "sweep smoke OK: ${data_rows} scenarios in ${CSV}")

@@ -18,15 +18,15 @@ main()
 {
     std::printf("Barnes-Hut (P4M1, fine-grained acceleration)\n");
     std::printf("--------------------------------------------\n");
-    AppResult cpu = runBarnesHut(SystemMode::CpuOnly);
+    AppResult cpu = runApp("barnes_hut", SystemMode::CpuOnly);
     std::printf("  processor-only : %8.1f us  (verified: %s)\n",
                 cpu.runtime / 1e6, cpu.correct ? "yes" : "NO");
-    AppResult fpsoc = runBarnesHut(SystemMode::Fpsoc);
+    AppResult fpsoc = runApp("barnes_hut", SystemMode::Fpsoc);
     std::printf("  FPSoC baseline : %8.1f us  (verified: %s, speedup "
                 "%.2fx)\n",
                 fpsoc.runtime / 1e6, fpsoc.correct ? "yes" : "NO",
                 double(cpu.runtime) / fpsoc.runtime);
-    AppResult duet = runBarnesHut(SystemMode::Duet);
+    AppResult duet = runApp("barnes_hut", SystemMode::Duet);
     std::printf("  Duet           : %8.1f us  (verified: %s, speedup "
                 "%.2fx)\n",
                 duet.runtime / 1e6, duet.correct ? "yes" : "NO",

@@ -19,15 +19,11 @@ main()
     std::printf("-----------------------------------------------\n");
     std::printf("%6s %14s %14s %10s\n", "cores", "baseline (us)",
                 "duet (us)", "speedup");
-    struct Cfg
-    {
-        unsigned cores;
-        AppResult (*run)(SystemMode);
-    } cfgs[] = {{4, &runPdes4}, {8, &runPdes8}, {16, &runPdes16}};
-    for (auto &cfg : cfgs) {
-        AppResult cpu = cfg.run(SystemMode::CpuOnly);
-        AppResult duet = cfg.run(SystemMode::Duet);
-        std::printf("%6u %14.1f %14.1f %9.1fx %s\n", cfg.cores,
+    for (unsigned cores : {4u, 8u, 16u}) {
+        AppResult cpu =
+            runApp("pdes", SystemMode::CpuOnly, {.cores = cores});
+        AppResult duet = runApp("pdes", SystemMode::Duet, {.cores = cores});
+        std::printf("%6u %14.1f %14.1f %9.1fx %s\n", cores,
                     cpu.runtime / 1e6, duet.runtime / 1e6,
                     double(cpu.runtime) / duet.runtime,
                     cpu.correct && duet.correct ? "" : "[INCORRECT]");

@@ -3,17 +3,22 @@
  * `duet_sim` — the unified scenario driver.
  *
  * Composes a SystemConfig from command-line flags (workload, core count,
- * cache geometry, Duet vs. baseline mode), runs one benchmark scenario,
- * and reports the timed-region runtime, the functional-correctness verdict
- * and the full statistics registry — as text or as JSON for scripted
- * sweeps:
+ * problem size, RNG seed, cache geometry, Duet vs. baseline mode) and
+ * either runs one benchmark scenario — reporting the timed-region
+ * runtime, the functional-correctness verdict and the full statistics
+ * registry as text or JSON — or, with `--sweep`, expands comma/range
+ * lists into the scenario cross-product and aggregates one result row
+ * per scenario into CSV / JSON-lines (sim/sweep.hh):
  *
  *   duet_sim --workload bfs --cores 4 --json
  *   duet_sim --workload sort --size 128 --mode fpsoc --stats
- *   duet_sim --workload dijkstra --mode cpu --l2-kib 32
+ *   duet_sim --workload bfs --size 512 --seed 42
+ *   duet_sim --sweep --workload bfs,sort --mode duet,cpu --cores 4,8 \
+ *            --csv out.csv
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/sweep.hh"
 #include "workload/apps.hh"
 
 namespace
@@ -28,68 +34,171 @@ namespace
 
 using namespace duet;
 
-/** One driver-selectable scenario. */
-struct WorkloadEntry
-{
-    const char *name;
-    const char *describe;
-    AppResult (*run)(SystemMode, const SimOptions &);
-    bool takesCores; ///< honors --cores
-    bool takesSize;  ///< honors --size
-};
-
-const std::vector<WorkloadEntry> &
-workloadTable()
-{
-    static const std::vector<WorkloadEntry> table = {
-        {"bfs", "barrier-synchronized BFS, --cores threads (default 4)",
-         [](SystemMode m, const SimOptions &o) {
-             return runBfsN(m, o.cores ? o.cores : 4);
-         },
-         true, false},
-        {"pdes", "parallel discrete-event simulation, --cores threads "
-                 "(default 4)",
-         [](SystemMode m, const SimOptions &o) {
-             return runPdesN(m, o.cores ? o.cores : 4);
-         },
-         true, false},
-        {"sort", "merge sort, --size elements: 32|64|128 (default 64)",
-         [](SystemMode m, const SimOptions &o) {
-             return runSortN(m, o.sortElems ? o.sortElems : 64);
-         },
-         false, true},
-        {"dijkstra", "single-source shortest paths (1 core)",
-         [](SystemMode m, const SimOptions &) { return runDijkstra(m); },
-         false, false},
-        {"barnes_hut", "Barnes-Hut force step (4 cores)",
-         [](SystemMode m, const SimOptions &) { return runBarnesHut(m); },
-         false, false},
-        {"popcount", "population count (1 core)",
-         [](SystemMode m, const SimOptions &) { return runPopcount(m); },
-         false, false},
-        {"tangent", "fixed-point tangent (1 core)",
-         [](SystemMode m, const SimOptions &) { return runTangent(m); },
-         false, false},
-    };
-    return table;
-}
-
-const WorkloadEntry *
-findWorkload(const std::string &name)
-{
-    for (const WorkloadEntry &e : workloadTable())
-        if (name == e.name)
-            return &e;
-    return nullptr;
-}
-
 void
 listWorkloads(std::ostream &os)
 {
     os << "workloads:\n";
-    for (const WorkloadEntry &e : workloadTable())
-        os << "  " << std::left << std::setw(12) << e.name << e.describe
+    for (const Workload &w : workloadRegistry()) {
+        os << "  " << std::left << std::setw(12) << w.name << w.describe
            << "\n";
+    }
+}
+
+/** Open @p path for writing ("-" = stdout); null on failure. */
+std::ostream *
+openSink(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return &std::cout;
+    file.open(path);
+    if (!file) {
+        std::cerr << "duet_sim: cannot open " << path << " for writing\n";
+        return nullptr;
+    }
+    return &file;
+}
+
+int
+runSweepMode(const SimOptions &opts)
+{
+    SweepSpec spec;
+    spec.workloads = opts.workload;
+    spec.modes = opts.modeName;
+    spec.cores = opts.coresSpec;
+    spec.sizes = opts.sizeSpec;
+    spec.seeds = opts.seedSpec;
+
+    std::vector<SweepScenario> scenarios;
+    std::string err;
+    if (!expandSweep(spec, scenarios, err)) {
+        std::cerr << "duet_sim: " << err << "\n\n" << simUsage();
+        return 2;
+    }
+
+    // Open the output sinks before burning simulation time: an
+    // unwritable path must fail fast, not after the whole sweep ran.
+    std::ofstream csvFile, jsonlFile;
+    std::ostream *csvOs = nullptr;
+    std::ostream *jsonlOs = nullptr;
+    if (!opts.csvPath.empty()) {
+        csvOs = openSink(opts.csvPath, csvFile);
+        if (csvOs == nullptr)
+            return 2;
+    }
+    if (!opts.jsonlPath.empty()) {
+        jsonlOs = openSink(opts.jsonlPath, jsonlFile);
+        if (jsonlOs == nullptr)
+            return 2;
+    }
+
+    SystemConfig base;
+    applySimOverrides(opts, base);
+
+    // Stream each row to the sinks as it completes, so an interrupted
+    // long sweep keeps every finished scenario.
+    if (csvOs != nullptr)
+        writeCsvHeader(*csvOs);
+    std::vector<SweepRow> rows =
+        runSweep(scenarios, base, &std::cerr, [&](const SweepRow &row) {
+            if (csvOs != nullptr) {
+                writeCsvRow(*csvOs, row);
+                csvOs->flush();
+            }
+            if (jsonlOs != nullptr) {
+                writeJsonLine(*jsonlOs, row);
+                jsonlOs->flush();
+            }
+        });
+    if (csvOs == nullptr && jsonlOs == nullptr)
+        writeTable(std::cout, rows);
+
+    for (const SweepRow &r : rows)
+        if (!r.correct)
+            return 1;
+    return 0;
+}
+
+int
+runSingleMode(const SimOptions &opts)
+{
+    const Workload *w = findWorkload(opts.workload);
+    if (w == nullptr) {
+        std::cerr << "duet_sim: unknown workload '" << opts.workload
+                  << "'\n";
+        listWorkloads(std::cerr);
+        return 2;
+    }
+    if (opts.cores && !w->takesCores())
+        std::cerr << "duet_sim: note: --cores is ignored by workload '"
+                  << opts.workload << "'\n";
+    if (opts.seed && !w->takesSeed())
+        std::cerr << "duet_sim: note: --seed is ignored by workload '"
+                  << opts.workload << "' (deterministic input)\n";
+
+    WorkloadParams params{opts.cores, 0, opts.size, opts.seed};
+    std::string err;
+    if (!resolveParams(*w, params, err)) {
+        std::cerr << "duet_sim: " << err << "\n\n" << simUsage();
+        return 2;
+    }
+
+    SystemMode mode = SystemMode::Duet;
+    parseSystemMode(opts.modeName, mode); // validated during parsing
+
+    // Shape the System the workload builds and capture its stats registry
+    // (dumped post-run, pre-teardown) for the report below.
+    std::string statsText;
+    std::string statsJson;
+    unsigned coresBuilt = 0;
+    SystemConfig base;
+    base.mode = mode;
+    applySimOverrides(opts, base);
+    base.observer = [&](System &sys) {
+        std::ostringstream text, json;
+        sys.stats().dump(text);
+        sys.stats().dumpJson(json);
+        statsText = text.str();
+        statsJson = json.str();
+        coresBuilt = sys.numCores();
+    };
+
+    AppResult res;
+    try {
+        res = runWorkload(*w, params, base);
+    } catch (const SimFatal &e) {
+        std::cerr << "duet_sim: " << e.what() << "\n";
+        return 1;
+    }
+
+    if (opts.json) {
+        std::cout << "{\"workload\": " << jsonQuote(res.name)
+                  << ", \"mode\": \"" << systemModeName(res.mode)
+                  << "\", \"cores\": " << coresBuilt
+                  << ", \"size\": " << params.size
+                  << ", \"seed\": " << params.seed
+                  << ", \"runtime_ticks\": " << res.runtime
+                  << ", \"runtime_ns\": " << res.runtime / kTicksPerNs
+                  << ", \"correct\": " << (res.correct ? "true" : "false")
+                  << ", \"stats\": " << statsJson << "}\n";
+    } else {
+        std::printf("workload   %s\n", res.name.c_str());
+        std::printf("mode       %s\n", systemModeName(res.mode));
+        std::printf("cores      %u\n", coresBuilt);
+        std::printf("size       %u (%s)\n", params.size,
+                    w->params.sizeMeaning);
+        if (w->takesSeed())
+            std::printf("seed       %lu\n",
+                        static_cast<unsigned long>(params.seed));
+        std::printf("runtime    %lu ticks (%lu ns)\n",
+                    static_cast<unsigned long>(res.runtime),
+                    static_cast<unsigned long>(res.runtime / kTicksPerNs));
+        std::printf("correct    %s\n", res.correct ? "yes" : "NO");
+        if (opts.stats) {
+            std::printf("\n-- stats --\n");
+            std::fputs(statsText.c_str(), stdout);
+        }
+    }
+    return res.correct ? 0 : 1;
 }
 
 } // namespace
@@ -113,72 +222,5 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const WorkloadEntry *entry = findWorkload(opts.workload);
-    if (entry == nullptr) {
-        std::cerr << "duet_sim: unknown workload '" << opts.workload
-                  << "'\n";
-        listWorkloads(std::cerr);
-        return 2;
-    }
-    if (opts.cores && !entry->takesCores)
-        std::cerr << "duet_sim: note: --cores is ignored by workload '"
-                  << opts.workload << "'\n";
-    if (opts.sortElems && !entry->takesSize)
-        std::cerr << "duet_sim: note: --size is ignored by workload '"
-                  << opts.workload << "'\n";
-    if (opts.sortElems && entry->takesSize && opts.sortElems != 32 &&
-        opts.sortElems != 64 && opts.sortElems != 128) {
-        std::cerr << "duet_sim: --size must be 32, 64 or 128\n";
-        return 2;
-    }
-
-    SystemMode mode = SystemMode::Duet;
-    parseSystemMode(opts.modeName, mode); // validated during parsing
-
-    // Shape every System the workload builds and capture its stats
-    // registry (dumped post-run, pre-teardown) for the report below.
-    std::string statsText;
-    std::string statsJson;
-    unsigned coresBuilt = 0;
-    ScenarioScope scope(
-        [&opts](SystemConfig &cfg) { applySimOverrides(opts, cfg); },
-        [&](System &sys) {
-            std::ostringstream text, json;
-            sys.stats().dump(text);
-            sys.stats().dumpJson(json);
-            statsText = text.str();
-            statsJson = json.str();
-            coresBuilt = sys.numCores();
-        });
-
-    AppResult res;
-    try {
-        res = entry->run(mode, opts);
-    } catch (const SimFatal &e) {
-        std::cerr << "duet_sim: " << e.what() << "\n";
-        return 1;
-    }
-
-    if (opts.json) {
-        std::cout << "{\"workload\": " << jsonQuote(res.name)
-                  << ", \"mode\": \"" << systemModeName(res.mode)
-                  << "\", \"cores\": " << coresBuilt
-                  << ", \"runtime_ticks\": " << res.runtime
-                  << ", \"runtime_ns\": " << res.runtime / kTicksPerNs
-                  << ", \"correct\": " << (res.correct ? "true" : "false")
-                  << ", \"stats\": " << statsJson << "}\n";
-    } else {
-        std::printf("workload   %s\n", res.name.c_str());
-        std::printf("mode       %s\n", systemModeName(res.mode));
-        std::printf("cores      %u\n", coresBuilt);
-        std::printf("runtime    %lu ticks (%lu ns)\n",
-                    static_cast<unsigned long>(res.runtime),
-                    static_cast<unsigned long>(res.runtime / kTicksPerNs));
-        std::printf("correct    %s\n", res.correct ? "yes" : "NO");
-        if (opts.stats) {
-            std::printf("\n-- stats --\n");
-            std::fputs(statsText.c_str(), stdout);
-        }
-    }
-    return res.correct ? 0 : 1;
+    return opts.sweep ? runSweepMode(opts) : runSingleMode(opts);
 }

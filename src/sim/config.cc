@@ -10,9 +10,24 @@ namespace duet
 namespace
 {
 
-/** Parse a decimal flag value; returns false on garbage or overflow. */
 bool
-parseU64(const std::string &s, std::uint64_t &out)
+parseU32(const std::string &s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!parseDecimal(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+// Cache capacities are stored in bytes as `unsigned`; 1 GiB (2^20 KiB)
+// keeps the * 1024 in applySimOverrides from wrapping.
+constexpr unsigned kMaxCacheKiB = 1u << 20;
+
+} // namespace
+
+bool
+parseDecimal(const std::string &s, std::uint64_t &out)
 {
     // strtoull accepts leading whitespace and signs (wrapping negatives
     // modulo 2^64); only plain digit strings are valid flag values.
@@ -27,37 +42,36 @@ parseU64(const std::string &s, std::uint64_t &out)
     return true;
 }
 
-bool
-parseU32(const std::string &s, unsigned &out)
-{
-    std::uint64_t v = 0;
-    if (!parseU64(s, v) || v > 0xffffffffull)
-        return false;
-    out = static_cast<unsigned>(v);
-    return true;
-}
-
-// Cache capacities are stored in bytes as `unsigned`; 1 GiB (2^20 KiB)
-// keeps the * 1024 in applySimOverrides from wrapping.
-constexpr unsigned kMaxCacheKiB = 1u << 20;
-
-} // namespace
-
 const char *
 simUsage()
 {
     return
         "usage: duet_sim [options]\n"
         "\n"
-        "Runs one Duet benchmark scenario and reports runtime, correctness\n"
-        "and the full statistics registry.\n"
+        "Runs one Duet benchmark scenario (or, with --sweep, a whole\n"
+        "cross-product of scenarios) and reports runtime, correctness and\n"
+        "the statistics registry.\n"
         "\n"
-        "scenario selection:\n"
+        "scenario selection (with --sweep these take comma/range lists,\n"
+        "e.g. `--cores 4,8` or `--cores 4:16:4`):\n"
         "  --workload NAME   bfs | dijkstra | sort | popcount | barnes_hut\n"
         "                    | pdes | tangent        (default: bfs)\n"
-        "  --mode MODE       duet | cpu | fpsoc      (default: duet)\n"
+        "  --mode MODE       duet | cpu | fpsoc      (default: duet;\n"
+        "                    --sweep also accepts `all`)\n"
         "  --cores N         worker threads (bfs/pdes; others are fixed)\n"
-        "  --size N          sort element count: 32 | 64 | 128\n"
+        "  --size N          problem size: graph nodes (bfs/dijkstra),\n"
+        "                    particles (barnes_hut), vectors (popcount),\n"
+        "                    calls (tangent), event chains (pdes), or the\n"
+        "                    sort slice size 32|64|128\n"
+        "  --sort-elems N    alias for --size (sort slice keys)\n"
+        "  --seed N          input-generator RNG seed (workloads with\n"
+        "                    random inputs; default: the paper's seeds)\n"
+        "\n"
+        "sweep mode:\n"
+        "  --sweep           expand the cross-product of the selection\n"
+        "                    lists and run every scenario\n"
+        "  --csv PATH        write one CSV row per scenario (`-` = stdout)\n"
+        "  --jsonl PATH      write one JSON object per scenario per line\n"
         "\n"
         "system shape:\n"
         "  --l2-kib N        private (L2) cache capacity per tile, KiB\n"
@@ -131,7 +145,7 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             std::string v;
             if (!value(v))
                 return false;
-            if (!parseU64(v, out)) {
+            if (!parseDecimal(v, out)) {
                 err = "bad value for " + flag + ": " + v;
                 return false;
             }
@@ -148,27 +162,28 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             opts.json = true;
         } else if (flag == "--stats") {
             opts.stats = true;
+        } else if (flag == "--sweep") {
+            opts.sweep = true;
         } else if (flag == "--workload") {
             if (!value(opts.workload))
                 return ParseStatus::Error;
         } else if (flag == "--mode") {
             if (!value(opts.modeName))
                 return ParseStatus::Error;
-            SystemMode m;
-            if (!parseSystemMode(opts.modeName, m)) {
-                err = "unknown --mode: " + opts.modeName +
-                      " (want duet|cpu|fpsoc)";
-                return ParseStatus::Error;
-            }
         } else if (flag == "--cores") {
-            if (!u32(opts.cores))
+            if (!value(opts.coresSpec))
                 return ParseStatus::Error;
-            if (opts.cores == 0) {
-                err = "--cores must be positive";
+        } else if (flag == "--size" || flag == "--sort-elems") {
+            if (!value(opts.sizeSpec))
                 return ParseStatus::Error;
-            }
-        } else if (flag == "--size") {
-            if (!u32(opts.sortElems))
+        } else if (flag == "--seed") {
+            if (!value(opts.seedSpec))
+                return ParseStatus::Error;
+        } else if (flag == "--csv") {
+            if (!value(opts.csvPath))
+                return ParseStatus::Error;
+        } else if (flag == "--jsonl") {
+            if (!value(opts.jsonlPath))
                 return ParseStatus::Error;
         } else if (flag == "--l2-kib") {
             if (!u32(opts.l2KiB))
@@ -205,6 +220,76 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             }
         } else {
             err = "unknown flag: " + flag;
+            return ParseStatus::Error;
+        }
+    }
+
+    if ((!opts.csvPath.empty() || !opts.jsonlPath.empty()) && !opts.sweep) {
+        err = "--csv/--jsonl require --sweep";
+        return ParseStatus::Error;
+    }
+    if (!opts.csvPath.empty() && opts.csvPath == opts.jsonlPath) {
+        // Two independent ofstreams on one path would truncate and
+        // interleave writes, corrupting the file.
+        err = "--csv and --jsonl must name different outputs";
+        return ParseStatus::Error;
+    }
+    if (opts.sweep && (opts.json || opts.stats)) {
+        // Silently printing the text table would break a scripted
+        // consumer expecting JSON.
+        err = "--json/--stats are single-run flags; with --sweep use "
+              "--csv or --jsonl";
+        return ParseStatus::Error;
+    }
+
+    // Without --sweep the scenario-selection flags must be single values
+    // (lists are a sweep feature; a stray comma should not silently fall
+    // back to anything).
+    if (!opts.sweep) {
+        SystemMode m;
+        if (!parseSystemMode(opts.modeName, m)) {
+            err = "unknown --mode: " + opts.modeName +
+                  " (want duet|cpu|fpsoc)";
+            return ParseStatus::Error;
+        }
+        auto scalar = [&err](const char *flag, const std::string &spec,
+                             std::uint64_t &out) {
+            if (spec.empty())
+                return true;
+            if (!parseDecimal(spec, out)) {
+                err = std::string("bad value for ") + flag + ": " + spec +
+                      " (lists need --sweep)";
+                return false;
+            }
+            return true;
+        };
+        std::uint64_t v = 0;
+        if (!scalar("--cores", opts.coresSpec, v))
+            return ParseStatus::Error;
+        if (!opts.coresSpec.empty()) {
+            if (v == 0 || v > 0xffffffffull) {
+                err = "--cores must be a positive 32-bit value";
+                return ParseStatus::Error;
+            }
+            opts.cores = static_cast<unsigned>(v);
+        }
+        v = 0;
+        if (!scalar("--size", opts.sizeSpec, v))
+            return ParseStatus::Error;
+        if (!opts.sizeSpec.empty()) {
+            if (v == 0 || v > 0xffffffffull) {
+                err = "--size must be a positive 32-bit value";
+                return ParseStatus::Error;
+            }
+            opts.size = static_cast<unsigned>(v);
+        }
+        if (!scalar("--seed", opts.seedSpec, opts.seed))
+            return ParseStatus::Error;
+        if (!opts.seedSpec.empty() && opts.seed == 0) {
+            // 0 is the "workload default" sentinel in WorkloadParams;
+            // accepting it would silently substitute the default seed.
+            err = "--seed must be positive (0 selects the workload "
+                  "default seed)";
             return ParseStatus::Error;
         }
     }

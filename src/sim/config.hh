@@ -4,6 +4,9 @@
  * driver. Parses `--workload`/`--cores`/`--mode`/cache-size flags into a
  * SimOptions record and layers the overrides onto a SystemConfig, so every
  * scripted sweep composes the same SystemConfig the workloads run with.
+ *
+ * With `--sweep`, the scenario-selection flags accept comma/range lists
+ * (expanded by sim/sweep.hh); without it they must be single values.
  */
 
 #ifndef DUET_SIM_CONFIG_HH
@@ -18,21 +21,28 @@ namespace duet
 struct SystemConfig; // system/system.hh
 enum class SystemMode;
 
-/** Everything the duet_sim CLI can ask for. Zero means "workload default". */
+/** Everything the duet_sim CLI can ask for. Zero/empty means "workload
+ *  default". */
 struct SimOptions
 {
-    std::string workload = "bfs"; ///< bfs, dijkstra, sort, popcount,
-                                  ///< barnes_hut, pdes, tangent
-    std::string modeName = "duet"; ///< duet, cpu, fpsoc
-    unsigned cores = 0;            ///< thread/core count (bfs, pdes)
-    unsigned sortElems = 0;        ///< sort problem size (32/64/128)
-    unsigned l2KiB = 0;            ///< private-cache capacity override
+    std::string workload = "bfs";  ///< registry name; comma list w/ --sweep
+    std::string modeName = "duet"; ///< duet, cpu, fpsoc; list w/ --sweep
+    std::string coresSpec;         ///< raw --cores value (list w/ --sweep)
+    std::string sizeSpec;          ///< raw --size value (list w/ --sweep)
+    std::string seedSpec;          ///< raw --seed value (list w/ --sweep)
+    unsigned cores = 0;     ///< parsed scalar (single-run mode)
+    unsigned size = 0;      ///< parsed scalar problem size (single-run)
+    std::uint64_t seed = 0; ///< parsed scalar RNG seed (single-run)
+    unsigned l2KiB = 0;     ///< private-cache capacity override
     unsigned l2Ways = 0;
     unsigned l3KiB = 0; ///< per-shard L3 capacity override
     unsigned l3Ways = 0;
     std::uint64_t cpuFreqMhz = 0;
     std::uint64_t fpgaFreqMhz = 0;
     std::uint64_t maxTicksUs = 0; ///< watchdog override, in simulated us
+    bool sweep = false;           ///< run the scenario cross-product
+    std::string csvPath;          ///< --sweep CSV output ("-" = stdout)
+    std::string jsonlPath;        ///< --sweep JSON-lines output
     bool json = false;            ///< machine-readable stats dump
     bool stats = false;           ///< human-readable stats dump
     bool list = false;            ///< print the workload table and exit
@@ -49,13 +59,16 @@ enum class ParseStatus
 
 /**
  * Parse duet_sim argv. On Error, @p err holds a one-line diagnostic.
- * Does not validate the workload name (the driver owns the table).
+ * Does not validate the workload name (the registry owns the table).
  */
 ParseStatus parseSimOptions(int argc, char **argv, SimOptions &opts,
                             std::string &err);
 
 /** The duet_sim usage text. */
 const char *simUsage();
+
+/** Strict decimal parse of a full string; false on garbage/overflow. */
+bool parseDecimal(const std::string &s, std::uint64_t &out);
 
 /** Map "duet"/"cpu"/"fpsoc" to a SystemMode. @return false if unknown. */
 bool parseSystemMode(const std::string &name, SystemMode &mode);
@@ -65,9 +78,9 @@ const char *systemModeName(SystemMode mode);
 
 /**
  * Layer the non-zero overrides in @p opts (cache geometry, clock
- * frequencies, watchdog) onto @p cfg. Core counts and mode are not applied
- * here: the workloads own their thread topology, so the driver passes those
- * explicitly.
+ * frequencies, watchdog) onto @p cfg. Core counts, problem sizes and mode
+ * are not applied here: they travel through WorkloadParams and the
+ * per-scenario config, so the driver passes those explicitly.
  */
 void applySimOverrides(const SimOptions &opts, SystemConfig &cfg);
 

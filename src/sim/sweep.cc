@@ -1,0 +1,370 @@
+#include "sim/sweep.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** Split on commas; an empty string or empty element is an error. */
+bool
+splitList(const std::string &list, std::vector<std::string> &out,
+          std::string &err)
+{
+    if (list.empty()) {
+        err = "empty list";
+        return false;
+    }
+    std::size_t start = 0;
+    while (true) {
+        std::size_t comma = list.find(',', start);
+        std::string piece = list.substr(start, comma - start);
+        if (piece.empty()) {
+            err = "empty element in list '" + list + "'";
+            return false;
+        }
+        out.push_back(std::move(piece));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+// A sweep axis larger than this is a typo, not a plan; the cap also
+// bounds expansion memory before any per-value validation runs.
+constexpr std::size_t kMaxAxisValues = 4096;
+
+/** Expand one list element: `N` or `A:B[:STEP]` (inclusive, linear). */
+bool
+expandElement(const std::string &piece, std::vector<std::uint64_t> &out,
+              std::string &err)
+{
+    std::vector<std::uint64_t> parts;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t colon = piece.find(':', start);
+        std::uint64_t v = 0;
+        if (!parseDecimal(piece.substr(start, colon - start), v)) {
+            err = "bad value in range '" + piece + "'";
+            return false;
+        }
+        parts.push_back(v);
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (parts.size() == 1) {
+        out.push_back(parts[0]);
+        return true;
+    }
+    if (parts.size() > 3) {
+        err = "range '" + piece + "' has more than two colons";
+        return false;
+    }
+    std::uint64_t lo = parts[0], hi = parts[1];
+    std::uint64_t step = parts.size() == 3 ? parts[2] : 1;
+    if (step == 0) {
+        err = "range '" + piece + "' has step 0";
+        return false;
+    }
+    if (lo > hi) {
+        err = "range '" + piece + "' is descending";
+        return false;
+    }
+    // Count = (hi - lo) / step + 1; compare without the +1, which wraps
+    // for the full 64-bit range.
+    if ((hi - lo) / step >= kMaxAxisValues - out.size()) {
+        err = "range '" + piece + "' expands past " +
+              std::to_string(kMaxAxisValues) + " values";
+        return false;
+    }
+    // v never exceeds hi, so the increment cannot wrap at 2^64.
+    for (std::uint64_t v = lo;; v += step) {
+        out.push_back(v);
+        if (hi - v < step)
+            break;
+    }
+    return true;
+}
+
+bool
+parseU64RangeList(const std::string &list, std::vector<std::uint64_t> &out,
+                  std::string &err)
+{
+    std::vector<std::string> pieces;
+    if (!splitList(list, pieces, err))
+        return false;
+    for (const std::string &piece : pieces) {
+        if (out.size() >= kMaxAxisValues) {
+            err = "list '" + list + "' has more than " +
+                  std::to_string(kMaxAxisValues) + " values";
+            return false;
+        }
+        if (!expandElement(piece, out, err))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseRangeList(const std::string &list, std::vector<unsigned> &out,
+               std::string &err)
+{
+    std::vector<std::uint64_t> wide;
+    if (!parseU64RangeList(list, wide, err))
+        return false;
+    for (std::uint64_t v : wide) {
+        if (v > 0xffffffffull) {
+            err = "value " + std::to_string(v) + " in list '" + list +
+                  "' does not fit 32 bits";
+            return false;
+        }
+        out.push_back(static_cast<unsigned>(v));
+    }
+    return true;
+}
+
+bool
+parseSeedList(const std::string &list, std::vector<std::uint64_t> &out,
+              std::string &err)
+{
+    return parseU64RangeList(list, out, err);
+}
+
+bool
+expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
+            std::string &err)
+{
+    std::vector<std::string> names;
+    if (!splitList(spec.workloads, names, err)) {
+        err = "--workload: " + err;
+        return false;
+    }
+
+    std::vector<SystemMode> modes;
+    if (spec.modes == "all") {
+        modes = {SystemMode::Duet, SystemMode::CpuOnly, SystemMode::Fpsoc};
+    } else {
+        std::vector<std::string> mode_names;
+        if (!splitList(spec.modes, mode_names, err)) {
+            err = "--mode: " + err;
+            return false;
+        }
+        for (const std::string &m : mode_names) {
+            if (m == "all") {
+                err = "--mode: 'all' must be the only element "
+                      "(it already expands to duet,cpu,fpsoc)";
+                return false;
+            }
+            SystemMode mode;
+            if (!parseSystemMode(m, mode)) {
+                err = "unknown --mode: " + m +
+                      " (want duet|cpu|fpsoc, or 'all' alone)";
+                return false;
+            }
+            modes.push_back(mode);
+        }
+    }
+
+    // Empty axis = one pass with the workload default (0 sentinel). An
+    // explicit 0 in a list is rejected: resolving it to the default
+    // would silently duplicate scenarios.
+    auto axis = [&err](const char *flag, const std::string &list,
+                       std::vector<unsigned> &out) {
+        if (list.empty())
+            return true;
+        out.clear();
+        if (!parseRangeList(list, out, err)) {
+            err = std::string(flag) + ": " + err;
+            return false;
+        }
+        for (unsigned v : out) {
+            if (v == 0) {
+                err = std::string(flag) +
+                      ": 0 is reserved (selects the workload default)";
+                return false;
+            }
+        }
+        return true;
+    };
+    std::vector<unsigned> cores{0};
+    if (!axis("--cores", spec.cores, cores))
+        return false;
+    std::vector<unsigned> sizes{0};
+    if (!axis("--size", spec.sizes, sizes))
+        return false;
+    std::vector<std::uint64_t> seeds{0};
+    if (!spec.seeds.empty()) {
+        seeds.clear();
+        if (!parseSeedList(spec.seeds, seeds, err)) {
+            err = "--seed: " + err;
+            return false;
+        }
+        for (std::uint64_t s : seeds) {
+            if (s == 0) {
+                // 0 is the "workload default" sentinel in WorkloadParams;
+                // accepting it would silently rerun the default seed.
+                err = "--seed: 0 is reserved (selects the workload "
+                      "default seed)";
+                return false;
+            }
+        }
+    }
+
+    // Cap the cross-product itself, not just each axis: the scenario
+    // vector is materialized before anything runs.
+    constexpr std::size_t kMaxScenarios = 65536;
+    std::size_t total = 1;
+    for (std::size_t factor : {names.size(), modes.size(), cores.size(),
+                               sizes.size(), seeds.size()}) {
+        if (total > kMaxScenarios / factor) { // total * factor > max
+            err = "sweep expands past " + std::to_string(kMaxScenarios) +
+                  " scenarios";
+            return false;
+        }
+        total *= factor;
+    }
+
+    for (const std::string &name : names) {
+        const Workload *w = findWorkload(name);
+        if (w == nullptr) {
+            err = "unknown workload '" + name + "' (see --list)";
+            return false;
+        }
+        for (SystemMode mode : modes) {
+            for (unsigned c : cores) {
+                for (unsigned s : sizes) {
+                    for (std::uint64_t seed : seeds) {
+                        SweepScenario sc;
+                        sc.workload = w;
+                        sc.mode = mode;
+                        sc.params = WorkloadParams{c, 0, s, seed};
+                        if (!resolveParams(*w, sc.params, err))
+                            return false;
+                        out.push_back(std::move(sc));
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<SweepRow>
+runSweep(const std::vector<SweepScenario> &scenarios,
+         const SystemConfig &base, std::ostream *progress,
+         const std::function<void(const SweepRow &)> &on_row)
+{
+    std::vector<SweepRow> rows;
+    rows.reserve(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const SweepScenario &sc = scenarios[i];
+        SweepRow row;
+        row.workload = sc.workload->name;
+        row.mode = systemModeName(sc.mode);
+        row.cores = sc.params.cores;
+        row.memHubs = sc.params.memHubs;
+        row.size = sc.params.size;
+        row.seed = sc.params.seed;
+        if (progress != nullptr) {
+            *progress << "[" << (i + 1) << "/" << scenarios.size() << "] "
+                      << row.workload << " mode=" << row.mode
+                      << " cores=" << row.cores << " size=" << row.size;
+            if (sc.workload->takesSeed())
+                *progress << " seed=" << row.seed;
+            *progress << " ..." << std::flush;
+        }
+        SystemConfig cfg = base;
+        cfg.mode = sc.mode;
+        try {
+            AppResult res = runWorkload(*sc.workload, sc.params, cfg);
+            row.app = res.name;
+            row.runtime = res.runtime;
+            row.correct = res.correct;
+        } catch (const SimFatal &e) {
+            row.app = sc.workload->name;
+            row.runtime = 0;
+            row.correct = false;
+            if (progress != nullptr)
+                *progress << " " << e.what();
+        }
+        if (progress != nullptr) {
+            *progress << " " << row.runtime / kTicksPerNs << " ns, "
+                      << (row.correct ? "correct" : "INCORRECT") << "\n";
+        }
+        if (on_row)
+            on_row(row);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+writeCsvHeader(std::ostream &os)
+{
+    os << "workload,app,mode,cores,mem_hubs,size,seed,runtime_ticks,"
+          "runtime_ns,correct\n";
+}
+
+void
+writeCsvRow(std::ostream &os, const SweepRow &r)
+{
+    os << r.workload << ',' << r.app << ',' << r.mode << ',' << r.cores
+       << ',' << r.memHubs << ',' << r.size << ',' << r.seed << ','
+       << r.runtime << ',' << r.runtime / kTicksPerNs << ','
+       << (r.correct ? "true" : "false") << '\n';
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    writeCsvHeader(os);
+    for (const SweepRow &r : rows)
+        writeCsvRow(os, r);
+}
+
+void
+writeJsonLine(std::ostream &os, const SweepRow &r)
+{
+    os << "{\"workload\": " << jsonQuote(r.workload)
+       << ", \"app\": " << jsonQuote(r.app) << ", \"mode\": \"" << r.mode
+       << "\", \"cores\": " << r.cores << ", \"mem_hubs\": " << r.memHubs
+       << ", \"size\": " << r.size << ", \"seed\": " << r.seed
+       << ", \"runtime_ticks\": " << r.runtime
+       << ", \"runtime_ns\": " << r.runtime / kTicksPerNs
+       << ", \"correct\": " << (r.correct ? "true" : "false") << "}\n";
+}
+
+void
+writeJsonLines(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    for (const SweepRow &r : rows)
+        writeJsonLine(os, r);
+}
+
+void
+writeTable(std::ostream &os, const std::vector<SweepRow> &rows)
+{
+    os << std::left << std::setw(12) << "workload" << std::setw(12) << "app"
+       << std::setw(7) << "mode" << std::right << std::setw(6) << "cores"
+       << std::setw(6) << "size" << std::setw(12) << "seed" << std::setw(14)
+       << "runtime(ns)" << "  correct\n";
+    for (const SweepRow &r : rows) {
+        os << std::left << std::setw(12) << r.workload << std::setw(12)
+           << r.app << std::setw(7) << r.mode << std::right << std::setw(6)
+           << r.cores << std::setw(6) << r.size << std::setw(12) << r.seed
+           << std::setw(14) << r.runtime / kTicksPerNs << "  "
+           << (r.correct ? "yes" : "NO") << "\n";
+    }
+}
+
+} // namespace duet

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The `duet_sim --sweep` batch runner: expands comma/range lists of
+ * workloads, modes, core counts, problem sizes and seeds into the full
+ * scenario cross-product, runs every scenario, and aggregates the results
+ * into CSV, JSON-lines or an aligned text table — regenerating
+ * Fig. 9-12-style data in one command.
+ *
+ * All parsing and expansion is pure (no I/O, no System construction), so
+ * tests can cover the cross-product and range grammar without running
+ * simulations.
+ */
+
+#ifndef DUET_SIM_SWEEP_HH
+#define DUET_SIM_SWEEP_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/registry.hh"
+
+namespace duet
+{
+
+/** The raw axis lists of one sweep, as given on the command line. */
+struct SweepSpec
+{
+    std::string workloads = "bfs"; ///< comma list of registry names
+    std::string modes = "duet";    ///< comma list (or "all")
+    std::string cores;             ///< comma/range list; empty = default
+    std::string sizes;             ///< comma/range list; empty = default
+    std::string seeds;             ///< comma list; empty = default
+};
+
+/** One expanded, validated scenario. */
+struct SweepScenario
+{
+    const Workload *workload = nullptr;
+    SystemMode mode = SystemMode::Duet;
+    WorkloadParams params; ///< resolved
+};
+
+/** One aggregated result row. */
+struct SweepRow
+{
+    std::string workload; ///< registry name, e.g. "bfs"
+    std::string app;      ///< AppResult display name, e.g. "bfs/8"
+    std::string mode;
+    unsigned cores = 0;
+    unsigned memHubs = 0;
+    unsigned size = 0;
+    std::uint64_t seed = 0;
+    Tick runtime = 0;
+    bool correct = false;
+};
+
+/**
+ * Parse a comma/range list of unsigned values: elements are either a
+ * plain decimal `N` or an inclusive linear range `A:B[:STEP]` (STEP
+ * defaults to 1 and must be positive; A <= B). E.g. "4,8" -> {4, 8} and
+ * "4:16:4" -> {4, 8, 12, 16}. On malformed syntax, fills @p err with a
+ * one-line diagnostic and returns false.
+ */
+bool parseRangeList(const std::string &list, std::vector<unsigned> &out,
+                    std::string &err);
+
+/** Same grammar for 64-bit seed lists. */
+bool parseSeedList(const std::string &list, std::vector<std::uint64_t> &out,
+                   std::string &err);
+
+/**
+ * Expand @p spec into the scenario cross-product (workload-major, then
+ * mode, cores, size, seed), resolving and validating every parameter
+ * combination against the registry. Unknown workloads or modes,
+ * malformed range syntax and out-of-bounds sizes produce a one-line
+ * diagnostic in @p err and a false return; axes a workload does not take
+ * (cores on fixed topologies, seeds on deterministic inputs) resolve to
+ * its defaults instead of erroring.
+ */
+bool expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
+                 std::string &err);
+
+/**
+ * Run every scenario over @p base (cache geometry, clocks, watchdog; the
+ * mode is set per scenario). A scenario that dies with SimFatal is
+ * recorded as incorrect with zero runtime rather than aborting the
+ * batch. @p progress, when non-null, receives one "[i/n] ..." line per
+ * scenario; @p on_row, when set, receives each row as it completes (so
+ * callers can stream output and an interrupted sweep keeps its finished
+ * rows).
+ */
+std::vector<SweepRow>
+runSweep(const std::vector<SweepScenario> &scenarios,
+         const SystemConfig &base, std::ostream *progress,
+         const std::function<void(const SweepRow &)> &on_row = {});
+
+/** Write the CSV header line. */
+void writeCsvHeader(std::ostream &os);
+
+/** Write one row as CSV. */
+void writeCsvRow(std::ostream &os, const SweepRow &row);
+
+/** Write rows as CSV with a header line. */
+void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows);
+
+/** Write one row as a JSON-lines object. */
+void writeJsonLine(std::ostream &os, const SweepRow &row);
+
+/** Write rows as JSON-lines (one object per line). */
+void writeJsonLines(std::ostream &os, const std::vector<SweepRow> &rows);
+
+/** Write rows as an aligned human-readable table. */
+void writeTable(std::ostream &os, const std::vector<SweepRow> &rows);
+
+} // namespace duet
+
+#endif // DUET_SIM_SWEEP_HH

@@ -19,6 +19,7 @@
 #ifndef DUET_SYSTEM_SYSTEM_HH
 #define DUET_SYSTEM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,8 @@ enum class SystemMode
 /** Base of the adapter's MMIO window. */
 constexpr Addr kMmioBase = 0xF0000000ull;
 
+class System;
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -58,6 +61,10 @@ struct SystemConfig
     FabricConfig fabric;
     std::size_t scratchpadBytes = 16 * 1024;
     Tick maxTicks = 500 * 1000 * kTicksPerUs; ///< watchdog (500 ms sim time)
+    /// Post-run hook: benchmarks hand their System here (via reportRun)
+    /// after the timed region completes but before teardown, so callers
+    /// can dump the stats registry.
+    std::function<void(System &)> observer;
 };
 
 /** A fully wired simulated system. */

@@ -4,46 +4,20 @@
 
 namespace duet
 {
-namespace
-{
-
-// The one active ScenarioScope (duet_sim is single-threaded; benchmarks
-// run systems one at a time).
-ScenarioScope::Shaper *activeShaper = nullptr;
-ScenarioScope::Observer *activeObserver = nullptr;
-
-} // namespace
-
-ScenarioScope::ScenarioScope(Shaper shape, Observer observe)
-{
-    simAssert(activeShaper == nullptr && activeObserver == nullptr,
-              "nested ScenarioScope");
-    activeShaper = new Shaper(std::move(shape));
-    activeObserver = new Observer(std::move(observe));
-}
-
-ScenarioScope::~ScenarioScope()
-{
-    delete activeShaper;
-    delete activeObserver;
-    activeShaper = nullptr;
-    activeObserver = nullptr;
-}
 
 void
 reportRun(System &sys)
 {
-    if (activeObserver != nullptr && *activeObserver)
-        (*activeObserver)(sys);
+    if (sys.config().observer)
+        sys.config().observer(sys);
 }
 
 SystemConfig
-appConfig(unsigned p, unsigned m, SystemMode mode)
+appConfig(unsigned p, unsigned m, const SystemConfig &base)
 {
-    SystemConfig cfg;
+    SystemConfig cfg = base;
     cfg.numCores = p;
     cfg.numMemHubs = m;
-    cfg.mode = mode;
     // Application runs disable the blocking-access timeout: the HA widgets
     // legitimately park CPU-bound FIFO readers for long stretches.
     cfg.ctrl.timeoutCycles = 0;
@@ -52,8 +26,6 @@ appConfig(unsigned p, unsigned m, SystemMode mode)
     cfg.fabric.clbRows = 20;
     cfg.fabric.bramTiles = 12;
     cfg.fabric.multTiles = 32;
-    if (activeShaper != nullptr && *activeShaper)
-        (*activeShaper)(cfg);
     return cfg;
 }
 
@@ -75,23 +47,41 @@ installOrDie(System &sys, const AccelImage &img)
     simAssert(ok, "accelerator image failed to install: " + img.name);
 }
 
+AppResult
+AppSpec::run(SystemMode mode) const
+{
+    SystemConfig base;
+    base.mode = mode;
+    return runWorkload(*workload, params, base);
+}
+
 const std::vector<AppSpec> &
 allApps()
 {
+    // One Fig. 12 row: look the workload up in the registry and bake in
+    // the paper's parameters (everything else resolves to the defaults).
+    auto fig12 = [](const char *display, const char *accel_key,
+                    const char *wl, WorkloadParams p) {
+        const Workload *w = findWorkload(wl);
+        simAssert(w != nullptr, std::string("unregistered workload: ") + wl);
+        std::string err;
+        simAssert(resolveParams(*w, p, err), err);
+        return AppSpec{display, accel_key, p.cores, p.memHubs, w, p};
+    };
     static const std::vector<AppSpec> apps = {
-        {"tangent", "tangent", 1, 0, &runTangent},
-        {"popcount", "popcount", 1, 1, &runPopcount},
-        {"sort/32", "sort32", 1, 2, &runSort32},
-        {"sort/64", "sort64", 1, 2, &runSort64},
-        {"sort/128", "sort128", 1, 2, &runSort128},
-        {"dijkstra", "dijkstra", 1, 1, &runDijkstra},
-        {"barnes-hut", "barnes-hut", 4, 1, &runBarnesHut},
-        {"pdes/4", "pdes", 4, 1, &runPdes4},
-        {"pdes/8", "pdes", 8, 1, &runPdes8},
-        {"pdes/16", "pdes", 16, 1, &runPdes16},
-        {"bfs/4", "bfs", 4, 0, &runBfs4},
-        {"bfs/8", "bfs", 8, 0, &runBfs8},
-        {"bfs/16", "bfs", 16, 0, &runBfs16},
+        fig12("tangent", "tangent", "tangent", {}),
+        fig12("popcount", "popcount", "popcount", {}),
+        fig12("sort/32", "sort32", "sort", {.size = 32}),
+        fig12("sort/64", "sort64", "sort", {.size = 64}),
+        fig12("sort/128", "sort128", "sort", {.size = 128}),
+        fig12("dijkstra", "dijkstra", "dijkstra", {}),
+        fig12("barnes-hut", "barnes-hut", "barnes_hut", {}),
+        fig12("pdes/4", "pdes", "pdes", {.cores = 4}),
+        fig12("pdes/8", "pdes", "pdes", {.cores = 8}),
+        fig12("pdes/16", "pdes", "pdes", {.cores = 16}),
+        fig12("bfs/4", "bfs", "bfs", {.cores = 4}),
+        fig12("bfs/8", "bfs", "bfs", {.cores = 8}),
+        fig12("bfs/16", "bfs", "bfs", {.cores = 16}),
     };
     return apps;
 }

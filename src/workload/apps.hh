@@ -1,76 +1,61 @@
 /**
  * @file
- * The application-benchmark registry (paper Sec. V-D, Fig. 12).
+ * The application-benchmark layer (paper Sec. V-D, Fig. 12).
  *
  * Every benchmark runs in three system flavors — CpuOnly baseline, FPSoC
  * baseline, and Duet — returning the timed-region runtime and a functional
  * correctness verdict (results are checked against host-computed
  * references; accelerated and baseline variants share bit-exact kernels).
+ *
+ * The benchmarks themselves are registered in the workload registry
+ * (registry.hh); this header adds the Fig. 12 table (the thirteen fixed
+ * configurations the paper plots) and the helpers the workload
+ * implementations share.
  */
 
 #ifndef DUET_WORKLOAD_APPS_HH
 #define DUET_WORKLOAD_APPS_HH
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "system/system.hh"
+#include "workload/registry.hh"
 
 namespace duet
 {
 
-/** Result of one benchmark run. */
-struct AppResult
-{
-    std::string name;
-    SystemMode mode = SystemMode::CpuOnly;
-    Tick runtime = 0; ///< ticks of the timed region
-    bool correct = false;
-};
-
-/** One Fig. 12 configuration. */
+/** One Fig. 12 configuration: a registry workload + fixed parameters. */
 struct AppSpec
 {
     std::string name;     ///< e.g. "sort/64"
     std::string accelKey; ///< Table II row ("sort64", "bfs", ...)
     unsigned p = 1;       ///< cores (Dolly-PpMm)
     unsigned m = 1;       ///< memory hubs
-    AppResult (*run)(SystemMode);
+    const Workload *workload = nullptr;
+    WorkloadParams params; ///< resolved
+
+    /** Run this configuration under a default system config in @p mode. */
+    AppResult run(SystemMode mode) const;
 };
 
-/** All thirteen Fig. 12 configurations, in the paper's order. */
+/** All thirteen Fig. 12 configurations, in the paper's order (data
+ *  derived from the workload registry). */
 const std::vector<AppSpec> &allApps();
 
-/** Common system configuration for a benchmark. */
-SystemConfig appConfig(unsigned p, unsigned m, SystemMode mode);
-
 /**
- * Scoped scenario customization used by the `duet_sim` driver.
- *
- * While an instance is alive, appConfig() layers @p shape over its defaults
- * (cache geometry, clock frequencies, watchdog — anything but the thread
- * topology, which the workloads own), and every benchmark hands its System
- * to @p observe after the run completes but before teardown, so the caller
- * can dump the stats registry. Not reentrant: create at most one at a time.
+ * Common system configuration for a benchmark: layers the workload's
+ * thread topology and benchmark defaults (no blocking-access watchdog, a
+ * fabric large enough for the biggest accelerator) over @p base, which
+ * carries the mode and any caller overrides (cache geometry, clocks,
+ * observer).
  */
-class ScenarioScope
-{
-  public:
-    using Shaper = std::function<void(SystemConfig &)>;
-    using Observer = std::function<void(System &)>;
-
-    ScenarioScope(Shaper shape, Observer observe);
-    ~ScenarioScope();
-
-    ScenarioScope(const ScenarioScope &) = delete;
-    ScenarioScope &operator=(const ScenarioScope &) = delete;
-};
+SystemConfig appConfig(unsigned p, unsigned m, const SystemConfig &base);
 
 /**
- * Report a finished benchmark system to the active ScenarioScope (no-op
- * without one). Every workload calls this right before tearing its System
- * down.
+ * Hand a finished benchmark System to the observer registered in its
+ * SystemConfig (no-op without one). Every workload calls this right
+ * before tearing its System down, so the caller can dump the stats
+ * registry post-run, pre-teardown.
  */
 void reportRun(System &sys);
 
@@ -84,25 +69,15 @@ void installOrDie(System &sys, const AccelImage &img);
  */
 CoTask<std::uint64_t> popReg(Core &c, Addr reg_addr);
 
-// Individual benchmarks (exposed for tests/examples).
-AppResult runTangent(SystemMode mode);
-AppResult runPopcount(SystemMode mode);
-AppResult runSort32(SystemMode mode);
-AppResult runSort64(SystemMode mode);
-AppResult runSort128(SystemMode mode);
-AppResult runDijkstra(SystemMode mode);
-AppResult runBarnesHut(SystemMode mode);
-AppResult runPdes4(SystemMode mode);
-AppResult runPdes8(SystemMode mode);
-AppResult runPdes16(SystemMode mode);
-AppResult runBfs4(SystemMode mode);
-AppResult runBfs8(SystemMode mode);
-AppResult runBfs16(SystemMode mode);
-
-// Parameterized entry points for the scenario driver.
-AppResult runBfsN(SystemMode mode, unsigned cores);
-AppResult runPdesN(SystemMode mode, unsigned cores);
-AppResult runSortN(SystemMode mode, unsigned n);
+// Per-benchmark entry points (registered in registry.cc; exposed for
+// tests). Parameters must be resolved — prefer runApp()/runWorkload().
+AppResult runTangent(const WorkloadParams &, const SystemConfig &);
+AppResult runPopcount(const WorkloadParams &, const SystemConfig &);
+AppResult runSort(const WorkloadParams &, const SystemConfig &);
+AppResult runDijkstra(const WorkloadParams &, const SystemConfig &);
+AppResult runBarnesHut(const WorkloadParams &, const SystemConfig &);
+AppResult runPdes(const WorkloadParams &, const SystemConfig &);
+AppResult runBfs(const WorkloadParams &, const SystemConfig &);
 
 } // namespace duet
 

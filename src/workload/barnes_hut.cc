@@ -22,8 +22,9 @@ namespace duet
 namespace
 {
 
-constexpr unsigned kParticles = 96;
-constexpr unsigned kThreads = 4;
+// The accelerator's BRAM accumulator / position / leaf caches bound the
+// particle count at 96 (see images.cc and registry.cc); the register map
+// fixes the thread count at 4.
 constexpr Addr kParticleBase = 0x10000; // 32 B each: x, y, fx, fy
 constexpr Addr kNodeBase = 0x40000;     // 96 B records
 constexpr std::uint64_t kNil = ~0ull;
@@ -46,6 +47,12 @@ struct HostTree
 {
     std::vector<HostNode> nodes;
     std::vector<std::int64_t> px, py;
+
+    unsigned
+    numParticles() const
+    {
+        return static_cast<unsigned>(px.size());
+    }
 
     unsigned
     newNode(std::int64_t cx, std::int64_t cy, std::int64_t half)
@@ -121,20 +128,20 @@ struct HostTree
 };
 
 HostTree
-buildTree()
+buildTree(unsigned particles, std::uint64_t seed)
 {
     HostTree t;
-    std::uint64_t x = 31337;
+    std::uint64_t x = seed;
     auto rnd = [&x]() {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         return static_cast<std::int64_t>((x >> 33) & 0xffff);
     };
-    for (unsigned p = 0; p < kParticles; ++p) {
+    for (unsigned p = 0; p < particles; ++p) {
         t.px.push_back(rnd());
         t.py.push_back(rnd());
     }
     t.newNode(32768, 32768, 32768);
-    for (unsigned p = 0; p < kParticles; ++p)
+    for (unsigned p = 0; p < particles; ++p)
         t.insert(0, p);
     t.summarize(0);
     return t;
@@ -152,9 +159,9 @@ void
 hostForces(const HostTree &t, std::vector<std::int64_t> &fx,
            std::vector<std::int64_t> &fy)
 {
-    fx.assign(kParticles, 0);
-    fy.assign(kParticles, 0);
-    for (unsigned p = 0; p < kParticles; ++p) {
+    fx.assign(t.numParticles(), 0);
+    fy.assign(t.numParticles(), 0);
+    for (unsigned p = 0; p < t.numParticles(); ++p) {
         std::vector<unsigned> stack{0};
         while (!stack.empty()) {
             unsigned n = stack.back();
@@ -192,7 +199,7 @@ hostForces(const HostTree &t, std::vector<std::int64_t> &fx,
 void
 setup(System &sys, const HostTree &t)
 {
-    for (unsigned p = 0; p < kParticles; ++p) {
+    for (unsigned p = 0; p < t.numParticles(); ++p) {
         Addr pa = kParticleBase + 32 * p;
         sys.memory().write(pa, 8, static_cast<std::uint64_t>(t.px[p]));
         sys.memory().write(pa + 8, 8, static_cast<std::uint64_t>(t.py[p]));
@@ -235,7 +242,7 @@ bool
 check(System &sys, const std::vector<std::int64_t> &fx,
       const std::vector<std::int64_t> &fy)
 {
-    for (unsigned p = 0; p < kParticles; ++p) {
+    for (unsigned p = 0; p < fx.size(); ++p) {
         Addr pa = kParticleBase + 32 * p;
         auto gx = static_cast<std::int64_t>(sys.memory().read(pa + 16, 8));
         auto gy = static_cast<std::int64_t>(sys.memory().read(pa + 24, 8));
@@ -295,9 +302,9 @@ treeWalk(Core &c, unsigned p,
 }
 
 CoTask<void>
-cpuThread(Core &c, unsigned tid)
+cpuThread(Core &c, unsigned tid, unsigned threads, unsigned particles)
 {
-    for (unsigned p = tid; p < kParticles; p += kThreads) {
+    for (unsigned p = tid; p < particles; p += threads) {
         std::int64_t fx = 0, fy = 0;
         Addr pa = kParticleBase + 32 * p;
         std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));
@@ -346,10 +353,11 @@ cpuThread(Core &c, unsigned tid)
 }
 
 CoTask<void>
-accelThread(Core &c, System &sys, unsigned tid)
+accelThread(Core &c, System &sys, unsigned tid, unsigned threads,
+            unsigned particles)
 {
     unsigned issued = 0;
-    for (unsigned p = tid; p < kParticles; p += kThreads) {
+    for (unsigned p = tid; p < particles; p += threads) {
         co_await treeWalk(
             c, p,
             [&, p](bool approx, std::uint64_t src) -> CoTask<void> {
@@ -373,7 +381,7 @@ accelThread(Core &c, System &sys, unsigned tid)
     }
     // Flush the accumulated forces of this thread's particles.
     unsigned flushes = 0;
-    for (unsigned p = tid; p < kParticles; p += kThreads) {
+    for (unsigned p = tid; p < particles; p += threads) {
         std::uint64_t req = 2u | (static_cast<std::uint64_t>(tid) << 2) |
                             (static_cast<std::uint64_t>(p) << 5);
         co_await c.mmioWrite(sys.regAddr(0), req);
@@ -392,16 +400,18 @@ accelThread(Core &c, System &sys, unsigned tid)
 } // namespace
 
 AppResult
-runBarnesHut(SystemMode mode)
+runBarnesHut(const WorkloadParams &p, const SystemConfig &base)
 {
-    HostTree t = buildTree();
+    const unsigned threads = p.cores;
+    const unsigned particles = p.size;
+    HostTree t = buildTree(particles, p.seed);
     std::vector<std::int64_t> fx, fy;
     hostForces(t, fx, fy);
 
-    System sys(appConfig(kThreads, 1, mode));
+    System sys(appConfig(threads, p.memHubs, base));
     setup(sys, t);
-    if (mode != SystemMode::CpuOnly) {
-        AccelImage img = accel::barnesHutImage(kThreads);
+    if (base.mode != SystemMode::CpuOnly) {
+        AccelImage img = accel::barnesHutImage(threads);
         sys.installAccel(img);
         // Plain parameter registers: particle and node bases.
         sys.adapter().regs()->receive(
@@ -410,18 +420,19 @@ runBarnesHut(SystemMode mode)
             CtrlMsg{CtrlMsgKind::PlainUpdate, 6, kNodeBase, 0, nullptr});
     }
     Tick t0 = sys.eventQueue().now();
-    for (unsigned tid = 0; tid < kThreads; ++tid) {
-        if (mode == SystemMode::CpuOnly) {
-            sys.core(tid).start(
-                [tid](Core &c) { return cpuThread(c, tid); });
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        if (base.mode == SystemMode::CpuOnly) {
+            sys.core(tid).start([tid, threads, particles](Core &c) {
+                return cpuThread(c, tid, threads, particles);
+            });
         } else {
-            sys.core(tid).start([&sys, tid](Core &c) {
-                return accelThread(c, sys, tid);
+            sys.core(tid).start([&sys, tid, threads, particles](Core &c) {
+                return accelThread(c, sys, tid, threads, particles);
             });
         }
     }
     sys.run();
-    AppResult res{"barnes-hut", mode, sys.lastCoreFinish() - t0,
+    AppResult res{"barnes-hut", base.mode, sys.lastCoreFinish() - t0,
                   check(sys, fx, fy)};
     reportRun(sys);
     return res;

@@ -2,10 +2,11 @@
  * @file
  * BFS benchmark (P4/8/16 M0, hardware augmentation; paper Sec. V-D).
  *
- * Barrier-synchronized level-order traversal of a 256-node graph. Nodes
- * are claimed with an atomic CAS on the distance word (so both variants
- * produce exactly the BFS level). CPU baseline: software frontier arrays
- * with atomic head/tail counters and a sense-reversing barrier — heavy
+ * Barrier-synchronized level-order traversal of a V-node graph (V and the
+ * graph-generator seed come from WorkloadParams). Nodes are claimed with
+ * an atomic CAS on the distance word (so both variants produce exactly
+ * the BFS level). CPU baseline: software frontier arrays with atomic
+ * head/tail counters and a sense-reversing barrier — heavy
  * synchronization traffic. Accelerated: the lock-free hardware queue
  * widget streams the current frontier through a CPU-bound FIFO and
  * collects discoveries through an FPGA-bound FIFO (M0: registers only, no
@@ -24,8 +25,10 @@ namespace duet
 namespace
 {
 
-constexpr unsigned kV = 256;
-constexpr Addr kOffsets = 0x10000; // (kV+1) x 4 B
+// Address map. The windows bound the graph size at 1024 nodes (also the
+// frontier widget's scratchpad limit — see registry.cc): offsets need
+// (V+1) x 4 B < 0x2000, edges ~4V x 4 B < 0xE000, queues 8V B < 0x4000.
+constexpr Addr kOffsets = 0x10000; // (V+1) x 4 B
 constexpr Addr kEdges = 0x12000;   // 4 B per edge
 constexpr Addr kDist = 0x20000;    // 8 B per node; 0 = unvisited
 constexpr Addr kCurQ = 0x30000;
@@ -41,28 +44,34 @@ struct HostGraph
 {
     std::vector<std::uint32_t> offsets;
     std::vector<std::uint32_t> edges;
+
+    unsigned
+    numNodes() const
+    {
+        return static_cast<unsigned>(offsets.size() - 1);
+    }
 };
 
 HostGraph
-buildGraph()
+buildGraph(unsigned num_nodes, std::uint64_t seed)
 {
     HostGraph g;
-    std::uint64_t x = 777;
+    std::uint64_t x = seed;
     auto rnd = [&x](unsigned m) {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         return static_cast<unsigned>((x >> 33) % m);
     };
-    std::vector<std::vector<std::uint32_t>> adj(kV);
-    for (unsigned u = 0; u < kV; ++u) {
-        adj[u].push_back((u + 1) % kV); // ring for connectivity
+    std::vector<std::vector<std::uint32_t>> adj(num_nodes);
+    for (unsigned u = 0; u < num_nodes; ++u) {
+        adj[u].push_back((u + 1) % num_nodes); // ring for connectivity
         for (int e = 0; e < 3; ++e) {
-            unsigned v = rnd(kV);
+            unsigned v = rnd(num_nodes);
             if (v != u)
                 adj[u].push_back(v);
         }
     }
     g.offsets.push_back(0);
-    for (unsigned u = 0; u < kV; ++u) {
+    for (unsigned u = 0; u < num_nodes; ++u) {
         for (std::uint32_t v : adj[u])
             g.edges.push_back(v);
         g.offsets.push_back(static_cast<std::uint32_t>(g.edges.size()));
@@ -73,7 +82,7 @@ buildGraph()
 std::vector<unsigned>
 hostBfs(const HostGraph &g)
 {
-    std::vector<unsigned> level(kV, 0);
+    std::vector<unsigned> level(g.numNodes(), 0);
     level[0] = 1;
     std::vector<unsigned> cur{0};
     unsigned depth = 1;
@@ -107,7 +116,7 @@ setup(System &sys, const HostGraph &g)
 bool
 check(System &sys, const std::vector<unsigned> &want)
 {
-    for (unsigned v = 0; v < kV; ++v)
+    for (unsigned v = 0; v < want.size(); ++v)
         if (sys.memory().read(kDist + 8 * v, 8) != want[v])
             return false;
     return true;
@@ -217,18 +226,21 @@ accelThread(Core &c, System &sys, unsigned tid, unsigned cores)
     }
 }
 
+} // namespace
+
 AppResult
-runBfs(SystemMode mode, unsigned cores)
+runBfs(const WorkloadParams &p, const SystemConfig &base)
 {
-    HostGraph g = buildGraph();
+    const unsigned cores = p.cores;
+    HostGraph g = buildGraph(p.size, p.seed);
     std::vector<unsigned> want = hostBfs(g);
-    System sys(appConfig(cores, 0, mode));
+    System sys(appConfig(cores, p.memHubs, base));
     setup(sys, g);
-    if (mode != SystemMode::CpuOnly)
+    if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::bfsQueueImage(cores));
     Tick t0 = sys.eventQueue().now();
     for (unsigned tid = 0; tid < cores; ++tid) {
-        if (mode == SystemMode::CpuOnly) {
+        if (base.mode == SystemMode::CpuOnly) {
             sys.core(tid).start([tid, cores](Core &c) {
                 return cpuThread(c, tid, cores);
             });
@@ -239,36 +251,10 @@ runBfs(SystemMode mode, unsigned cores)
         }
     }
     sys.run();
-    AppResult res{"bfs/" + std::to_string(cores), mode,
+    AppResult res{"bfs/" + std::to_string(cores), base.mode,
                   sys.lastCoreFinish() - t0, check(sys, want)};
     reportRun(sys);
     return res;
-}
-
-} // namespace
-
-AppResult
-runBfs4(SystemMode mode)
-{
-    return runBfs(mode, 4);
-}
-
-AppResult
-runBfs8(SystemMode mode)
-{
-    return runBfs(mode, 8);
-}
-
-AppResult
-runBfs16(SystemMode mode)
-{
-    return runBfs(mode, 16);
-}
-
-AppResult
-runBfsN(SystemMode mode, unsigned cores)
-{
-    return runBfs(mode, cores);
 }
 
 } // namespace duet

@@ -21,8 +21,10 @@ namespace duet
 namespace
 {
 
-constexpr unsigned kV = 128;
-constexpr Addr kOffsets = 0x10000; // (kV+1) x 4 B
+// Address map. The edge window (0x11000..0x20000) holds ~8 edges/node at
+// 8 B each, bounding the graph at 960 nodes (see registry.cc); heap
+// entries pack the node id into 16 bits.
+constexpr Addr kOffsets = 0x10000; // (V+1) x 4 B
 constexpr Addr kEdges = 0x11000;   // 8 B per edge: v | w<<32
 constexpr Addr kDist = 0x20000;    // 8 B per node
 constexpr Addr kHeap = 0x30000;    // CPU-side binary heap (8 B entries)
@@ -32,31 +34,37 @@ struct HostGraph
 {
     std::vector<std::uint32_t> offsets;
     std::vector<std::uint64_t> edges; // v | w<<32
+
+    unsigned
+    numNodes() const
+    {
+        return static_cast<unsigned>(offsets.size() - 1);
+    }
 };
 
 HostGraph
-buildGraph()
+buildGraph(unsigned num_nodes, std::uint64_t seed)
 {
     HostGraph g;
-    std::uint64_t x = 4242;
+    std::uint64_t x = seed;
     auto rnd = [&x](unsigned m) {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         return static_cast<unsigned>((x >> 33) % m);
     };
-    std::vector<std::vector<std::uint64_t>> adj(kV);
-    for (unsigned u = 0; u < kV; ++u) {
+    std::vector<std::vector<std::uint64_t>> adj(num_nodes);
+    for (unsigned u = 0; u < num_nodes; ++u) {
         // Ring for connectivity + 7 random edges.
-        adj[u].push_back(((u + 1) % kV) |
+        adj[u].push_back(((u + 1) % num_nodes) |
                          (static_cast<std::uint64_t>(1 + rnd(15)) << 32));
         for (int e = 0; e < 7; ++e) {
-            unsigned v = rnd(kV);
+            unsigned v = rnd(num_nodes);
             if (v != u)
                 adj[u].push_back(
                     v | (static_cast<std::uint64_t>(1 + rnd(15)) << 32));
         }
     }
     g.offsets.push_back(0);
-    for (unsigned u = 0; u < kV; ++u) {
+    for (unsigned u = 0; u < num_nodes; ++u) {
         for (std::uint64_t e : adj[u])
             g.edges.push_back(e);
         g.offsets.push_back(static_cast<std::uint32_t>(g.edges.size()));
@@ -67,7 +75,7 @@ buildGraph()
 std::vector<std::uint64_t>
 hostDijkstra(const HostGraph &g)
 {
-    std::vector<std::uint64_t> dist(kV, kInf);
+    std::vector<std::uint64_t> dist(g.numNodes(), kInf);
     dist[0] = 0;
     std::vector<std::pair<std::uint64_t, unsigned>> heap{{0, 0}};
     auto cmp = [](auto &a, auto &b) { return a.first > b.first; };
@@ -97,7 +105,7 @@ setup(System &sys, const HostGraph &g)
         sys.memory().write(kOffsets + 4 * i, 4, g.offsets[i]);
     for (unsigned i = 0; i < g.edges.size(); ++i)
         sys.memory().write(kEdges + 8 * i, 8, g.edges[i]);
-    for (unsigned v = 0; v < kV; ++v)
+    for (unsigned v = 0; v < g.numNodes(); ++v)
         sys.memory().write(kDist + 8 * v, 8, kInf);
     sys.memory().write(kDist, 8, 0);
 }
@@ -105,7 +113,7 @@ setup(System &sys, const HostGraph &g)
 bool
 check(System &sys, const std::vector<std::uint64_t> &want)
 {
-    for (unsigned v = 0; v < kV; ++v)
+    for (unsigned v = 0; v < want.size(); ++v)
         if (sys.memory().read(kDist + 8 * v, 8) != want[v])
             return false;
     return true;
@@ -241,23 +249,23 @@ accelWorkload(Core &c, System &sys)
 } // namespace
 
 AppResult
-runDijkstra(SystemMode mode)
+runDijkstra(const WorkloadParams &p, const SystemConfig &base)
 {
-    HostGraph g = buildGraph();
+    HostGraph g = buildGraph(p.size, p.seed);
     std::vector<std::uint64_t> want = hostDijkstra(g);
-    System sys(appConfig(1, 1, mode));
+    System sys(appConfig(p.cores, p.memHubs, base));
     setup(sys, g);
-    if (mode != SystemMode::CpuOnly)
+    if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::dijkstraImage());
     Tick t0 = sys.eventQueue().now();
-    if (mode == SystemMode::CpuOnly) {
+    if (base.mode == SystemMode::CpuOnly) {
         sys.core(0).start([](Core &c) { return cpuWorkload(c); });
     } else {
         sys.core(0).start(
             [&sys](Core &c) { return accelWorkload(c, sys); });
     }
     sys.run();
-    AppResult res{"dijkstra", mode, sys.lastCoreFinish() - t0,
+    AppResult res{"dijkstra", base.mode, sys.lastCoreFinish() - t0,
                   check(sys, want)};
     reportRun(sys);
     return res;

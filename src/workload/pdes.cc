@@ -6,7 +6,9 @@
  * Parallel discrete event simulation of a digital circuit. Events are
  * packed words ordered by timestamp; each processed event updates its
  * gate's state (commutative, via an atomic add so the final state is
- * order-independent) and spawns a successor until its chain ends.
+ * order-independent) and spawns a successor until its chain ends. The
+ * problem size (number of seeded event chains) comes from WorkloadParams;
+ * the circuit itself is deterministic, so there is no RNG seed.
  *
  * CPU baseline: a shared binary event heap in memory protected by an MCS
  * lock — the contention grows sharply with the core count. Accelerated:
@@ -25,10 +27,11 @@ namespace
 {
 
 constexpr unsigned kGates = 64;
-constexpr unsigned kChains = 32;
 constexpr unsigned kChainLen = 24;
-constexpr unsigned kTotalEvents = kChains * kChainLen;
 
+// The heap window (kHeapBase..kHeapSize) holds 4096 entries; the live
+// heap never exceeds the chain count (a pop precedes every push), so the
+// registry bounds chains at 512.
 constexpr Addr kGateBase = 0x10000;  // 8 B state per gate
 constexpr Addr kHeapBase = 0x20000;  // shared heap storage
 constexpr Addr kHeapSize = 0x28000;  // heap size word
@@ -64,10 +67,10 @@ childEvent(std::uint64_t e)
 
 /** Host reference: total gate-state checksum (order-independent). */
 std::uint64_t
-hostChecksum()
+hostChecksum(unsigned chains)
 {
     std::uint64_t gates[kGates] = {};
-    for (unsigned s = 0; s < kChains; ++s) {
+    for (unsigned s = 0; s < chains; ++s) {
         std::uint64_t e = seedEvent(s);
         while (true) {
             gates[evGate(e)] += accel::pdesGateDelta(evTime(e), evGate(e));
@@ -83,12 +86,12 @@ hostChecksum()
 }
 
 bool
-check(System &sys)
+check(System &sys, unsigned chains)
 {
     std::uint64_t sum = 0;
     for (unsigned g = 0; g < kGates; ++g)
         sum += sys.memory().read(kGateBase + 8 * g, 8);
-    return sum == hostChecksum();
+    return sum == hostChecksum(chains);
 }
 
 /** Process one event: gate-state update + modeled gate evaluation. */
@@ -162,15 +165,15 @@ heapPopLocked(Core &c)
 }
 
 CoTask<void>
-cpuThread(Core &c, unsigned tid)
+cpuThread(Core &c, unsigned tid, unsigned total_events)
 {
     McsLock lock(kLockWord);
     const Addr qnode = kQnodes + 64ull * tid;
     while (true) {
-        // Claim a pop ticket; every ticket < kTotalEvents has a matching
+        // Claim a pop ticket; every ticket < total_events has a matching
         // event that exists or will be pushed.
         std::uint64_t ticket = co_await c.amo(AmoOp::Add, kTickets, 1);
-        if (ticket >= kTotalEvents)
+        if (ticket >= total_events)
             co_return;
         std::uint64_t ev = 0;
         while (true) {
@@ -196,10 +199,10 @@ cpuThread(Core &c, unsigned tid)
 // ------------------------- accelerated --------------------------------
 
 CoTask<void>
-accelThread(Core &c, System &sys, unsigned tid)
+accelThread(Core &c, System &sys, unsigned tid, unsigned chains)
 {
     if (tid == 0) {
-        for (unsigned s = 0; s < kChains; ++s)
+        for (unsigned s = 0; s < chains; ++s)
             co_await c.mmioWrite(sys.regAddr(0), seedEvent(s));
     }
     while (true) {
@@ -214,18 +217,23 @@ accelThread(Core &c, System &sys, unsigned tid)
     }
 }
 
+} // namespace
+
 AppResult
-runPdes(SystemMode mode, unsigned cores)
+runPdes(const WorkloadParams &p, const SystemConfig &base)
 {
-    System sys(appConfig(cores, 1, mode));
-    if (mode != SystemMode::CpuOnly) {
-        installOrDie(sys, accel::pdesSchedulerImage(cores, kTotalEvents));
+    const unsigned cores = p.cores;
+    const unsigned chains = p.size;
+    const unsigned total_events = chains * kChainLen;
+    System sys(appConfig(cores, p.memHubs, base));
+    if (base.mode != SystemMode::CpuOnly) {
+        installOrDie(sys, accel::pdesSchedulerImage(cores, total_events));
     } else {
         // Seed the software event heap (setup, untimed).
-        for (unsigned s = 0; s < kChains; ++s)
+        for (unsigned s = 0; s < chains; ++s)
             sys.memory().write(kHeapBase + 8 * s, 8, 0);
         std::vector<std::uint64_t> heap;
-        for (unsigned s = 0; s < kChains; ++s)
+        for (unsigned s = 0; s < chains; ++s)
             heap.push_back(seedEvent(s));
         std::make_heap(heap.begin(), heap.end(), std::greater<>());
         // std::make_heap builds a max-heap with greater<> -> min-heap
@@ -236,46 +244,21 @@ runPdes(SystemMode mode, unsigned cores)
     }
     Tick t0 = sys.eventQueue().now();
     for (unsigned tid = 0; tid < cores; ++tid) {
-        if (mode == SystemMode::CpuOnly) {
-            sys.core(tid).start(
-                [tid](Core &c) { return cpuThread(c, tid); });
+        if (base.mode == SystemMode::CpuOnly) {
+            sys.core(tid).start([tid, total_events](Core &c) {
+                return cpuThread(c, tid, total_events);
+            });
         } else {
-            sys.core(tid).start([&sys, tid](Core &c) {
-                return accelThread(c, sys, tid);
+            sys.core(tid).start([&sys, tid, chains](Core &c) {
+                return accelThread(c, sys, tid, chains);
             });
         }
     }
     sys.run();
-    AppResult res{"pdes/" + std::to_string(cores), mode,
-                  sys.lastCoreFinish() - t0, check(sys)};
+    AppResult res{"pdes/" + std::to_string(cores), base.mode,
+                  sys.lastCoreFinish() - t0, check(sys, chains)};
     reportRun(sys);
     return res;
-}
-
-} // namespace
-
-AppResult
-runPdes4(SystemMode mode)
-{
-    return runPdes(mode, 4);
-}
-
-AppResult
-runPdes8(SystemMode mode)
-{
-    return runPdes(mode, 8);
-}
-
-AppResult
-runPdes16(SystemMode mode)
-{
-    return runPdes(mode, 16);
-}
-
-AppResult
-runPdesN(SystemMode mode, unsigned cores)
-{
-    return runPdes(mode, cores);
 }
 
 } // namespace duet

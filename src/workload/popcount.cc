@@ -19,17 +19,17 @@ namespace duet
 namespace
 {
 
-constexpr unsigned kVectors = 96;
-constexpr Addr kData = 0x10000;    // kVectors * 64 B
+// The data window (0x10000..0x30000) bounds the vector count at 2048.
+constexpr Addr kData = 0x10000;    // 64 B per vector
 constexpr Addr kResults = 0x30000;
 constexpr Addr kTable = 0x40000;   // 256-entry byte-LUT
 constexpr unsigned kPipeDepth = 4;
 
 void
-setup(System &sys)
+setup(System &sys, unsigned vectors, std::uint64_t seed)
 {
-    std::uint64_t x = 99;
-    for (unsigned v = 0; v < kVectors; ++v) {
+    std::uint64_t x = seed;
+    for (unsigned v = 0; v < vectors; ++v) {
         for (unsigned w = 0; w < 8; ++w) {
             x = x * 6364136223846793005ull + 1442695040888963407ull;
             sys.memory().write(kData + 64 * v + 8 * w, 8, x);
@@ -41,9 +41,9 @@ setup(System &sys)
 }
 
 bool
-check(System &sys)
+check(System &sys, unsigned vectors)
 {
-    for (unsigned v = 0; v < kVectors; ++v) {
+    for (unsigned v = 0; v < vectors; ++v) {
         std::uint64_t expect = 0;
         for (unsigned w = 0; w < 8; ++w)
             expect += std::popcount(sys.memory().read(kData + 64 * v + 8 * w, 8));
@@ -54,9 +54,9 @@ check(System &sys)
 }
 
 CoTask<void>
-cpuWorkload(Core &c)
+cpuWorkload(Core &c, unsigned vectors)
 {
-    for (unsigned v = 0; v < kVectors; ++v) {
+    for (unsigned v = 0; v < vectors; ++v) {
         std::uint64_t count = 0;
         for (unsigned w = 0; w < 8; ++w) {
             std::uint64_t word = co_await c.load(kData + 64 * v + 8 * w);
@@ -71,11 +71,11 @@ cpuWorkload(Core &c)
 }
 
 CoTask<void>
-accelWorkload(Core &c, System &sys)
+accelWorkload(Core &c, System &sys, unsigned vectors)
 {
     unsigned sent = 0, received = 0;
-    while (received < kVectors) {
-        while (sent < kVectors && sent - received < kPipeDepth) {
+    while (received < vectors) {
+        while (sent < vectors && sent - received < kPipeDepth) {
             co_await c.mmioWrite(sys.regAddr(0), kData + 64 * sent);
             ++sent;
         }
@@ -88,21 +88,25 @@ accelWorkload(Core &c, System &sys)
 } // namespace
 
 AppResult
-runPopcount(SystemMode mode)
+runPopcount(const WorkloadParams &p, const SystemConfig &base)
 {
-    System sys(appConfig(1, 1, mode));
-    setup(sys);
-    if (mode != SystemMode::CpuOnly)
+    const unsigned vectors = p.size;
+    System sys(appConfig(p.cores, p.memHubs, base));
+    setup(sys, vectors, p.seed);
+    if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::popcountImage());
     Tick t0 = sys.eventQueue().now();
-    if (mode == SystemMode::CpuOnly) {
-        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
-    } else {
+    if (base.mode == SystemMode::CpuOnly) {
         sys.core(0).start(
-            [&sys](Core &c) { return accelWorkload(c, sys); });
+            [vectors](Core &c) { return cpuWorkload(c, vectors); });
+    } else {
+        sys.core(0).start([&sys, vectors](Core &c) {
+            return accelWorkload(c, sys, vectors);
+        });
     }
     sys.run();
-    AppResult res{"popcount", mode, sys.lastCoreFinish() - t0, check(sys)};
+    AppResult res{"popcount", base.mode, sys.lastCoreFinish() - t0,
+                  check(sys, vectors)};
     reportRun(sys);
     return res;
 }

@@ -1,0 +1,245 @@
+#include "workload/registry.hh"
+
+#include <algorithm>
+
+#include "workload/apps.hh"
+
+namespace duet
+{
+namespace
+{
+
+// Size bounds below are derived from the fixed memory-layout windows of
+// each workload's address map and the 16 KiB fabric scratchpad:
+//  - bfs: the frontier widget double-buffers in the scratchpad (8 KiB per
+//    frontier = 1024 nodes) and a level frontier can approach V.
+//  - dijkstra: the edge window (0x11000..0x20000) holds ~8 edges/node at
+//    8 B each, bounding V at 960.
+//  - barnes_hut: the BRAM accumulator / position / leaf caches bound the
+//    particle count at 96 (the paper's configuration) — see images.cc.
+//  - pdes: the scratchpad event heap and the software heap window bound
+//    the chain count at 512.
+//  - sort: the streaming network exists in the Table II sizes only.
+ParamSpec
+tangentSpec()
+{
+    ParamSpec s;
+    s.defSize = 400;
+    s.minSize = 1;
+    s.maxSize = 8192;
+    s.sizeMeaning = "tangent calls";
+    s.memHubs = 0;
+    s.defSeed = 12345;
+    return s;
+}
+
+ParamSpec
+popcountSpec()
+{
+    ParamSpec s;
+    s.defSize = 96;
+    s.minSize = 1;
+    s.maxSize = 2048;
+    s.sizeMeaning = "512-bit vectors";
+    s.memHubs = 1;
+    s.defSeed = 99;
+    return s;
+}
+
+ParamSpec
+sortSpec()
+{
+    ParamSpec s;
+    s.defSize = 64;
+    s.allowedSizes = {32, 64, 128}; // replaces the min/max size range
+    s.sizeMeaning = "keys per accelerated slice";
+    s.memHubs = 2;
+    s.defSeed = 7;
+    return s;
+}
+
+ParamSpec
+dijkstraSpec()
+{
+    ParamSpec s;
+    s.defSize = 128;
+    s.minSize = 2;
+    s.maxSize = 960;
+    s.sizeMeaning = "graph nodes";
+    s.memHubs = 1;
+    s.defSeed = 4242;
+    return s;
+}
+
+ParamSpec
+barnesHutSpec()
+{
+    ParamSpec s;
+    s.defCores = 4;
+    s.minCores = 4;
+    s.maxCores = 4; // the force pipelines' register map is built for 4
+    s.defSize = 96;
+    s.minSize = 4;
+    s.maxSize = 96;
+    s.sizeMeaning = "particles";
+    s.memHubs = 1;
+    s.defSeed = 31337;
+    return s;
+}
+
+ParamSpec
+pdesSpec()
+{
+    ParamSpec s;
+    s.defCores = 4;
+    s.minCores = 1;
+    s.maxCores = 16;
+    s.defSize = 32;
+    s.minSize = 1;
+    s.maxSize = 512;
+    s.sizeMeaning = "event chains";
+    s.memHubs = 1;
+    s.defSeed = 0; // the event "circuit" is deterministic, no RNG
+    return s;
+}
+
+ParamSpec
+bfsSpec()
+{
+    ParamSpec s;
+    s.defCores = 4;
+    s.minCores = 1;
+    s.maxCores = 16;
+    s.defSize = 256;
+    s.minSize = 2;
+    s.maxSize = 1024;
+    s.sizeMeaning = "graph nodes";
+    s.memHubs = 0;
+    s.defSeed = 777;
+    return s;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+workloadRegistry()
+{
+    static const std::vector<Workload> registry = {
+        {"tangent", "tangent",
+         "fixed-point tangent (1 core); --size tangent calls",
+         tangentSpec(), &runTangent},
+        {"popcount", "popcount",
+         "population count (1 core); --size 512-bit vectors",
+         popcountSpec(), &runPopcount},
+        {"sort", "sort64",
+         "merge sort of 512 keys; --size slice keys: 32|64|128",
+         sortSpec(), &runSort},
+        {"dijkstra", "dijkstra",
+         "single-source shortest paths (1 core); --size graph nodes",
+         dijkstraSpec(), &runDijkstra},
+        {"barnes_hut", "barnes-hut",
+         "Barnes-Hut force step (4 cores); --size particles",
+         barnesHutSpec(), &runBarnesHut},
+        {"pdes", "pdes",
+         "parallel discrete-event simulation; --cores threads, "
+         "--size event chains",
+         pdesSpec(), &runPdes},
+        {"bfs", "bfs",
+         "barrier-synchronized BFS; --cores threads, --size graph nodes",
+         bfsSpec(), &runBfs},
+    };
+    return registry;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : workloadRegistry())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+bool
+resolveParams(const Workload &w, WorkloadParams &p, std::string &err)
+{
+    const ParamSpec &spec = w.params;
+
+    if (p.cores == 0 || !w.takesCores()) {
+        // Fixed-topology workloads own their thread count; a sweep's
+        // cores axis resolves to the default rather than erroring.
+        p.cores = spec.defCores;
+    } else if (p.cores < spec.minCores || p.cores > spec.maxCores) {
+        err = w.name + ": --cores " + std::to_string(p.cores) +
+              " out of range [" + std::to_string(spec.minCores) + ", " +
+              std::to_string(spec.maxCores) + "]";
+        return false;
+    }
+
+    if (p.memHubs == 0) {
+        p.memHubs = spec.memHubs;
+    } else if (p.memHubs != spec.memHubs) {
+        err = w.name + ": hub topology is fixed at m=" +
+              std::to_string(spec.memHubs);
+        return false;
+    }
+
+    if (p.size == 0) {
+        p.size = spec.defSize;
+    } else if (!spec.allowedSizes.empty()) {
+        if (std::find(spec.allowedSizes.begin(), spec.allowedSizes.end(),
+                      p.size) == spec.allowedSizes.end()) {
+            std::string allowed;
+            for (unsigned v : spec.allowedSizes) {
+                if (!allowed.empty())
+                    allowed += "|";
+                allowed += std::to_string(v);
+            }
+            err = w.name + ": size " + std::to_string(p.size) + " (" +
+                  spec.sizeMeaning + ") must be one of " + allowed;
+            return false;
+        }
+    } else if (p.size < spec.minSize || p.size > spec.maxSize) {
+        err = w.name + ": size " + std::to_string(p.size) + " (" +
+              spec.sizeMeaning + ") out of range [" +
+              std::to_string(spec.minSize) + ", " +
+              std::to_string(spec.maxSize) + "]";
+        return false;
+    }
+
+    // Workloads with deterministic inputs take no seed; resolve whatever
+    // a sweep's seed axis passed down to "none".
+    p.seed = w.takesSeed() ? (p.seed ? p.seed : spec.defSeed) : 0;
+    return true;
+}
+
+AppResult
+runWorkload(const Workload &w, const WorkloadParams &p,
+            const SystemConfig &base)
+{
+    simAssert(p.cores >= w.params.minCores && p.cores <= w.params.maxCores,
+              w.name + ": unresolved cores parameter");
+    // Same rule as resolveParams: an enumerated set wins over the range.
+    const bool size_ok =
+        w.params.allowedSizes.empty()
+            ? p.size >= w.params.minSize && p.size <= w.params.maxSize
+            : std::find(w.params.allowedSizes.begin(),
+                        w.params.allowedSizes.end(),
+                        p.size) != w.params.allowedSizes.end();
+    simAssert(size_ok, w.name + ": unresolved size parameter");
+    return w.run(p, base);
+}
+
+AppResult
+runApp(const std::string &name, SystemMode mode, WorkloadParams p)
+{
+    const Workload *w = findWorkload(name);
+    simAssert(w != nullptr, "unknown workload: " + name);
+    std::string err;
+    simAssert(resolveParams(*w, p, err), err);
+    SystemConfig base;
+    base.mode = mode;
+    return runWorkload(*w, p, base);
+}
+
+} // namespace duet

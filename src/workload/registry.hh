@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The workload registry (paper Sec. V-D): every application benchmark
+ * registers a name, its Table II accelerator key, parameter defaults and
+ * bounds, and a single run() entry point taking an explicit parameter
+ * record and base system configuration.
+ *
+ * The registry is the one source of truth the `duet_sim` driver, the
+ * sweep runner (sim/sweep.hh) and the Fig. 12 table (apps.hh allApps())
+ * all derive from — there are no per-benchmark free functions or global
+ * scenario state.
+ */
+
+#ifndef DUET_WORKLOAD_REGISTRY_HH
+#define DUET_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace duet
+{
+
+/** Result of one benchmark run. */
+struct AppResult
+{
+    std::string name; ///< Fig. 12 display name, e.g. "sort/64"
+    SystemMode mode = SystemMode::CpuOnly;
+    Tick runtime = 0; ///< ticks of the timed region
+    bool correct = false;
+};
+
+/**
+ * Scenario parameters of one workload run. Zero means "workload default";
+ * resolveParams() replaces every zero with the registered default and
+ * range-checks the rest, so run() entry points always see concrete,
+ * validated values.
+ */
+struct WorkloadParams
+{
+    unsigned cores = 0;       ///< worker threads (p in Dolly-PpMm)
+    unsigned memHubs = 0;     ///< memory hubs (m in Dolly-PpMm)
+    unsigned size = 0;        ///< problem size (meaning per workload)
+    std::uint64_t seed = 0;   ///< input-generator RNG seed
+};
+
+/** Parameter defaults and bounds a workload registers. */
+struct ParamSpec
+{
+    unsigned defCores = 1;
+    unsigned minCores = 1;
+    unsigned maxCores = 1; ///< == minCores: topology fixed, --cores ignored
+    unsigned memHubs = 1;  ///< fixed hub count (m); not sweepable
+    unsigned defSize = 0;
+    unsigned minSize = 0;
+    unsigned maxSize = 0;
+    std::vector<unsigned> allowedSizes{}; ///< non-empty: exact set (sort)
+    const char *sizeMeaning = "";         ///< e.g. "graph nodes"
+    std::uint64_t defSeed = 0;            ///< 0: workload takes no seed
+};
+
+/** One registered benchmark. */
+struct Workload
+{
+    std::string name; ///< registry/CLI key, e.g. "barnes_hut"
+    /// Table II row of the default configuration ("sort64", "bfs", ...).
+    /// Size-dependent rows (sort32/sort128) live on the Fig. 12 AppSpec,
+    /// which carries the per-configuration key.
+    std::string accelKey;
+    std::string describe; ///< one-line CLI help text
+    ParamSpec params;
+    AppResult (*run)(const WorkloadParams &, const SystemConfig &);
+
+    bool takesCores() const { return params.minCores < params.maxCores; }
+    bool takesSeed() const { return params.defSeed != 0; }
+};
+
+/** All registered workloads, in the paper's Fig. 12 order. */
+const std::vector<Workload> &workloadRegistry();
+
+/** Look a workload up by registry name. @return nullptr if unknown. */
+const Workload *findWorkload(const std::string &name);
+
+/**
+ * Fill the zero fields of @p p with @p w's defaults and validate the
+ * rest against the registered bounds. Out-of-range cores/size produce a
+ * one-line diagnostic in @p err and a false return; cores and seed given
+ * to a workload with a fixed topology / no RNG are silently resolved to
+ * the defaults (the cross-product sweep passes them to every workload).
+ */
+bool resolveParams(const Workload &w, WorkloadParams &p, std::string &err);
+
+/**
+ * Run @p w with resolved parameters over @p base (mode, cache geometry,
+ * clocks, watchdog, observer). @p p must have passed resolveParams.
+ */
+AppResult runWorkload(const Workload &w, const WorkloadParams &p,
+                      const SystemConfig &base);
+
+/**
+ * Convenience wrapper for tests/examples: look up @p name, resolve @p p
+ * (panicking on invalid values) and run under a default config in
+ * @p mode.
+ */
+AppResult runApp(const std::string &name, SystemMode mode,
+                 WorkloadParams p = {});
+
+} // namespace duet
+
+#endif // DUET_WORKLOAD_REGISTRY_HH

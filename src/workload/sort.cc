@@ -5,7 +5,9 @@
  * A 512-key (4 B) array. CPU baseline: quicksort with every key access a
  * simulated load/store. Accelerated: the streaming sort network sorts
  * N-key slices through two memory hubs while the processor merge-sorts the
- * sorted slices with a loser-tree k-way merge (paper Sec. V-D).
+ * sorted slices with a loser-tree k-way merge (paper Sec. V-D). The slice
+ * size N (the Table II network size, the benchmark's problem-size knob)
+ * and the input-generator seed come from WorkloadParams.
  */
 
 #include "accel/images.hh"
@@ -23,9 +25,9 @@ constexpr Addr kSliced = 0x20000; // slice-sorted intermediate
 constexpr Addr kOut = 0x30000;
 
 void
-setup(System &sys)
+setup(System &sys, std::uint64_t seed)
 {
-    std::uint64_t x = 7;
+    std::uint64_t x = seed;
     for (unsigned i = 0; i < kKeys; ++i) {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         sys.memory().write(kIn + 4 * i, 4, (x >> 32) & 0x7fffffff);
@@ -134,51 +136,28 @@ accelWorkload(Core &c, System &sys, unsigned slice_keys)
     co_await kwayMerge(c, slice_keys);
 }
 
+} // namespace
+
 AppResult
-runSort(SystemMode mode, unsigned n)
+runSort(const WorkloadParams &p, const SystemConfig &base)
 {
-    System sys(appConfig(1, 2, mode));
-    setup(sys);
-    if (mode != SystemMode::CpuOnly)
+    const unsigned n = p.size; // keys per accelerated slice
+    System sys(appConfig(p.cores, p.memHubs, base));
+    setup(sys, p.seed);
+    if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::sortImage(n));
     Tick t0 = sys.eventQueue().now();
-    if (mode == SystemMode::CpuOnly) {
+    if (base.mode == SystemMode::CpuOnly) {
         sys.core(0).start([](Core &c) { return cpuWorkload(c); });
     } else {
         sys.core(0).start(
             [&sys, n](Core &c) { return accelWorkload(c, sys, n); });
     }
     sys.run();
-    AppResult res{"sort/" + std::to_string(n), mode,
+    AppResult res{"sort/" + std::to_string(n), base.mode,
                   sys.lastCoreFinish() - t0, check(sys, kOut)};
     reportRun(sys);
     return res;
-}
-
-} // namespace
-
-AppResult
-runSort32(SystemMode mode)
-{
-    return runSort(mode, 32);
-}
-
-AppResult
-runSort64(SystemMode mode)
-{
-    return runSort(mode, 64);
-}
-
-AppResult
-runSort128(SystemMode mode)
-{
-    return runSort(mode, 128);
-}
-
-AppResult
-runSortN(SystemMode mode, unsigned n)
-{
-    return runSort(mode, n);
 }
 
 } // namespace duet

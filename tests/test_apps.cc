@@ -25,16 +25,27 @@ TEST(AppRegistry, ThirteenConfigsInPaperOrder)
     EXPECT_EQ(apps[6].m, 1u);
 }
 
+TEST(AppRegistry, SpecsCarryResolvedRegistryParams)
+{
+    for (const AppSpec &spec : allApps()) {
+        ASSERT_NE(spec.workload, nullptr) << spec.name;
+        EXPECT_EQ(spec.p, spec.params.cores) << spec.name;
+        EXPECT_EQ(spec.m, spec.params.memHubs) << spec.name;
+        EXPECT_GT(spec.params.size, 0u) << spec.name;
+    }
+}
+
 struct ModeTriple
 {
     AppResult cpu, fpsoc, duet;
 };
 
 ModeTriple
-runAll(AppResult (*fn)(SystemMode))
+runAll(const std::string &name, WorkloadParams p = {})
 {
-    return {fn(SystemMode::CpuOnly), fn(SystemMode::Fpsoc),
-            fn(SystemMode::Duet)};
+    return {runApp(name, SystemMode::CpuOnly, p),
+            runApp(name, SystemMode::Fpsoc, p),
+            runApp(name, SystemMode::Duet, p)};
 }
 
 void
@@ -52,78 +63,87 @@ expectShape(const ModeTriple &t, bool duet_beats_cpu = true)
 
 TEST(Apps, Tangent)
 {
-    expectShape(runAll(&runTangent));
+    expectShape(runAll("tangent"));
 }
 
 TEST(Apps, Popcount)
 {
-    expectShape(runAll(&runPopcount));
+    expectShape(runAll("popcount"));
 }
 
 TEST(Apps, Sort32)
 {
-    expectShape(runAll(&runSort32));
+    expectShape(runAll("sort", {.size = 32}));
 }
 
 TEST(Apps, Sort128)
 {
-    expectShape(runAll(&runSort128));
+    expectShape(runAll("sort", {.size = 128}));
 }
 
 TEST(Apps, SortSpeedupGrowsWithSliceSize)
 {
     // Paper: sort/128 > sort/64 > sort/32 (fewer merge levels).
-    Tick t32 = runSort32(SystemMode::Duet).runtime;
-    Tick t64 = runSort64(SystemMode::Duet).runtime;
-    Tick t128 = runSort128(SystemMode::Duet).runtime;
+    Tick t32 = runApp("sort", SystemMode::Duet, {.size = 32}).runtime;
+    Tick t64 = runApp("sort", SystemMode::Duet, {.size = 64}).runtime;
+    Tick t128 = runApp("sort", SystemMode::Duet, {.size = 128}).runtime;
     EXPECT_LT(t64, t32);
     EXPECT_LT(t128, t64);
 }
 
 TEST(Apps, Dijkstra)
 {
-    expectShape(runAll(&runDijkstra));
+    expectShape(runAll("dijkstra"));
 }
 
 TEST(Apps, BarnesHut)
 {
-    expectShape(runAll(&runBarnesHut));
+    expectShape(runAll("barnes_hut"));
 }
 
 TEST(Apps, Pdes4)
 {
-    expectShape(runAll(&runPdes4));
+    expectShape(runAll("pdes", {.cores = 4}));
 }
 
 TEST(Apps, PdesBaselineDegradesWithCores)
 {
     // The MCS-lock convoy makes the software baseline *slower* with more
     // cores while the widget-dispatch runtime stays flat.
-    Tick b4 = runPdes4(SystemMode::CpuOnly).runtime;
-    Tick b16 = runPdes16(SystemMode::CpuOnly).runtime;
+    Tick b4 = runApp("pdes", SystemMode::CpuOnly, {.cores = 4}).runtime;
+    Tick b16 = runApp("pdes", SystemMode::CpuOnly, {.cores = 16}).runtime;
     EXPECT_GT(b16, b4);
-    Tick d4 = runPdes4(SystemMode::Duet).runtime;
-    Tick d16 = runPdes16(SystemMode::Duet).runtime;
+    Tick d4 = runApp("pdes", SystemMode::Duet, {.cores = 4}).runtime;
+    Tick d16 = runApp("pdes", SystemMode::Duet, {.cores = 16}).runtime;
     EXPECT_LT(d16, 2 * d4);
 }
 
 TEST(Apps, Bfs4)
 {
-    expectShape(runAll(&runBfs4));
+    expectShape(runAll("bfs", {.cores = 4}));
 }
 
 TEST(Apps, BfsSuperlinearScalingFromBaselineContention)
 {
     // Paper Sec. V-D: superlinear speedup scaling 4 -> 8 cores because
     // the baseline degrades under lock contention.
-    AppResult c4 = runBfs4(SystemMode::CpuOnly);
-    AppResult c8 = runBfs8(SystemMode::CpuOnly);
-    AppResult d4 = runBfs4(SystemMode::Duet);
-    AppResult d8 = runBfs8(SystemMode::Duet);
+    AppResult c4 = runApp("bfs", SystemMode::CpuOnly, {.cores = 4});
+    AppResult c8 = runApp("bfs", SystemMode::CpuOnly, {.cores = 8});
+    AppResult d4 = runApp("bfs", SystemMode::Duet, {.cores = 4});
+    AppResult d8 = runApp("bfs", SystemMode::Duet, {.cores = 8});
     ASSERT_TRUE(c4.correct && c8.correct && d4.correct && d8.correct);
     double s4 = double(c4.runtime) / d4.runtime;
     double s8 = double(c8.runtime) / d8.runtime;
     EXPECT_GT(s8, 1.5 * s4); // superlinear in core count
+}
+
+TEST(Apps, ProblemSizeScalesRuntime)
+{
+    // Doubling the BFS graph roughly scales the baseline's work; the
+    // point here is that --size reaches the workload at all.
+    Tick small = runApp("bfs", SystemMode::CpuOnly, {.size = 64}).runtime;
+    Tick large = runApp("bfs", SystemMode::CpuOnly, {.size = 512}).runtime;
+    EXPECT_GT(large, small);
 }
 
 } // namespace

@@ -19,12 +19,12 @@ namespace
 TEST(Determinism, IdenticalRunsProduceIdenticalTiming)
 {
     // The simulator must be bit-deterministic: same inputs, same ticks.
-    AppResult a = runPopcount(SystemMode::Duet);
-    AppResult b = runPopcount(SystemMode::Duet);
+    AppResult a = runApp("popcount", SystemMode::Duet);
+    AppResult b = runApp("popcount", SystemMode::Duet);
     EXPECT_EQ(a.runtime, b.runtime);
     EXPECT_TRUE(a.correct);
-    AppResult c = runBfs4(SystemMode::CpuOnly);
-    AppResult d = runBfs4(SystemMode::CpuOnly);
+    AppResult c = runApp("bfs", SystemMode::CpuOnly, {.cores = 4});
+    AppResult d = runApp("bfs", SystemMode::CpuOnly, {.cores = 4});
     EXPECT_EQ(c.runtime, d.runtime);
 }
 
