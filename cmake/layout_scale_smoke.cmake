@@ -1,0 +1,36 @@
+# Layout scale smoke test: run one large-size scenario per workload in
+# duet mode — every size far beyond the seed-era fixed-window ceilings
+# (bfs 1024, dijkstra 960, barnes_hut 96, pdes 512, popcount 2048,
+# tangent 8192) — and assert each exits 0 (functionally correct).
+#
+# Usage:
+#   cmake -DDUET_SIM=<path> -P cmake/layout_scale_smoke.cmake
+
+if(NOT DUET_SIM)
+  message(FATAL_ERROR "need -DDUET_SIM=")
+endif()
+
+set(scenarios
+  "bfs:16384"
+  "dijkstra:16384"
+  "barnes_hut:1024"
+  "pdes:2048"
+  "popcount:4096"
+  "tangent:16384"
+  "sort:128")
+
+foreach(scenario IN LISTS scenarios)
+  string(REPLACE ":" ";" parts ${scenario})
+  list(GET parts 0 workload)
+  list(GET parts 1 size)
+  execute_process(
+    COMMAND ${DUET_SIM} --workload ${workload} --size ${size} --mode duet
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE out)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+            "${workload} --size ${size} failed (exit ${rv}):\n${out}")
+  endif()
+  message(STATUS "layout scale OK: ${workload} --size ${size}")
+endforeach()

@@ -27,7 +27,8 @@ if(NOT data_rows EQUAL ${EXPECT_ROWS})
 endif()
 
 list(GET lines 0 header)
-if(NOT header MATCHES "^workload,.*,runtime_ticks,runtime_ns,correct$")
+if(NOT header MATCHES
+   "^workload,.*,runtime_ticks,runtime_ns,speedup,area_mm2,adp_norm,correct$")
   message(FATAL_ERROR "unexpected CSV header: ${header}")
 endif()
 

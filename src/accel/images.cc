@@ -330,8 +330,19 @@ dijkstraImage()
 // Barnes-Hut force pipelines (P4M1, fine-grained)
 // =====================================================================
 
+Layout
+barnesHutSpadLayout(unsigned particles, unsigned nodes)
+{
+    LayoutBuilder b(0);
+    b.region("accum", 16, particles, {.minWindowBytes = 4096});
+    b.region("pos", 16, particles, {.minWindowBytes = 4096});
+    b.region("node_cache", 24, nodes, {.minWindowBytes = 4096});
+    b.region("leaf_cache", 40, nodes);
+    return b.build();
+}
+
 AccelImage
-barnesHutImage(unsigned threads)
+barnesHutImage(unsigned threads, const Layout &spad)
 {
     AccelImage img;
     img.name = "barnes-hut";
@@ -353,28 +364,44 @@ barnesHutImage(unsigned threads)
     scp.sizeBytes = 4096;
     scp.mshrs = 4;
     img.softCaches = {scp};
-    img.start = [threads](FpgaContext &ctx) {
+    // The shared BRAM caches: offsets from the computed scratchpad
+    // layout (seed-era fixed offsets 0/4096/8192/12288 reappear whenever
+    // the tree fits them).
+    const std::size_t accum_base = spad.base("accum");
+    const std::size_t pos_base = spad.base("pos");
+    const std::size_t node_base = spad.base("node_cache");
+    const std::size_t leaf_base = spad.base("leaf_cache");
+    const std::size_t particles = spad.payloadBytes("accum") / 16;
+    const std::size_t nodes = spad.payloadBytes("node_cache") / 24;
+    img.start = [threads, accum_base, pos_base, node_base, leaf_base,
+                 particles, nodes](FpgaContext &ctx) {
         // Request word: [0]=type (0 = CalcForce with a concrete particle,
         // 1 = ApproxForce with a tree node), [1..3]=thread,
         // [4..17]=target particle index, [18..41]=source index.
         // Two engines (the paper's ApproxForce and CalcForce pipelines)
         // pull from the shared request FIFO.
-        // Shared BRAM layout: [0, 16*P) force accumulators,
-        // [16K, +16*P) particle position cache, [32K, +24*N) node cache.
         struct BhState
         {
-            std::vector<bool> pCached = std::vector<bool>(16384, false);
-            std::vector<bool> nCached = std::vector<bool>(16384, false);
-            std::vector<bool> lCached = std::vector<bool>(16384, false);
+            std::vector<bool> pCached, nCached, lCached;
         };
         auto st = std::make_shared<BhState>();
-        auto engine = [](FpgaContext ctx, unsigned threads,
+        st->pCached.assign(particles, false);
+        st->nCached.assign(nodes, false);
+        st->lCached.assign(nodes, false);
+        // BRAM cache offsets, passed by value: the engine coroutines
+        // outlive this start() call, so they must not capture locals.
+        struct SpadMap
+        {
+            std::size_t accum, pos, node, leaf;
+        };
+        const SpadMap sm{accum_base, pos_base, node_base, leaf_base};
+        auto engine = [](FpgaContext ctx, SpadMap sm,
                          std::shared_ptr<BhState> st) -> CoTask<void> {
-            (void)threads;
             SoftCache &mem = *ctx.mem[0];
             Scratchpad &sp = ctx.adapter.scratchpad();
-            constexpr std::size_t kPosBase = 4096;
-            constexpr std::size_t kNodeCacheBase = 8192;
+            const std::size_t accum_base = sm.accum;
+            const std::size_t kPosBase = sm.pos;
+            const std::size_t kNodeCacheBase = sm.node;
             while (true) {
                 std::uint64_t req = co_await ctx.regs.pop(0);
                 unsigned type = req & 3;
@@ -388,8 +415,10 @@ barnesHutImage(unsigned threads)
                     // Flush: write the accumulated force to shared memory
                     // and make it globally visible before signaling.
                     co_await ClockDelay(ctx.clk, 1);
-                    co_await mem.store(pa + 16, sp.read(16 * p), 8);
-                    co_await mem.store(pa + 24, sp.read(16 * p + 8), 8);
+                    co_await mem.store(pa + 16,
+                                       sp.read(accum_base + 16 * p), 8);
+                    co_await mem.store(
+                        pa + 24, sp.read(accum_base + 16 * p + 8), 8);
                     co_await mem.drainWrites();
                     ctx.regs.pushTokens(1 + thread, 1);
                     continue;
@@ -415,7 +444,7 @@ barnesHutImage(unsigned threads)
                 if (type == 0) {
                     // CalcForce over a whole leaf: stream the leaf's
                     // particle list into BRAM once, then II=1 pair forces.
-                    constexpr std::size_t kLeafBase = 12288;
+                    const std::size_t kLeafBase = sm.leaf;
                     Addr na = nodes + 96 * src;
                     if (!st->lCached[src]) {
                         std::uint64_t count =
@@ -445,10 +474,11 @@ barnesHutImage(unsigned threads)
                         fx += f.x;
                         fy += f.y;
                     }
-                    sp.write(16 * p, sp.read(16 * p) +
-                                         static_cast<std::uint64_t>(fx));
-                    sp.write(16 * p + 8,
-                             sp.read(16 * p + 8) +
+                    sp.write(accum_base + 16 * p,
+                             sp.read(accum_base + 16 * p) +
+                                 static_cast<std::uint64_t>(fx));
+                    sp.write(accum_base + 16 * p + 8,
+                             sp.read(accum_base + 16 * p + 8) +
                                  static_cast<std::uint64_t>(fy));
                     ctx.regs.pushTokens(1 + thread, 1);
                     continue;
@@ -475,15 +505,17 @@ barnesHutImage(unsigned threads)
                 // Pipelined force evaluation from BRAM (II=1).
                 co_await ClockDelay(ctx.clk, 1);
                 FixVec f = bhForce(px, py, qx, qy, qm);
-                sp.write(16 * p, sp.read(16 * p) +
-                                     static_cast<std::uint64_t>(f.x));
-                sp.write(16 * p + 8, sp.read(16 * p + 8) +
-                                         static_cast<std::uint64_t>(f.y));
+                sp.write(accum_base + 16 * p,
+                         sp.read(accum_base + 16 * p) +
+                             static_cast<std::uint64_t>(f.x));
+                sp.write(accum_base + 16 * p + 8,
+                         sp.read(accum_base + 16 * p + 8) +
+                             static_cast<std::uint64_t>(f.y));
                 ctx.regs.pushTokens(1 + thread, 1);
             }
         };
-        spawn(engine(ctx, threads, st));
-        spawn(engine(ctx, threads, st));
+        spawn(engine(ctx, sm, st));
+        spawn(engine(ctx, sm, st));
     };
     return img;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/adapter.hh"
+#include "mem/layout.hh"
 
 namespace duet::accel
 {
@@ -70,9 +71,22 @@ AccelImage sortImage(unsigned n);
  *  reuse between consecutive invocations. */
 AccelImage dijkstraImage();
 
-/** Barnes-Hut (P4M1): ApproxForce + CalcForce pipelines time-multiplexed
- *  by up to 4 threads; force accumulation via hub atomics. */
-AccelImage barnesHutImage(unsigned threads);
+/**
+ * Barnes-Hut (P4M1): ApproxForce + CalcForce pipelines time-multiplexed
+ * by up to 4 threads; force accumulation via hub atomics.
+ *
+ * @p spad is the BRAM-cache layout the pipelines run against (regions
+ * "accum"/"pos" sized per particle, "node_cache"/"leaf_cache" per tree
+ * node — see barnesHutSpadLayout()); the workload computes it from the
+ * actual tree so the caches scale with the problem instead of capping it
+ * at the seed era's 96 particles.
+ */
+AccelImage barnesHutImage(unsigned threads, const Layout &spad);
+
+/** The Barnes-Hut BRAM-cache layout for @p particles / @p nodes (base 0
+ *  = scratchpad offsets). Window floors keep the seed-era offsets
+ *  (0/4096/8192/12288) for trees that fit them. */
+Layout barnesHutSpadLayout(unsigned particles, unsigned nodes);
 
 /** PDES hardware task scheduler widget (HA): scratchpad event queue,
  *  FPGA-bound insert/complete FIFOs, CPU-bound dispatch FIFO. */

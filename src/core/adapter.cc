@@ -70,6 +70,10 @@ DuetAdapter::makeBitstream(const AccelImage &img) const
     Bitstream b;
     b.accelName = img.name;
     b.used = img.resources;
+    // The scratchpad is BRAM like any other: its bits count against
+    // Fabric::capacity(), so an image only fits together with the
+    // (possibly layout-grown) non-coherent memory it runs against.
+    b.used.bramBits += spad_.bramBits();
     b.fmaxMHz = img.fmaxMHz;
     b.bytes.resize(fabric_.bitstreamBytes());
     // Deterministic, content-dependent payload.

@@ -29,7 +29,8 @@ class Scratchpad
     std::uint64_t
     read(std::size_t offset, unsigned size = 8) const
     {
-        simAssert(offset + size <= data_.size(), "scratchpad OOB read");
+        if (offset + size > data_.size()) [[unlikely]]
+            oob("read", offset, size);
         std::uint64_t v = 0;
         std::memcpy(&v, data_.data() + offset, size);
         reads.inc();
@@ -39,7 +40,8 @@ class Scratchpad
     void
     write(std::size_t offset, std::uint64_t v, unsigned size = 8)
     {
-        simAssert(offset + size <= data_.size(), "scratchpad OOB write");
+        if (offset + size > data_.size()) [[unlikely]]
+            oob("write", offset, size);
         std::memcpy(data_.data() + offset, &v, size);
         writes.inc();
     }
@@ -53,6 +55,16 @@ class Scratchpad
     Counter writes;
 
   private:
+    /** A mis-sized layout trips here first: say exactly what overran. */
+    [[noreturn]] void
+    oob(const char *what, std::size_t offset, unsigned size) const
+    {
+        panic("scratchpad OOB " + std::string(what) + ": offset " +
+              std::to_string(offset) + " + size " + std::to_string(size) +
+              " exceeds capacity " + std::to_string(data_.size()) +
+              " B (resize with --spm-kib or shrink the workload layout)");
+    }
+
     std::vector<std::uint8_t> data_;
 };
 

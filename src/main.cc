@@ -58,6 +58,53 @@ openSink(const std::string &path, std::ofstream &file)
     return &file;
 }
 
+/**
+ * One sweep output sink. File sinks stream each row as it completes (so
+ * an interrupted sweep keeps every finished scenario) and are rewritten
+ * once the batch is done, when the derived columns — whose cpu partner
+ * row may run *after* the row it normalizes — are final. The stdout
+ * sink cannot be rewritten, so it is written once at the end.
+ */
+struct SweepSink
+{
+    std::string path;
+    std::ofstream file;
+    bool toStdout = false;
+
+    bool
+    open(const std::string &p)
+    {
+        path = p;
+        toStdout = p == "-";
+        if (toStdout)
+            return true;
+        return openSink(p, file) != nullptr;
+    }
+
+    void
+    streamRow(const std::function<void(std::ostream &)> &write)
+    {
+        if (toStdout || !file.is_open())
+            return;
+        write(file);
+        file.flush();
+    }
+
+    void
+    finalize(const std::function<void(std::ostream &)> &write_all)
+    {
+        if (toStdout) {
+            write_all(std::cout);
+            return;
+        }
+        // Rewrite in place with the final derived columns.
+        file.close();
+        file.open(path, std::ios::trunc);
+        write_all(file);
+        file.flush();
+    }
+};
+
 int
 runSweepMode(const SimOptions &opts)
 {
@@ -77,39 +124,39 @@ runSweepMode(const SimOptions &opts)
 
     // Open the output sinks before burning simulation time: an
     // unwritable path must fail fast, not after the whole sweep ran.
-    std::ofstream csvFile, jsonlFile;
-    std::ostream *csvOs = nullptr;
-    std::ostream *jsonlOs = nullptr;
-    if (!opts.csvPath.empty()) {
-        csvOs = openSink(opts.csvPath, csvFile);
-        if (csvOs == nullptr)
-            return 2;
-    }
-    if (!opts.jsonlPath.empty()) {
-        jsonlOs = openSink(opts.jsonlPath, jsonlFile);
-        if (jsonlOs == nullptr)
-            return 2;
-    }
+    const bool haveCsv = !opts.csvPath.empty();
+    const bool haveJsonl = !opts.jsonlPath.empty();
+    SweepSink csvSink, jsonlSink;
+    if (haveCsv && !csvSink.open(opts.csvPath))
+        return 2;
+    if (haveJsonl && !jsonlSink.open(opts.jsonlPath))
+        return 2;
 
     SystemConfig base;
     applySimOverrides(opts, base);
 
-    // Stream each row to the sinks as it completes, so an interrupted
-    // long sweep keeps every finished scenario.
-    if (csvOs != nullptr)
-        writeCsvHeader(*csvOs);
+    // Stream each finished row to the file sinks (derived columns still
+    // 0 at that point), then rewrite them once the batch is done and
+    // addDerivedMetrics() has joined every row with its cpu partner —
+    // which may have run after it.
+    if (haveCsv)
+        csvSink.streamRow([](std::ostream &os) { writeCsvHeader(os); });
     std::vector<SweepRow> rows =
         runSweep(scenarios, base, &std::cerr, [&](const SweepRow &row) {
-            if (csvOs != nullptr) {
-                writeCsvRow(*csvOs, row);
-                csvOs->flush();
-            }
-            if (jsonlOs != nullptr) {
-                writeJsonLine(*jsonlOs, row);
-                jsonlOs->flush();
-            }
+            if (haveCsv)
+                csvSink.streamRow(
+                    [&](std::ostream &os) { writeCsvRow(os, row); });
+            if (haveJsonl)
+                jsonlSink.streamRow(
+                    [&](std::ostream &os) { writeJsonLine(os, row); });
         });
-    if (csvOs == nullptr && jsonlOs == nullptr)
+    addDerivedMetrics(rows);
+    if (haveCsv)
+        csvSink.finalize([&](std::ostream &os) { writeCsv(os, rows); });
+    if (haveJsonl)
+        jsonlSink.finalize(
+            [&](std::ostream &os) { writeJsonLines(os, rows); });
+    if (!haveCsv && !haveJsonl)
         writeTable(std::cout, rows);
 
     for (const SweepRow &r : rows)

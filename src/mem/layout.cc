@@ -1,0 +1,125 @@
+#include "mem/layout.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace duet
+{
+namespace
+{
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Addr
+Layout::base(std::string_view name) const
+{
+    return find(name).base;
+}
+
+std::size_t
+Layout::payloadBytes(std::string_view name) const
+{
+    return find(name).payloadBytes;
+}
+
+std::size_t
+Layout::windowBytes(std::string_view name) const
+{
+    return find(name).windowBytes;
+}
+
+Addr
+Layout::end(std::string_view name) const
+{
+    const Region &r = find(name);
+    return r.base + r.windowBytes;
+}
+
+Addr
+Layout::end() const
+{
+    return end_;
+}
+
+std::size_t
+Layout::totalBytes() const
+{
+    return static_cast<std::size_t>(end_ - base_);
+}
+
+bool
+Layout::has(std::string_view name) const
+{
+    for (const Region &r : regions_)
+        if (r.name == name)
+            return true;
+    return false;
+}
+
+const Layout::Region &
+Layout::find(std::string_view name) const
+{
+    for (const Region &r : regions_)
+        if (r.name == name)
+            return r;
+    panic("layout: unknown region '" + std::string(name) + "'");
+}
+
+LayoutBuilder &
+LayoutBuilder::region(std::string name, std::size_t elem_bytes,
+                      std::size_t count, RegionOpts opts)
+{
+    decls_.push_back(Decl{std::move(name), elem_bytes, count, opts});
+    return *this;
+}
+
+Layout
+LayoutBuilder::build() const
+{
+    Layout l;
+    l.base_ = base_;
+    Addr cursor = base_;
+    for (const Decl &d : decls_) {
+        simAssert(!d.name.empty(), "layout: region with empty name");
+        simAssert(d.elemBytes > 0,
+                  "layout: region '" + d.name + "' has zero element size");
+        simAssert(isPow2(d.opts.align),
+                  "layout: region '" + d.name +
+                      "' alignment must be a power of two");
+        simAssert(d.count == 0 ||
+                      d.elemBytes <=
+                          std::numeric_limits<std::size_t>::max() / d.count,
+                  "layout: region '" + d.name + "' payload overflows");
+        for (const Layout::Region &r : l.regions_)
+            simAssert(r.name != d.name,
+                      "layout: duplicate region '" + d.name + "'");
+
+        Layout::Region r;
+        r.name = d.name;
+        r.base = alignUp(cursor, d.opts.align);
+        r.payloadBytes = d.elemBytes * d.count;
+        std::size_t window = r.payloadBytes + d.opts.guardBytes;
+        if (window < d.opts.minWindowBytes)
+            window = d.opts.minWindowBytes;
+        r.windowBytes = alignUp(window, d.opts.align);
+        cursor = r.base + r.windowBytes;
+        l.regions_.push_back(std::move(r));
+    }
+    l.end_ = cursor;
+    return l;
+}
+
+} // namespace duet

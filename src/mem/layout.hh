@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Computed memory layouts: a size-driven replacement for the fixed
+ * `constexpr Addr` address maps the workloads shipped with.
+ *
+ * A workload declares its named regions (element size, count, alignment,
+ * guard padding) on a LayoutBuilder; build() packs them into
+ * non-overlapping windows starting at the requested base and returns a
+ * Layout handle the workload queries for base addresses
+ * (`layout.base("edges")`). Because the windows are computed from the
+ * problem size, the seed-era scaling ceilings (bfs at 1024 nodes,
+ * dijkstra at 960, barnes_hut at 96 particles) disappear: a region simply
+ * grows past its historical window when the declared count needs it.
+ *
+ * Windows may also declare a *minimum* size. Regions whose payload fits
+ * the minimum keep exactly the historical window, so every default-size
+ * benchmark run places its data at the same addresses (and produces the
+ * same stats) as the fixed maps did — the floor only exists for that
+ * reproducibility; larger sizes outgrow it seamlessly.
+ *
+ * Packing is deterministic: identical declarations produce identical
+ * layouts, so two runs of the same scenario are byte-comparable.
+ */
+
+#ifndef DUET_MEM_LAYOUT_HH
+#define DUET_MEM_LAYOUT_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace duet
+{
+
+/** Base of the benchmark data segment (below it: nothing mapped; far
+ *  above it: the adapter MMIO window at 0xF0000000). */
+constexpr Addr kDataSegmentBase = 0x10000;
+
+/** Per-region packing options. */
+struct RegionOpts
+{
+    /** Base-address (and window-size) alignment; power of two. */
+    std::size_t align = 8;
+    /** Guard padding appended after the payload, inside the window. */
+    std::size_t guardBytes = 0;
+    /** Window floor: the region occupies at least this many bytes even
+     *  when the payload is smaller (keeps historical address maps stable
+     *  at seed-era problem sizes). */
+    std::size_t minWindowBytes = 0;
+};
+
+/** A packed, immutable layout. Lookups by unknown name panic: a
+ *  mis-spelled region is a workload bug, not a recoverable condition. */
+class Layout
+{
+  public:
+    struct Region
+    {
+        std::string name;
+        Addr base = 0;
+        std::size_t payloadBytes = 0; ///< elemBytes x count
+        std::size_t windowBytes = 0;  ///< payload + guard, floored/aligned
+    };
+
+    /** Base address of region @p name. */
+    Addr base(std::string_view name) const;
+
+    /** Payload bytes (element size x count) of region @p name. */
+    std::size_t payloadBytes(std::string_view name) const;
+
+    /** Full window of region @p name (>= payload; includes guard/floor). */
+    std::size_t windowBytes(std::string_view name) const;
+
+    /** First address past region @p name's window. */
+    Addr end(std::string_view name) const;
+
+    /** First address past the last window. */
+    Addr end() const;
+
+    /** Total footprint, first region base to end(). */
+    std::size_t totalBytes() const;
+
+    bool has(std::string_view name) const;
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+  private:
+    friend class LayoutBuilder;
+
+    const Region &find(std::string_view name) const;
+
+    Addr base_ = 0;
+    Addr end_ = 0;
+    std::vector<Region> regions_;
+};
+
+/** Collects region declarations and packs them in declaration order. */
+class LayoutBuilder
+{
+  public:
+    explicit LayoutBuilder(Addr base = kDataSegmentBase) : base_(base) {}
+
+    /**
+     * Declare a region of @p count elements of @p elem_bytes each.
+     * Duplicate names, zero element sizes, non-power-of-two alignments
+     * and payloads that overflow panic at build() time.
+     */
+    LayoutBuilder &region(std::string name, std::size_t elem_bytes,
+                          std::size_t count, RegionOpts opts = {});
+
+    /** Pack every declared region into disjoint windows. */
+    Layout build() const;
+
+  private:
+    struct Decl
+    {
+        std::string name;
+        std::size_t elemBytes;
+        std::size_t count;
+        RegionOpts opts;
+    };
+
+    Addr base_;
+    std::vector<Decl> decls_;
+};
+
+} // namespace duet
+
+#endif // DUET_MEM_LAYOUT_HH

@@ -78,6 +78,9 @@ simUsage()
         "  --l2-ways N       private cache associativity\n"
         "  --l3-kib N        L3 capacity per shard, KiB\n"
         "  --l3-ways N       L3 shard associativity\n"
+        "  --spm-kib N       eFPGA scratchpad (BRAM) capacity, KiB; by\n"
+        "                    default it is sized from the workload's\n"
+        "                    computed memory layout\n"
         "  --cpu-mhz N       core clock, MHz\n"
         "  --fpga-mhz N      eFPGA clock before an image overrides it, MHz\n"
         "  --max-us N        simulated-time watchdog, microseconds\n"
@@ -205,6 +208,13 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         } else if (flag == "--l3-ways") {
             if (!u32(opts.l3Ways))
                 return ParseStatus::Error;
+        } else if (flag == "--spm-kib") {
+            if (!u32(opts.spmKiB))
+                return ParseStatus::Error;
+            if (opts.spmKiB == 0 || opts.spmKiB > kMaxCacheKiB) {
+                err = "--spm-kib must be in [1, 1048576]";
+                return ParseStatus::Error;
+            }
         } else if (flag == "--cpu-mhz") {
             if (!u64(opts.cpuFreqMhz))
                 return ParseStatus::Error;
@@ -307,6 +317,12 @@ applySimOverrides(const SimOptions &opts, SystemConfig &cfg)
         cfg.l3.sizeBytes = opts.l3KiB * 1024;
     if (opts.l3Ways)
         cfg.l3.ways = opts.l3Ways;
+    if (opts.spmKiB) {
+        // Pin the capacity: workload layouts no longer grow it, so a
+        // too-small value surfaces as a scratchpad OOB diagnostic.
+        cfg.scratchpadBytes = std::size_t{opts.spmKiB} * 1024;
+        cfg.scratchpadAuto = false;
+    }
     if (opts.cpuFreqMhz)
         cfg.cpuFreqMhz = opts.cpuFreqMhz;
     if (opts.fpgaFreqMhz)

@@ -37,6 +37,7 @@ struct SimOptions
     unsigned l2Ways = 0;
     unsigned l3KiB = 0; ///< per-shard L3 capacity override
     unsigned l3Ways = 0;
+    unsigned spmKiB = 0; ///< eFPGA scratchpad pin (0 = layout-sized)
     std::uint64_t cpuFreqMhz = 0;
     std::uint64_t fpgaFreqMhz = 0;
     std::uint64_t maxTicksUs = 0; ///< watchdog override, in simulated us

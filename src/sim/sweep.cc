@@ -3,7 +3,9 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
+#include "area/area_model.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -308,11 +310,69 @@ runSweep(const std::vector<SweepScenario> &scenarios,
     return rows;
 }
 
+namespace
+{
+
+/** Fixed 4-decimal rendering for the derived metric columns. */
+std::string
+fmtMetric(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(4) << v;
+    return os.str();
+}
+
+int
+modeIndex(const std::string &mode)
+{
+    if (mode == "cpu")
+        return 0;
+    if (mode == "fpsoc")
+        return 1;
+    return 2;
+}
+
+} // namespace
+
+void
+addDerivedMetrics(std::vector<SweepRow> &rows)
+{
+    for (SweepRow &r : rows) {
+        const Workload *w = findWorkload(r.workload);
+        const std::string key = w ? w->accelKeyFor(r.size) : r.workload;
+        r.areaMm2 = area::systemAreaMm2(r.cores, r.memHubs,
+                                        modeIndex(r.mode), key);
+    }
+    // Index the cpu rows once so the join stays linear in row count.
+    auto join_key = [](const SweepRow &r) {
+        return r.workload + '\0' + std::to_string(r.cores) + '\0' +
+               std::to_string(r.size) + '\0' + std::to_string(r.seed);
+    };
+    std::unordered_map<std::string, const SweepRow *> cpu_rows;
+    for (const SweepRow &r : rows)
+        if (r.mode == "cpu")
+            cpu_rows.emplace(join_key(r), &r);
+    for (SweepRow &r : rows) {
+        auto it = cpu_rows.find(join_key(r));
+        if (it == cpu_rows.end())
+            continue;
+        const SweepRow *cpu = it->second;
+        if (cpu->runtime == 0 || r.runtime == 0)
+            continue;
+        r.speedup = static_cast<double>(cpu->runtime) / r.runtime;
+        const double cpu_adp = cpu->areaMm2 *
+                               static_cast<double>(cpu->runtime);
+        if (cpu_adp > 0.0)
+            r.adpNorm = r.areaMm2 * static_cast<double>(r.runtime) /
+                        cpu_adp;
+    }
+}
+
 void
 writeCsvHeader(std::ostream &os)
 {
     os << "workload,app,mode,cores,mem_hubs,size,seed,runtime_ticks,"
-          "runtime_ns,correct\n";
+          "runtime_ns,speedup,area_mm2,adp_norm,correct\n";
 }
 
 void
@@ -321,7 +381,9 @@ writeCsvRow(std::ostream &os, const SweepRow &r)
     os << r.workload << ',' << r.app << ',' << r.mode << ',' << r.cores
        << ',' << r.memHubs << ',' << r.size << ',' << r.seed << ','
        << r.runtime << ',' << r.runtime / kTicksPerNs << ','
-       << (r.correct ? "true" : "false") << '\n';
+       << fmtMetric(r.speedup) << ',' << fmtMetric(r.areaMm2) << ','
+       << fmtMetric(r.adpNorm) << ',' << (r.correct ? "true" : "false")
+       << '\n';
 }
 
 void
@@ -341,6 +403,9 @@ writeJsonLine(std::ostream &os, const SweepRow &r)
        << ", \"size\": " << r.size << ", \"seed\": " << r.seed
        << ", \"runtime_ticks\": " << r.runtime
        << ", \"runtime_ns\": " << r.runtime / kTicksPerNs
+       << ", \"speedup\": " << fmtMetric(r.speedup)
+       << ", \"area_mm2\": " << fmtMetric(r.areaMm2)
+       << ", \"adp_norm\": " << fmtMetric(r.adpNorm)
        << ", \"correct\": " << (r.correct ? "true" : "false") << "}\n";
 }
 
@@ -357,13 +422,15 @@ writeTable(std::ostream &os, const std::vector<SweepRow> &rows)
     os << std::left << std::setw(12) << "workload" << std::setw(12) << "app"
        << std::setw(7) << "mode" << std::right << std::setw(6) << "cores"
        << std::setw(6) << "size" << std::setw(12) << "seed" << std::setw(14)
-       << "runtime(ns)" << "  correct\n";
+       << "runtime(ns)" << std::setw(9) << "speedup" << std::setw(10)
+       << "adp_norm" << "  correct\n";
     for (const SweepRow &r : rows) {
         os << std::left << std::setw(12) << r.workload << std::setw(12)
            << r.app << std::setw(7) << r.mode << std::right << std::setw(6)
            << r.cores << std::setw(6) << r.size << std::setw(12) << r.seed
-           << std::setw(14) << r.runtime / kTicksPerNs << "  "
-           << (r.correct ? "yes" : "NO") << "\n";
+           << std::setw(14) << r.runtime / kTicksPerNs << std::setw(9)
+           << fmtMetric(r.speedup) << std::setw(10) << fmtMetric(r.adpNorm)
+           << "  " << (r.correct ? "yes" : "NO") << "\n";
     }
 }
 

@@ -42,7 +42,9 @@ struct SweepScenario
     WorkloadParams params; ///< resolved
 };
 
-/** One aggregated result row. */
+/** One aggregated result row. The derived columns (speedup, silicon
+ *  area, normalized area-delay product) are filled by
+ *  addDerivedMetrics(); until then they are 0 ("not available"). */
 struct SweepRow
 {
     std::string workload; ///< registry name, e.g. "bfs"
@@ -54,6 +56,9 @@ struct SweepRow
     std::uint64_t seed = 0;
     Tick runtime = 0;
     bool correct = false;
+    double speedup = 0.0; ///< cpu-row runtime / this runtime
+    double areaMm2 = 0.0; ///< system silicon area (area_model, 45 nm)
+    double adpNorm = 0.0; ///< (area x delay) / the cpu row's (area x delay)
 };
 
 /**
@@ -95,6 +100,17 @@ std::vector<SweepRow>
 runSweep(const std::vector<SweepScenario> &scenarios,
          const SystemConfig &base, std::ostream *progress,
          const std::function<void(const SweepRow &)> &on_row = {});
+
+/**
+ * Fill the derived columns of every row, Fig. 12 style: silicon area
+ * from the area model (src/area/area_model.hh), and — for rows whose
+ * matching CpuOnly scenario (same workload/cores/size/seed) is in the
+ * batch — speedup and the cpu-normalized area-delay product. Rows
+ * without a cpu partner (or with zero runtimes) keep 0 in those columns.
+ * Sweeping `--mode all` therefore regenerates the paper's normalized
+ * plots without post-processing.
+ */
+void addDerivedMetrics(std::vector<SweepRow> &rows);
 
 /** Write the CSV header line. */
 void writeCsvHeader(std::ostream &os);

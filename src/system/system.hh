@@ -60,6 +60,12 @@ struct SystemConfig
     ControlHubParams ctrl;
     FabricConfig fabric;
     std::size_t scratchpadBytes = 16 * 1024;
+    /// Auto mode (default): appConfig() grows the scratchpad to the
+    /// workload's computed layout requirement, never below the value
+    /// above. An explicit --spm-kib clears the flag and pins the
+    /// capacity exactly (a too-small pin trips the scratchpad's OOB
+    /// diagnostics).
+    bool scratchpadAuto = true;
     Tick maxTicks = 500 * 1000 * kTicksPerUs; ///< watchdog (500 ms sim time)
     /// Post-run hook: benchmarks hand their System here (via reportRun)
     /// after the timed region completes but before teardown, so callers

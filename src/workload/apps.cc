@@ -1,5 +1,7 @@
 #include "workload/apps.hh"
 
+#include <algorithm>
+
 #include "core/ctrl_msg.hh"
 
 namespace duet
@@ -12,8 +14,35 @@ reportRun(System &sys)
         sys.config().observer(sys);
 }
 
+namespace
+{
+
+// The application fabric's BRAM budget. The tile count grows with the
+// scratchpad requirement (so layout-driven problem sizes get the BRAM
+// they declare) between a floor that keeps default-size runs on the
+// seed-era 12-tile fabric and a ceiling modeling the largest eFPGA a
+// Dolly adapter can carry.
+constexpr unsigned kAppBramTilesFloor = 12;
+constexpr unsigned kAppBramTilesMax = 80;
+// The biggest Table II image (sort128) — the fabric must host it next to
+// the scratchpad regardless of which benchmark is running.
+constexpr std::uint64_t kMaxAccelBramBits = 200 * 1024;
+
+} // namespace
+
+std::size_t
+maxScratchpadBytes()
+{
+    const FabricConfig f;
+    return static_cast<std::size_t>(
+        (std::uint64_t{kAppBramTilesMax} * f.bitsPerBram -
+         kMaxAccelBramBits) /
+        8);
+}
+
 SystemConfig
-appConfig(unsigned p, unsigned m, const SystemConfig &base)
+appConfig(unsigned p, unsigned m, const SystemConfig &base,
+          std::size_t spad_bytes)
 {
     SystemConfig cfg = base;
     cfg.numCores = p;
@@ -24,8 +53,21 @@ appConfig(unsigned p, unsigned m, const SystemConfig &base)
     // A fabric large enough for the biggest accelerator (Barnes-Hut).
     cfg.fabric.clbColumns = 20;
     cfg.fabric.clbRows = 20;
-    cfg.fabric.bramTiles = 12;
     cfg.fabric.multTiles = 32;
+    // Scratchpad: grow to the workload layout's requirement unless an
+    // explicit --spm-kib pinned the capacity.
+    if (cfg.scratchpadAuto && spad_bytes > cfg.scratchpadBytes)
+        cfg.scratchpadBytes = spad_bytes;
+    // BRAM tiles: accelerator image + scratchpad must fit
+    // Fabric::capacity() (the adapter charges the scratchpad's bits to
+    // the installed bitstream).
+    const std::uint64_t bits =
+        std::uint64_t{cfg.scratchpadBytes} * 8 + kMaxAccelBramBits;
+    const std::uint64_t tiles =
+        (bits + cfg.fabric.bitsPerBram - 1) / cfg.fabric.bitsPerBram;
+    cfg.fabric.bramTiles = static_cast<unsigned>(
+        std::clamp<std::uint64_t>(tiles, kAppBramTilesFloor,
+                                  kAppBramTilesMax));
     return cfg;
 }
 
@@ -44,7 +86,15 @@ void
 installOrDie(System &sys, const AccelImage &img)
 {
     bool ok = sys.installAccel(img);
-    simAssert(ok, "accelerator image failed to install: " + img.name);
+    if (!ok) {
+        const Fabric &f = sys.adapter().fabric();
+        panic("accelerator image failed to install: " + img.name +
+              " (image " + std::to_string(img.resources.bramBits) +
+              " + scratchpad " +
+              std::to_string(sys.adapter().scratchpad().bramBits()) +
+              " BRAM bits vs fabric capacity " +
+              std::to_string(f.capacity().bramBits) + ")");
+    }
 }
 
 AppResult

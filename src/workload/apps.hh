@@ -48,8 +48,23 @@ const std::vector<AppSpec> &allApps();
  * fabric large enough for the biggest accelerator) over @p base, which
  * carries the mode and any caller overrides (cache geometry, clocks,
  * observer).
+ *
+ * @p spad_bytes is the workload's computed scratchpad requirement (from
+ * its layout); in auto mode the scratchpad grows to cover it and the
+ * fabric's BRAM tile count is derived so accelerator + scratchpad fit
+ * Fabric::capacity(). With an explicit --spm-kib the requirement is
+ * ignored and the pinned capacity rules.
  */
-SystemConfig appConfig(unsigned p, unsigned m, const SystemConfig &base);
+SystemConfig appConfig(unsigned p, unsigned m, const SystemConfig &base,
+                       std::size_t spad_bytes = 0);
+
+/**
+ * Largest scratchpad the application fabric can host: the BRAM bits of
+ * the biggest fabric appConfig() will build, minus the biggest Table II
+ * accelerator image. The registry derives its problem-size ceilings from
+ * this (see registry.cc) instead of hand-maintained window comments.
+ */
+std::size_t maxScratchpadBytes();
 
 /**
  * Hand a finished benchmark System to the observer registered in its

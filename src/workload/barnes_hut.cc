@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 
@@ -22,12 +23,28 @@ namespace duet
 namespace
 {
 
-// The accelerator's BRAM accumulator / position / leaf caches bound the
-// particle count at 96 (see images.cc and registry.cc); the register map
-// fixes the thread count at 4.
-constexpr Addr kParticleBase = 0x10000; // 32 B each: x, y, fx, fy
-constexpr Addr kNodeBase = 0x40000;     // 96 B records
 constexpr std::uint64_t kNil = ~0ull;
+
+/** Base addresses of the computed memory layout. The register map fixes
+ *  the thread count at 4; the particle ceiling comes from the fabric's
+ *  BRAM budget for the accelerator caches (see registry.cc). */
+struct BhMap
+{
+    Addr particles = 0; ///< 32 B each: x, y, fx, fy
+    Addr nodes = 0;     ///< 96 B records
+};
+
+/** The layout, computed from the tree. The window floors reproduce the
+ *  seed-era map (particles at 0x10000, nodes at 0x40000) for any tree
+ *  that fits it. */
+Layout
+bhLayout(unsigned particles, std::size_t nodes)
+{
+    LayoutBuilder b;
+    b.region("particles", 32, particles, {.minWindowBytes = 0x30000});
+    b.region("nodes", 96, nodes);
+    return b.build();
+}
 
 // Node record offsets.
 constexpr unsigned kNodeCx = 0, kNodeCy = 8, kNodeHalf = 16, kNodeComX = 24,
@@ -197,10 +214,10 @@ hostForces(const HostTree &t, std::vector<std::int64_t> &fx,
 }
 
 void
-setup(System &sys, const HostTree &t)
+setup(System &sys, const HostTree &t, const BhMap &m)
 {
     for (unsigned p = 0; p < t.numParticles(); ++p) {
-        Addr pa = kParticleBase + 32 * p;
+        Addr pa = m.particles + 32 * p;
         sys.memory().write(pa, 8, static_cast<std::uint64_t>(t.px[p]));
         sys.memory().write(pa + 8, 8, static_cast<std::uint64_t>(t.py[p]));
         sys.memory().write(pa + 16, 8, 0);
@@ -208,7 +225,7 @@ setup(System &sys, const HostTree &t)
     }
     for (unsigned n = 0; n < t.nodes.size(); ++n) {
         const HostNode &node = t.nodes[n];
-        Addr na = kNodeBase + 96 * n;
+        Addr na = m.nodes + 96 * n;
         sys.memory().write(na + kNodeCx, 8,
                            static_cast<std::uint64_t>(node.cx));
         sys.memory().write(na + kNodeCy, 8,
@@ -239,11 +256,11 @@ setup(System &sys, const HostTree &t)
 }
 
 bool
-check(System &sys, const std::vector<std::int64_t> &fx,
+check(System &sys, const BhMap &m, const std::vector<std::int64_t> &fx,
       const std::vector<std::int64_t> &fy)
 {
     for (unsigned p = 0; p < fx.size(); ++p) {
-        Addr pa = kParticleBase + 32 * p;
+        Addr pa = m.particles + 32 * p;
         auto gx = static_cast<std::int64_t>(sys.memory().read(pa + 16, 8));
         auto gy = static_cast<std::int64_t>(sys.memory().read(pa + 24, 8));
         if (gx != fx[p] || gy != fy[p])
@@ -258,17 +275,17 @@ check(System &sys, const std::vector<std::int64_t> &fx,
  * runs on the processor — the essence of fine-grained acceleration.
  */
 CoTask<void>
-treeWalk(Core &c, unsigned p,
+treeWalk(Core &c, BhMap m, unsigned p,
          std::function<CoTask<void>(bool, std::uint64_t)> issue)
 {
-    Addr pa = kParticleBase + 32 * p;
+    Addr pa = m.particles + 32 * p;
     std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));
     std::int64_t py = static_cast<std::int64_t>(co_await c.load(pa + 8));
     std::vector<std::uint64_t> stack{0};
     while (!stack.empty()) {
         std::uint64_t n = stack.back();
         stack.pop_back();
-        Addr na = kNodeBase + 96 * n;
+        Addr na = m.nodes + 96 * n;
         auto mass = static_cast<std::int64_t>(
             co_await c.load(na + kNodeMass));
         if (mass == 0)
@@ -302,19 +319,20 @@ treeWalk(Core &c, unsigned p,
 }
 
 CoTask<void>
-cpuThread(Core &c, unsigned tid, unsigned threads, unsigned particles)
+cpuThread(Core &c, BhMap m, unsigned tid, unsigned threads,
+          unsigned particles)
 {
     for (unsigned p = tid; p < particles; p += threads) {
         std::int64_t fx = 0, fy = 0;
-        Addr pa = kParticleBase + 32 * p;
+        Addr pa = m.particles + 32 * p;
         std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));
         std::int64_t py =
             static_cast<std::int64_t>(co_await c.load(pa + 8));
         co_await treeWalk(
-            c, p,
+            c, m, p,
             [&](bool approx, std::uint64_t src) -> CoTask<void> {
                 if (approx) {
-                    Addr na = kNodeBase + 96 * src;
+                    Addr na = m.nodes + 96 * src;
                     auto cx = static_cast<std::int64_t>(
                         co_await c.load(na + kNodeComX));
                     auto cy = static_cast<std::int64_t>(
@@ -327,7 +345,7 @@ cpuThread(Core &c, unsigned tid, unsigned threads, unsigned particles)
                     fy += f.y;
                 } else {
                     // Software CalcForce over the leaf's particles.
-                    Addr na = kNodeBase + 96 * src;
+                    Addr na = m.nodes + 96 * src;
                     std::uint64_t count =
                         co_await c.load(na + kNodeCount);
                     for (std::uint64_t i = 0; i < count; ++i) {
@@ -335,7 +353,7 @@ cpuThread(Core &c, unsigned tid, unsigned threads, unsigned particles)
                             co_await c.load(na + kNodeChild0 + 8 * i);
                         if (q == p)
                             continue;
-                        Addr qa = kParticleBase + 32 * q;
+                        Addr qa = m.particles + 32 * q;
                         auto qx = static_cast<std::int64_t>(
                             co_await c.load(qa));
                         auto qy = static_cast<std::int64_t>(
@@ -353,13 +371,13 @@ cpuThread(Core &c, unsigned tid, unsigned threads, unsigned particles)
 }
 
 CoTask<void>
-accelThread(Core &c, System &sys, unsigned tid, unsigned threads,
-            unsigned particles)
+accelThread(Core &c, System &sys, BhMap m, unsigned tid,
+            unsigned threads, unsigned particles)
 {
     unsigned issued = 0;
     for (unsigned p = tid; p < particles; p += threads) {
         co_await treeWalk(
-            c, p,
+            c, m, p,
             [&, p](bool approx, std::uint64_t src) -> CoTask<void> {
                 std::uint64_t req = (approx ? 1u : 0u) |
                                     (static_cast<std::uint64_t>(tid) << 2) |
@@ -407,33 +425,41 @@ runBarnesHut(const WorkloadParams &p, const SystemConfig &base)
     HostTree t = buildTree(particles, p.seed);
     std::vector<std::int64_t> fx, fy;
     hostForces(t, fx, fy);
+    const auto num_nodes = static_cast<unsigned>(t.nodes.size());
+    Layout layout = bhLayout(particles, num_nodes);
+    BhMap m{layout.base("particles"), layout.base("nodes")};
 
-    System sys(appConfig(threads, p.memHubs, base));
-    setup(sys, t);
+    // The force pipelines cache accumulators/positions per particle and
+    // node/leaf records per tree node in BRAM; size the scratchpad from
+    // the actual tree.
+    Layout spad = accel::barnesHutSpadLayout(particles, num_nodes);
+    System sys(appConfig(threads, p.memHubs, base, spad.totalBytes()));
+    setup(sys, t, m);
     if (base.mode != SystemMode::CpuOnly) {
-        AccelImage img = accel::barnesHutImage(threads);
-        sys.installAccel(img);
+        AccelImage img = accel::barnesHutImage(threads, spad);
+        installOrDie(sys, img);
         // Plain parameter registers: particle and node bases.
         sys.adapter().regs()->receive(
-            CtrlMsg{CtrlMsgKind::PlainUpdate, 5, kParticleBase, 0, nullptr});
+            CtrlMsg{CtrlMsgKind::PlainUpdate, 5, m.particles, 0, nullptr});
         sys.adapter().regs()->receive(
-            CtrlMsg{CtrlMsgKind::PlainUpdate, 6, kNodeBase, 0, nullptr});
+            CtrlMsg{CtrlMsgKind::PlainUpdate, 6, m.nodes, 0, nullptr});
     }
     Tick t0 = sys.eventQueue().now();
     for (unsigned tid = 0; tid < threads; ++tid) {
         if (base.mode == SystemMode::CpuOnly) {
-            sys.core(tid).start([tid, threads, particles](Core &c) {
-                return cpuThread(c, tid, threads, particles);
+            sys.core(tid).start([m, tid, threads, particles](Core &c) {
+                return cpuThread(c, m, tid, threads, particles);
             });
         } else {
-            sys.core(tid).start([&sys, tid, threads, particles](Core &c) {
-                return accelThread(c, sys, tid, threads, particles);
-            });
+            sys.core(tid).start(
+                [&sys, m, tid, threads, particles](Core &c) {
+                    return accelThread(c, sys, m, tid, threads, particles);
+                });
         }
     }
     sys.run();
     AppResult res{"barnes-hut", base.mode, sys.lastCoreFinish() - t0,
-                  check(sys, fx, fy)};
+                  check(sys, m, fx, fy)};
     reportRun(sys);
     return res;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 #include "workload/sync.hh"
@@ -25,20 +26,63 @@ namespace duet
 namespace
 {
 
-// Address map. The windows bound the graph size at 1024 nodes (also the
-// frontier widget's scratchpad limit — see registry.cc): offsets need
-// (V+1) x 4 B < 0x2000, edges ~4V x 4 B < 0xE000, queues 8V B < 0x4000.
-constexpr Addr kOffsets = 0x10000; // (V+1) x 4 B
-constexpr Addr kEdges = 0x12000;   // 4 B per edge
-constexpr Addr kDist = 0x20000;    // 8 B per node; 0 = unvisited
-constexpr Addr kCurQ = 0x30000;
-constexpr Addr kNextQ = 0x34000;
-constexpr Addr kCurSize = 0x38000;
-constexpr Addr kCurHead = 0x38040;
-constexpr Addr kNextTail = 0x38080;
-constexpr Addr kBarrier = 0x38100;
-constexpr Addr kLockWord = 0x38200;
-constexpr Addr kQnodes = 0x39000; // MCS qnodes, 64 B apart
+/** Base addresses of the computed memory layout (see bfsLayout()). */
+struct BfsMap
+{
+    Addr offsets = 0; ///< (V+1) x 4 B
+    Addr edges = 0;   ///< 4 B per edge
+    Addr dist = 0;    ///< 8 B per node; 0 = unvisited
+    Addr curQ = 0;
+    Addr nextQ = 0;
+    Addr curSize = 0;
+    Addr curHead = 0;
+    Addr nextTail = 0;
+    Addr barrier = 0;
+    Addr lockWord = 0;
+    Addr qnodes = 0; ///< MCS qnodes, 64 B apart
+};
+
+/**
+ * The layout, computed from the graph. The window floors reproduce the
+ * seed-era fixed map (offsets at 0x10000, edges at 0x12000, ...) for any
+ * graph that fits it, so default-size runs stay byte-identical; bigger
+ * graphs simply grow the windows.
+ */
+Layout
+bfsLayout(unsigned num_nodes, std::size_t num_edges, unsigned cores)
+{
+    LayoutBuilder b;
+    b.region("offsets", 4, num_nodes + 1u, {.minWindowBytes = 0x2000});
+    b.region("edges", 4, num_edges, {.minWindowBytes = 0xE000});
+    b.region("dist", 8, num_nodes, {.minWindowBytes = 0x10000});
+    b.region("cur_q", 8, num_nodes, {.minWindowBytes = 0x4000});
+    b.region("next_q", 8, num_nodes, {.minWindowBytes = 0x4000});
+    b.region("cur_size", 8, 1, {.minWindowBytes = 0x40});
+    b.region("cur_head", 8, 1, {.minWindowBytes = 0x40});
+    b.region("next_tail", 8, 1, {.minWindowBytes = 0x80});
+    b.region("barrier", 8, 1, {.minWindowBytes = 0x100});
+    b.region("lock", 8, 1, {.minWindowBytes = 0xE00});
+    b.region("qnodes", 64, cores, {.minWindowBytes = 0x400});
+    return b.build();
+}
+
+BfsMap
+mapFrom(const Layout &l)
+{
+    BfsMap m;
+    m.offsets = l.base("offsets");
+    m.edges = l.base("edges");
+    m.dist = l.base("dist");
+    m.curQ = l.base("cur_q");
+    m.nextQ = l.base("next_q");
+    m.curSize = l.base("cur_size");
+    m.curHead = l.base("cur_head");
+    m.nextTail = l.base("next_tail");
+    m.barrier = l.base("barrier");
+    m.lockWord = l.base("lock");
+    m.qnodes = l.base("qnodes");
+    return m;
+}
 
 struct HostGraph
 {
@@ -104,20 +148,20 @@ hostBfs(const HostGraph &g)
 }
 
 void
-setup(System &sys, const HostGraph &g)
+setup(System &sys, const HostGraph &g, const BfsMap &m)
 {
     for (unsigned i = 0; i < g.offsets.size(); ++i)
-        sys.memory().write(kOffsets + 4 * i, 4, g.offsets[i]);
+        sys.memory().write(m.offsets + 4 * i, 4, g.offsets[i]);
     for (unsigned i = 0; i < g.edges.size(); ++i)
-        sys.memory().write(kEdges + 4 * i, 4, g.edges[i]);
-    sys.memory().write(kDist, 8, 1); // source claimed at depth 1
+        sys.memory().write(m.edges + 4 * i, 4, g.edges[i]);
+    sys.memory().write(m.dist, 8, 1); // source claimed at depth 1
 }
 
 bool
-check(System &sys, const std::vector<unsigned> &want)
+check(System &sys, const std::vector<unsigned> &want, const BfsMap &m)
 {
     for (unsigned v = 0; v < want.size(); ++v)
-        if (sys.memory().read(kDist + 8 * v, 8) != want[v])
+        if (sys.memory().read(m.dist + 8 * v, 8) != want[v])
             return false;
     return true;
 }
@@ -125,79 +169,79 @@ check(System &sys, const std::vector<unsigned> &want)
 /** Scan node u's edges, claim unvisited neighbors at @p depth_plus_1;
  *  calls @p found for each claimed neighbor. */
 CoTask<void>
-scanNode(Core &c, std::uint64_t u, std::uint64_t depth_plus_1,
+scanNode(Core &c, BfsMap m, std::uint64_t u, std::uint64_t depth_plus_1,
          std::function<CoTask<void>(std::uint64_t)> found)
 {
-    std::uint64_t beg = co_await c.load(kOffsets + 4 * u, 4);
-    std::uint64_t end = co_await c.load(kOffsets + 4 * (u + 1), 4);
+    std::uint64_t beg = co_await c.load(m.offsets + 4 * u, 4);
+    std::uint64_t end = co_await c.load(m.offsets + 4 * (u + 1), 4);
     for (std::uint64_t e = beg; e < end; ++e) {
-        std::uint64_t v = co_await c.load(kEdges + 4 * e, 4);
+        std::uint64_t v = co_await c.load(m.edges + 4 * e, 4);
         co_await c.compute(cost::kBfsEdgeOps);
         // Claim: CAS 0 -> depth+1 on the distance word.
         std::uint64_t old =
-            co_await c.amo(AmoOp::Cas, kDist + 8 * v, 0, depth_plus_1);
+            co_await c.amo(AmoOp::Cas, m.dist + 8 * v, 0, depth_plus_1);
         if (old == 0)
             co_await found(v);
     }
 }
 
 CoTask<void>
-cpuThread(Core &c, unsigned tid, unsigned cores)
+cpuThread(Core &c, BfsMap m, unsigned tid, unsigned cores)
 {
     // The software frontier queues are protected by one MCS lock (the
     // "synchronization bottleneck" the paper's lock-free hardware queues
     // remove, Sec. V-D).
-    SpinBarrier barrier(kBarrier, cores);
-    McsLock lock(kLockWord);
-    const Addr qnode = kQnodes + 64ull * tid;
+    SpinBarrier barrier(m.barrier, cores);
+    McsLock lock(m.lockWord);
+    const Addr qnode = m.qnodes + 64ull * tid;
     bool sense = false;
     std::uint64_t depth = 1;
     if (tid == 0) {
-        co_await c.store(kCurQ, 0);     // frontier = {source}
-        co_await c.store(kCurSize, 1);
-        co_await c.store(kCurHead, 0);
-        co_await c.store(kNextTail, 0);
+        co_await c.store(m.curQ, 0);     // frontier = {source}
+        co_await c.store(m.curSize, 1);
+        co_await c.store(m.curHead, 0);
+        co_await c.store(m.nextTail, 0);
     }
     co_await barrier.wait(c, sense);
     while (true) {
-        std::uint64_t cur_size = co_await c.load(kCurSize);
+        std::uint64_t cur_size = co_await c.load(m.curSize);
         if (cur_size == 0)
             co_return;
         while (true) {
             // Locked dequeue from the current frontier.
             co_await lock.acquire(c, qnode);
-            std::uint64_t idx = co_await c.load(kCurHead);
+            std::uint64_t idx = co_await c.load(m.curHead);
             bool has = idx < cur_size;
             std::uint64_t u = 0;
             if (has) {
-                co_await c.store(kCurHead, idx + 1);
-                u = co_await c.load(kCurQ + 8 * idx);
+                co_await c.store(m.curHead, idx + 1);
+                u = co_await c.load(m.curQ + 8 * idx);
             }
             co_await lock.release(c, qnode);
             if (!has)
                 break;
             co_await scanNode(
-                c, u, depth + 1,
+                c, m, u, depth + 1,
                 [&](std::uint64_t v) -> CoTask<void> {
                     // Locked enqueue onto the next frontier.
                     co_await lock.acquire(c, qnode);
-                    std::uint64_t t = co_await c.load(kNextTail);
-                    co_await c.store(kNextQ + 8 * t, v);
-                    co_await c.store(kNextTail, t + 1);
+                    std::uint64_t t = co_await c.load(m.nextTail);
+                    co_await c.store(m.nextQ + 8 * t, v);
+                    co_await c.store(m.nextTail, t + 1);
                     co_await lock.release(c, qnode);
                 });
         }
         co_await barrier.wait(c, sense);
         if (tid == 0) {
             // Swap frontiers (copy next into cur; descriptor reset).
-            std::uint64_t n = co_await c.load(kNextTail);
+            std::uint64_t n = co_await c.load(m.nextTail);
             for (std::uint64_t i = 0; i < n; ++i) {
-                std::uint64_t v = co_await c.load(kNextQ + 8 * i);
-                co_await c.store(kCurQ + 8 * i, v);
+                std::uint64_t v = co_await c.load(m.nextQ + 8 * i);
+                co_await c.store(m.curQ + 8 * i, v);
             }
-            co_await c.store(kCurSize, n);
-            co_await c.store(kCurHead, 0);
-            co_await c.store(kNextTail, 0);
+            co_await c.store(m.curSize, n);
+            co_await c.store(m.curHead, 0);
+            co_await c.store(m.nextTail, 0);
         }
         ++depth;
         co_await barrier.wait(c, sense);
@@ -205,7 +249,7 @@ cpuThread(Core &c, unsigned tid, unsigned cores)
 }
 
 CoTask<void>
-accelThread(Core &c, System &sys, unsigned tid, unsigned cores)
+accelThread(Core &c, System &sys, BfsMap m, unsigned tid, unsigned cores)
 {
     if (tid == 0)
         co_await c.mmioWrite(sys.regAddr(1 + cores), 0); // seed the widget
@@ -219,7 +263,7 @@ accelThread(Core &c, System &sys, unsigned tid, unsigned cores)
             co_await c.mmioWrite(sys.regAddr(0), accel::kLevelSentinel);
             continue;
         }
-        co_await scanNode(c, u, depth + 1,
+        co_await scanNode(c, m, u, depth + 1,
                           [&](std::uint64_t v) -> CoTask<void> {
                               co_await c.mmioWrite(sys.regAddr(0), v);
                           });
@@ -234,25 +278,29 @@ runBfs(const WorkloadParams &p, const SystemConfig &base)
     const unsigned cores = p.cores;
     HostGraph g = buildGraph(p.size, p.seed);
     std::vector<unsigned> want = hostBfs(g);
-    System sys(appConfig(cores, p.memHubs, base));
-    setup(sys, g);
+    Layout layout = bfsLayout(g.numNodes(), g.edges.size(), cores);
+    BfsMap m = mapFrom(layout);
+    // The frontier widget double-buffers 8 B frontier entries in the
+    // scratchpad; a level frontier can approach V.
+    System sys(appConfig(cores, p.memHubs, base, 2ull * 8 * p.size));
+    setup(sys, g, m);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::bfsQueueImage(cores));
     Tick t0 = sys.eventQueue().now();
     for (unsigned tid = 0; tid < cores; ++tid) {
         if (base.mode == SystemMode::CpuOnly) {
-            sys.core(tid).start([tid, cores](Core &c) {
-                return cpuThread(c, tid, cores);
+            sys.core(tid).start([m, tid, cores](Core &c) {
+                return cpuThread(c, m, tid, cores);
             });
         } else {
-            sys.core(tid).start([&sys, tid, cores](Core &c) {
-                return accelThread(c, sys, tid, cores);
+            sys.core(tid).start([&sys, m, tid, cores](Core &c) {
+                return accelThread(c, sys, m, tid, cores);
             });
         }
     }
     sys.run();
     AppResult res{"bfs/" + std::to_string(cores), base.mode,
-                  sys.lastCoreFinish() - t0, check(sys, want)};
+                  sys.lastCoreFinish() - t0, check(sys, want, m)};
     reportRun(sys);
     return res;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 
@@ -21,14 +22,34 @@ namespace duet
 namespace
 {
 
-// Address map. The edge window (0x11000..0x20000) holds ~8 edges/node at
-// 8 B each, bounding the graph at 960 nodes (see registry.cc); heap
-// entries pack the node id into 16 bits.
-constexpr Addr kOffsets = 0x10000; // (V+1) x 4 B
-constexpr Addr kEdges = 0x11000;   // 8 B per edge: v | w<<32
-constexpr Addr kDist = 0x20000;    // 8 B per node
-constexpr Addr kHeap = 0x30000;    // CPU-side binary heap (8 B entries)
 constexpr std::uint64_t kInf = 0x00ffffffffffffffull;
+
+/** Base addresses of the computed memory layout. */
+struct DijkstraMap
+{
+    Addr offsets = 0; ///< (V+1) x 4 B
+    Addr edges = 0;   ///< 8 B per edge: v | w<<32
+    Addr dist = 0;    ///< 8 B per node
+    Addr heap = 0;    ///< CPU-side binary heap (8 B entries)
+};
+
+/**
+ * The layout. The window floors reproduce the seed-era map (offsets at
+ * 0x10000, edges at 0x11000, dist at 0x20000, heap at 0x30000) for any
+ * graph that fits it; larger graphs grow the windows. The heap region is
+ * sized for one live entry per relaxation (lazy deletion never holds
+ * more than edges + 1 entries).
+ */
+Layout
+dijkstraLayout(unsigned num_nodes, std::size_t num_edges)
+{
+    LayoutBuilder b;
+    b.region("offsets", 4, num_nodes + 1u, {.minWindowBytes = 0x1000});
+    b.region("edges", 8, num_edges, {.minWindowBytes = 0xF000});
+    b.region("dist", 8, num_nodes, {.minWindowBytes = 0x10000});
+    b.region("heap", 8, num_edges + 1u);
+    return b.build();
+}
 
 struct HostGraph
 {
@@ -99,22 +120,23 @@ hostDijkstra(const HostGraph &g)
 }
 
 void
-setup(System &sys, const HostGraph &g)
+setup(System &sys, const HostGraph &g, const DijkstraMap &m)
 {
     for (unsigned i = 0; i < g.offsets.size(); ++i)
-        sys.memory().write(kOffsets + 4 * i, 4, g.offsets[i]);
+        sys.memory().write(m.offsets + 4 * i, 4, g.offsets[i]);
     for (unsigned i = 0; i < g.edges.size(); ++i)
-        sys.memory().write(kEdges + 8 * i, 8, g.edges[i]);
+        sys.memory().write(m.edges + 8 * i, 8, g.edges[i]);
     for (unsigned v = 0; v < g.numNodes(); ++v)
-        sys.memory().write(kDist + 8 * v, 8, kInf);
-    sys.memory().write(kDist, 8, 0);
+        sys.memory().write(m.dist + 8 * v, 8, kInf);
+    sys.memory().write(m.dist, 8, 0);
 }
 
 bool
-check(System &sys, const std::vector<std::uint64_t> &want)
+check(System &sys, const std::vector<std::uint64_t> &want,
+      const DijkstraMap &m)
 {
     for (unsigned v = 0; v < want.size(); ++v)
-        if (sys.memory().read(kDist + 8 * v, 8) != want[v])
+        if (sys.memory().read(m.dist + 8 * v, 8) != want[v])
             return false;
     return true;
 }
@@ -124,22 +146,23 @@ check(System &sys, const std::vector<std::uint64_t> &want)
 struct MemHeap
 {
     Core &c;
+    Addr base;
     unsigned size = 0;
 
     CoTask<void>
     push(std::uint64_t packed)
     {
         unsigned i = size++;
-        co_await c.store(kHeap + 8 * i, packed);
+        co_await c.store(base + 8 * i, packed);
         while (i > 0) {
             unsigned parent = (i - 1) / 2;
-            std::uint64_t pv = co_await c.load(kHeap + 8 * parent);
-            std::uint64_t cv = co_await c.load(kHeap + 8 * i);
+            std::uint64_t pv = co_await c.load(base + 8 * parent);
+            std::uint64_t cv = co_await c.load(base + 8 * i);
             co_await c.compute(cost::kHeapLevelOps);
             if (pv <= cv)
                 break;
-            co_await c.store(kHeap + 8 * parent, cv);
-            co_await c.store(kHeap + 8 * i, pv);
+            co_await c.store(base + 8 * parent, cv);
+            co_await c.store(base + 8 * i, pv);
             i = parent;
         }
     }
@@ -147,23 +170,23 @@ struct MemHeap
     CoTask<std::uint64_t>
     pop()
     {
-        std::uint64_t top = co_await c.load(kHeap);
-        std::uint64_t last = co_await c.load(kHeap + 8 * (--size));
-        co_await c.store(kHeap, last);
+        std::uint64_t top = co_await c.load(base);
+        std::uint64_t last = co_await c.load(base + 8 * (--size));
+        co_await c.store(base, last);
         unsigned i = 0;
         while (true) {
             unsigned l = 2 * i + 1, r = 2 * i + 2, m = i;
-            std::uint64_t mv = co_await c.load(kHeap + 8 * i);
+            std::uint64_t mv = co_await c.load(base + 8 * i);
             co_await c.compute(cost::kHeapLevelOps);
             if (l < size) {
-                std::uint64_t lv = co_await c.load(kHeap + 8 * l);
+                std::uint64_t lv = co_await c.load(base + 8 * l);
                 if (lv < mv) {
                     m = l;
                     mv = lv;
                 }
             }
             if (r < size) {
-                std::uint64_t rv = co_await c.load(kHeap + 8 * r);
+                std::uint64_t rv = co_await c.load(base + 8 * r);
                 if (rv < mv) {
                     m = r;
                     mv = rv;
@@ -171,17 +194,18 @@ struct MemHeap
             }
             if (m == i)
                 break;
-            std::uint64_t a = co_await c.load(kHeap + 8 * i);
-            std::uint64_t b = co_await c.load(kHeap + 8 * m);
-            co_await c.store(kHeap + 8 * i, b);
-            co_await c.store(kHeap + 8 * m, a);
+            std::uint64_t a = co_await c.load(base + 8 * i);
+            std::uint64_t b = co_await c.load(base + 8 * m);
+            co_await c.store(base + 8 * i, b);
+            co_await c.store(base + 8 * m, a);
             i = m;
         }
         co_return top;
     }
 };
 
-// Heap entries pack (dist << 16) | node so min-heap order is by distance.
+// Heap entries pack (dist << 16) | node so min-heap order is by distance
+// (bounding the graph at 65536 nodes — see registry.cc).
 constexpr std::uint64_t
 packEntry(std::uint64_t dist, std::uint64_t node)
 {
@@ -189,28 +213,28 @@ packEntry(std::uint64_t dist, std::uint64_t node)
 }
 
 CoTask<void>
-cpuWorkload(Core &c)
+cpuWorkload(Core &c, DijkstraMap m)
 {
-    MemHeap heap{c};
+    MemHeap heap{c, m.heap};
     co_await heap.push(packEntry(0, 0));
     while (heap.size > 0) {
         std::uint64_t e = co_await heap.pop();
         std::uint64_t u = e & 0xffff;
         std::uint64_t du = e >> 16;
-        std::uint64_t cur = co_await c.load(kDist + 8 * u);
+        std::uint64_t cur = co_await c.load(m.dist + 8 * u);
         co_await c.compute(cost::kAluOp);
         if (du > cur)
             continue; // stale (lazy deletion)
-        std::uint64_t beg = co_await c.load(kOffsets + 4 * u, 4);
-        std::uint64_t end = co_await c.load(kOffsets + 4 * (u + 1), 4);
+        std::uint64_t beg = co_await c.load(m.offsets + 4 * u, 4);
+        std::uint64_t end = co_await c.load(m.offsets + 4 * (u + 1), 4);
         for (std::uint64_t i = beg; i < end; ++i) {
-            std::uint64_t vw = co_await c.load(kEdges + 8 * i);
+            std::uint64_t vw = co_await c.load(m.edges + 8 * i);
             std::uint64_t v = vw & 0xffffffffull;
             std::uint64_t w = vw >> 32;
-            std::uint64_t dv = co_await c.load(kDist + 8 * v);
+            std::uint64_t dv = co_await c.load(m.dist + 8 * v);
             co_await c.compute(cost::kRelaxOps);
             if (du + w < dv) {
-                co_await c.store(kDist + 8 * v, du + w);
+                co_await c.store(m.dist + 8 * v, du + w);
                 co_await heap.push(packEntry(du + w, v));
             }
         }
@@ -218,18 +242,18 @@ cpuWorkload(Core &c)
 }
 
 CoTask<void>
-accelWorkload(Core &c, System &sys)
+accelWorkload(Core &c, System &sys, DijkstraMap m)
 {
-    co_await c.mmioWrite(sys.regAddr(2), kOffsets);
-    co_await c.mmioWrite(sys.regAddr(3), kEdges);
-    co_await c.mmioWrite(sys.regAddr(4), kDist);
-    MemHeap heap{c};
+    co_await c.mmioWrite(sys.regAddr(2), m.offsets);
+    co_await c.mmioWrite(sys.regAddr(3), m.edges);
+    co_await c.mmioWrite(sys.regAddr(4), m.dist);
+    MemHeap heap{c, m.heap};
     co_await heap.push(packEntry(0, 0));
     while (heap.size > 0) {
         std::uint64_t e = co_await heap.pop();
         std::uint64_t u = e & 0xffff;
         std::uint64_t du = e >> 16;
-        std::uint64_t cur = co_await c.load(kDist + 8 * u);
+        std::uint64_t cur = co_await c.load(m.dist + 8 * u);
         co_await c.compute(cost::kAluOp);
         if (du > cur)
             continue;
@@ -253,20 +277,23 @@ runDijkstra(const WorkloadParams &p, const SystemConfig &base)
 {
     HostGraph g = buildGraph(p.size, p.seed);
     std::vector<std::uint64_t> want = hostDijkstra(g);
+    Layout layout = dijkstraLayout(g.numNodes(), g.edges.size());
+    DijkstraMap m{layout.base("offsets"), layout.base("edges"),
+                  layout.base("dist"), layout.base("heap")};
     System sys(appConfig(p.cores, p.memHubs, base));
-    setup(sys, g);
+    setup(sys, g, m);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::dijkstraImage());
     Tick t0 = sys.eventQueue().now();
     if (base.mode == SystemMode::CpuOnly) {
-        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
+        sys.core(0).start([m](Core &c) { return cpuWorkload(c, m); });
     } else {
         sys.core(0).start(
-            [&sys](Core &c) { return accelWorkload(c, sys); });
+            [&sys, m](Core &c) { return accelWorkload(c, sys, m); });
     }
     sys.run();
     AppResult res{"dijkstra", base.mode, sys.lastCoreFinish() - t0,
-                  check(sys, want)};
+                  check(sys, want, m)};
     reportRun(sys);
     return res;
 }

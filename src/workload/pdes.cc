@@ -17,6 +17,7 @@
  */
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 #include "workload/sync.hh"
@@ -29,15 +30,36 @@ namespace
 constexpr unsigned kGates = 64;
 constexpr unsigned kChainLen = 24;
 
-// The heap window (kHeapBase..kHeapSize) holds 4096 entries; the live
-// heap never exceeds the chain count (a pop precedes every push), so the
-// registry bounds chains at 512.
-constexpr Addr kGateBase = 0x10000;  // 8 B state per gate
-constexpr Addr kHeapBase = 0x20000;  // shared heap storage
-constexpr Addr kHeapSize = 0x28000;  // heap size word
-constexpr Addr kLockWord = 0x28040;  // MCS lock word
-constexpr Addr kTickets = 0x28080;   // pop-claim tickets
-constexpr Addr kQnodes = 0x29000;    // MCS qnodes, 64 B apart per thread
+/** Base addresses of the computed memory layout (see pdesLayout()). */
+struct PdesMap
+{
+    Addr gates = 0;    ///< 8 B state per gate
+    Addr heap = 0;     ///< shared heap storage
+    Addr heapSize = 0; ///< heap size word
+    Addr lockWord = 0; ///< MCS lock word
+    Addr tickets = 0;  ///< pop-claim tickets
+    Addr qnodes = 0;   ///< MCS qnodes, 64 B apart per thread
+};
+
+/**
+ * The layout, computed from the chain count. The window floors reproduce
+ * the seed-era fixed map (gates at 0x10000, heap at 0x20000, ...) for
+ * any run that fits it. The live heap never exceeds the chain count (a
+ * pop precedes every push), so the heap region holds one entry per
+ * chain.
+ */
+Layout
+pdesLayout(unsigned chains, unsigned cores)
+{
+    LayoutBuilder b;
+    b.region("gates", 8, kGates, {.minWindowBytes = 0x10000});
+    b.region("heap", 8, chains, {.minWindowBytes = 0x8000});
+    b.region("heap_size", 8, 1, {.minWindowBytes = 0x40});
+    b.region("lock", 8, 1, {.minWindowBytes = 0x40});
+    b.region("tickets", 8, 1, {.minWindowBytes = 0xF80});
+    b.region("qnodes", 64, cores, {.minWindowBytes = 0x400});
+    return b.build();
+}
 
 /** Event packing: time << 32 | gate << 16 | chain (min-heap by time). */
 constexpr std::uint64_t
@@ -86,111 +108,111 @@ hostChecksum(unsigned chains)
 }
 
 bool
-check(System &sys, unsigned chains)
+check(System &sys, unsigned chains, const PdesMap &m)
 {
     std::uint64_t sum = 0;
     for (unsigned g = 0; g < kGates; ++g)
-        sum += sys.memory().read(kGateBase + 8 * g, 8);
+        sum += sys.memory().read(m.gates + 8 * g, 8);
     return sum == hostChecksum(chains);
 }
 
 /** Process one event: gate-state update + modeled gate evaluation. */
 CoTask<void>
-processEvent(Core &c, std::uint64_t e)
+processEvent(Core &c, PdesMap m, std::uint64_t e)
 {
     co_await c.compute(cost::kPdesEventOps);
-    co_await c.amo(AmoOp::Add, kGateBase + 8 * evGate(e),
+    co_await c.amo(AmoOp::Add, m.gates + 8 * evGate(e),
                    accel::pdesGateDelta(evTime(e), evGate(e)));
 }
 
 // ------------------------- CPU baseline -------------------------------
 
 CoTask<void>
-heapPushLocked(Core &c, std::uint64_t v)
+heapPushLocked(Core &c, PdesMap m, std::uint64_t v)
 {
-    std::uint64_t size = co_await c.load(kHeapSize);
+    std::uint64_t size = co_await c.load(m.heapSize);
     std::uint64_t i = size;
-    co_await c.store(kHeapBase + 8 * i, v);
-    co_await c.store(kHeapSize, size + 1);
+    co_await c.store(m.heap + 8 * i, v);
+    co_await c.store(m.heapSize, size + 1);
     while (i > 0) {
         std::uint64_t parent = (i - 1) / 2;
-        std::uint64_t pv = co_await c.load(kHeapBase + 8 * parent);
-        std::uint64_t cv = co_await c.load(kHeapBase + 8 * i);
+        std::uint64_t pv = co_await c.load(m.heap + 8 * parent);
+        std::uint64_t cv = co_await c.load(m.heap + 8 * i);
         co_await c.compute(cost::kHeapLevelOps);
         if (pv <= cv)
             break;
-        co_await c.store(kHeapBase + 8 * parent, cv);
-        co_await c.store(kHeapBase + 8 * i, pv);
+        co_await c.store(m.heap + 8 * parent, cv);
+        co_await c.store(m.heap + 8 * i, pv);
         i = parent;
     }
 }
 
 CoTask<std::uint64_t>
-heapPopLocked(Core &c)
+heapPopLocked(Core &c, PdesMap m)
 {
-    std::uint64_t size = co_await c.load(kHeapSize);
-    std::uint64_t top = co_await c.load(kHeapBase);
-    std::uint64_t last = co_await c.load(kHeapBase + 8 * (size - 1));
-    co_await c.store(kHeapBase, last);
-    co_await c.store(kHeapSize, size - 1);
+    std::uint64_t size = co_await c.load(m.heapSize);
+    std::uint64_t top = co_await c.load(m.heap);
+    std::uint64_t last = co_await c.load(m.heap + 8 * (size - 1));
+    co_await c.store(m.heap, last);
+    co_await c.store(m.heapSize, size - 1);
     size -= 1;
     std::uint64_t i = 0;
     while (true) {
-        std::uint64_t l = 2 * i + 1, r = 2 * i + 2, m = i;
-        std::uint64_t mv = co_await c.load(kHeapBase + 8 * i);
+        std::uint64_t l = 2 * i + 1, r = 2 * i + 2, best = i;
+        std::uint64_t mv = co_await c.load(m.heap + 8 * i);
         co_await c.compute(cost::kHeapLevelOps);
         if (l < size) {
-            std::uint64_t lv = co_await c.load(kHeapBase + 8 * l);
+            std::uint64_t lv = co_await c.load(m.heap + 8 * l);
             if (lv < mv) {
-                m = l;
+                best = l;
                 mv = lv;
             }
         }
         if (r < size) {
-            std::uint64_t rv = co_await c.load(kHeapBase + 8 * r);
+            std::uint64_t rv = co_await c.load(m.heap + 8 * r);
             if (rv < mv) {
-                m = r;
+                best = r;
                 mv = rv;
             }
         }
-        if (m == i)
+        if (best == i)
             break;
-        std::uint64_t a = co_await c.load(kHeapBase + 8 * i);
-        std::uint64_t b = co_await c.load(kHeapBase + 8 * m);
-        co_await c.store(kHeapBase + 8 * i, b);
-        co_await c.store(kHeapBase + 8 * m, a);
-        i = m;
+        std::uint64_t a = co_await c.load(m.heap + 8 * i);
+        std::uint64_t b = co_await c.load(m.heap + 8 * best);
+        co_await c.store(m.heap + 8 * i, b);
+        co_await c.store(m.heap + 8 * best, a);
+        i = best;
     }
     co_return top;
 }
 
 CoTask<void>
-cpuThread(Core &c, unsigned tid, unsigned total_events)
+cpuThread(Core &c, PdesMap m, unsigned tid, unsigned total_events)
 {
-    McsLock lock(kLockWord);
-    const Addr qnode = kQnodes + 64ull * tid;
+    McsLock lock(m.lockWord);
+    const Addr qnode = m.qnodes + 64ull * tid;
     while (true) {
         // Claim a pop ticket; every ticket < total_events has a matching
         // event that exists or will be pushed.
-        std::uint64_t ticket = co_await c.amo(AmoOp::Add, kTickets, 1);
+        std::uint64_t ticket = co_await c.amo(AmoOp::Add, m.tickets, 1);
         if (ticket >= total_events)
             co_return;
         std::uint64_t ev = 0;
         while (true) {
             co_await lock.acquire(c, qnode);
-            std::uint64_t size = co_await c.load(kHeapSize);
+            std::uint64_t size = co_await c.load(m.heapSize);
             if (size > 0) {
-                ev = co_await heapPopLocked(c);
+                ev = co_await heapPopLocked(c, m);
                 co_await lock.release(c, qnode);
                 break;
             }
             co_await lock.release(c, qnode);
             co_await c.compute(20); // back off, retry
         }
-        co_await processEvent(c, ev);
+        co_await processEvent(c, m, ev);
         if (evChain(ev) > 0) {
             co_await lock.acquire(c, qnode);
-            co_await heapPushLocked(c, childEvent(ev));
+            co_await heapPushLocked(c, m, childEvent(ev));
             co_await lock.release(c, qnode);
         }
     }
@@ -199,7 +221,8 @@ cpuThread(Core &c, unsigned tid, unsigned total_events)
 // ------------------------- accelerated --------------------------------
 
 CoTask<void>
-accelThread(Core &c, System &sys, unsigned tid, unsigned chains)
+accelThread(Core &c, System &sys, PdesMap m, unsigned tid,
+            unsigned chains)
 {
     if (tid == 0) {
         for (unsigned s = 0; s < chains; ++s)
@@ -209,7 +232,7 @@ accelThread(Core &c, System &sys, unsigned tid, unsigned chains)
         std::uint64_t ev = co_await popReg(c, sys.regAddr(1 + tid));
         if (ev == accel::kDoneSentinel)
             co_return;
-        co_await processEvent(c, ev);
+        co_await processEvent(c, m, ev);
         if (evChain(ev) > 0)
             co_await c.mmioWrite(sys.regAddr(0), childEvent(ev));
         // Completion marker frees this core's dispatch slot.
@@ -225,13 +248,19 @@ runPdes(const WorkloadParams &p, const SystemConfig &base)
     const unsigned cores = p.cores;
     const unsigned chains = p.size;
     const unsigned total_events = chains * kChainLen;
-    System sys(appConfig(cores, p.memHubs, base));
+    Layout layout = pdesLayout(chains, cores);
+    PdesMap m{layout.base("gates"),   layout.base("heap"),
+              layout.base("heap_size"), layout.base("lock"),
+              layout.base("tickets"),   layout.base("qnodes")};
+    // The scheduler widget keeps its event heap in the scratchpad: one
+    // 8 B packed event per in-flight chain.
+    System sys(appConfig(cores, p.memHubs, base, 8ull * chains));
     if (base.mode != SystemMode::CpuOnly) {
         installOrDie(sys, accel::pdesSchedulerImage(cores, total_events));
     } else {
         // Seed the software event heap (setup, untimed).
         for (unsigned s = 0; s < chains; ++s)
-            sys.memory().write(kHeapBase + 8 * s, 8, 0);
+            sys.memory().write(m.heap + 8 * s, 8, 0);
         std::vector<std::uint64_t> heap;
         for (unsigned s = 0; s < chains; ++s)
             heap.push_back(seedEvent(s));
@@ -239,24 +268,24 @@ runPdes(const WorkloadParams &p, const SystemConfig &base)
         // std::make_heap builds a max-heap with greater<> -> min-heap
         // array; store it directly.
         for (unsigned i = 0; i < heap.size(); ++i)
-            sys.memory().write(kHeapBase + 8 * i, 8, heap[i]);
-        sys.memory().write(kHeapSize, 8, heap.size());
+            sys.memory().write(m.heap + 8 * i, 8, heap[i]);
+        sys.memory().write(m.heapSize, 8, heap.size());
     }
     Tick t0 = sys.eventQueue().now();
     for (unsigned tid = 0; tid < cores; ++tid) {
         if (base.mode == SystemMode::CpuOnly) {
-            sys.core(tid).start([tid, total_events](Core &c) {
-                return cpuThread(c, tid, total_events);
+            sys.core(tid).start([m, tid, total_events](Core &c) {
+                return cpuThread(c, m, tid, total_events);
             });
         } else {
-            sys.core(tid).start([&sys, tid, chains](Core &c) {
-                return accelThread(c, sys, tid, chains);
+            sys.core(tid).start([&sys, m, tid, chains](Core &c) {
+                return accelThread(c, sys, m, tid, chains);
             });
         }
     }
     sys.run();
     AppResult res{"pdes/" + std::to_string(cores), base.mode,
-                  sys.lastCoreFinish() - t0, check(sys, chains)};
+                  sys.lastCoreFinish() - t0, check(sys, chains, m)};
     reportRun(sys);
     return res;
 }

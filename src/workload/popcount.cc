@@ -11,6 +11,7 @@
 #include <bit>
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 
@@ -19,68 +20,87 @@ namespace duet
 namespace
 {
 
-// The data window (0x10000..0x30000) bounds the vector count at 2048.
-constexpr Addr kData = 0x10000;    // 64 B per vector
-constexpr Addr kResults = 0x30000;
-constexpr Addr kTable = 0x40000;   // 256-entry byte-LUT
 constexpr unsigned kPipeDepth = 4;
 
+/** Base addresses of the computed memory layout. */
+struct PopcountMap
+{
+    Addr data = 0;    ///< 64 B per vector
+    Addr results = 0; ///< 8 B per vector
+    Addr table = 0;   ///< 256-entry byte-LUT
+};
+
+/** The layout. The window floors reproduce the seed-era map (data at
+ *  0x10000, results at 0x30000, table at 0x40000); the computed windows
+ *  lift the old 2048-vector ceiling. */
+Layout
+popcountLayout(unsigned vectors)
+{
+    LayoutBuilder b;
+    b.region("data", 64, vectors, {.minWindowBytes = 0x20000});
+    b.region("results", 8, vectors, {.minWindowBytes = 0x10000});
+    b.region("table", 1, 256);
+    return b.build();
+}
+
 void
-setup(System &sys, unsigned vectors, std::uint64_t seed)
+setup(System &sys, const PopcountMap &m, unsigned vectors,
+      std::uint64_t seed)
 {
     std::uint64_t x = seed;
     for (unsigned v = 0; v < vectors; ++v) {
         for (unsigned w = 0; w < 8; ++w) {
             x = x * 6364136223846793005ull + 1442695040888963407ull;
-            sys.memory().write(kData + 64 * v + 8 * w, 8, x);
+            sys.memory().write(m.data + 64 * v + 8 * w, 8, x);
         }
     }
     for (unsigned b = 0; b < 256; ++b)
-        sys.memory().write(kTable + b, 1,
+        sys.memory().write(m.table + b, 1,
                            static_cast<std::uint64_t>(std::popcount(b)));
 }
 
 bool
-check(System &sys, unsigned vectors)
+check(System &sys, const PopcountMap &m, unsigned vectors)
 {
     for (unsigned v = 0; v < vectors; ++v) {
         std::uint64_t expect = 0;
         for (unsigned w = 0; w < 8; ++w)
-            expect += std::popcount(sys.memory().read(kData + 64 * v + 8 * w, 8));
-        if (sys.memory().read(kResults + 8 * v, 8) != expect)
+            expect += std::popcount(
+                sys.memory().read(m.data + 64 * v + 8 * w, 8));
+        if (sys.memory().read(m.results + 8 * v, 8) != expect)
             return false;
     }
     return true;
 }
 
 CoTask<void>
-cpuWorkload(Core &c, unsigned vectors)
+cpuWorkload(Core &c, PopcountMap m, unsigned vectors)
 {
     for (unsigned v = 0; v < vectors; ++v) {
         std::uint64_t count = 0;
         for (unsigned w = 0; w < 8; ++w) {
-            std::uint64_t word = co_await c.load(kData + 64 * v + 8 * w);
+            std::uint64_t word = co_await c.load(m.data + 64 * v + 8 * w);
             for (unsigned b = 0; b < 8; ++b) {
                 std::uint64_t byte = (word >> (8 * b)) & 0xff;
-                count += co_await c.load(kTable + byte, 1);
+                count += co_await c.load(m.table + byte, 1);
                 co_await c.compute(cost::kPopcountByteOps);
             }
         }
-        co_await c.store(kResults + 8 * v, count);
+        co_await c.store(m.results + 8 * v, count);
     }
 }
 
 CoTask<void>
-accelWorkload(Core &c, System &sys, unsigned vectors)
+accelWorkload(Core &c, System &sys, PopcountMap m, unsigned vectors)
 {
     unsigned sent = 0, received = 0;
     while (received < vectors) {
         while (sent < vectors && sent - received < kPipeDepth) {
-            co_await c.mmioWrite(sys.regAddr(0), kData + 64 * sent);
+            co_await c.mmioWrite(sys.regAddr(0), m.data + 64 * sent);
             ++sent;
         }
         std::uint64_t r = co_await popReg(c, sys.regAddr(1));
-        co_await c.store(kResults + 8 * received, r);
+        co_await c.store(m.results + 8 * received, r);
         ++received;
     }
 }
@@ -91,22 +111,25 @@ AppResult
 runPopcount(const WorkloadParams &p, const SystemConfig &base)
 {
     const unsigned vectors = p.size;
+    Layout layout = popcountLayout(vectors);
+    PopcountMap m{layout.base("data"), layout.base("results"),
+                  layout.base("table")};
     System sys(appConfig(p.cores, p.memHubs, base));
-    setup(sys, vectors, p.seed);
+    setup(sys, m, vectors, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::popcountImage());
     Tick t0 = sys.eventQueue().now();
     if (base.mode == SystemMode::CpuOnly) {
         sys.core(0).start(
-            [vectors](Core &c) { return cpuWorkload(c, vectors); });
+            [m, vectors](Core &c) { return cpuWorkload(c, m, vectors); });
     } else {
-        sys.core(0).start([&sys, vectors](Core &c) {
-            return accelWorkload(c, sys, vectors);
+        sys.core(0).start([&sys, m, vectors](Core &c) {
+            return accelWorkload(c, sys, m, vectors);
         });
     }
     sys.run();
     AppResult res{"popcount", base.mode, sys.lastCoreFinish() - t0,
-                  check(sys, vectors)};
+                  check(sys, m, vectors)};
     reportRun(sys);
     return res;
 }

@@ -9,24 +9,44 @@ namespace duet
 namespace
 {
 
-// Size bounds below are derived from the fixed memory-layout windows of
-// each workload's address map and the 16 KiB fabric scratchpad:
-//  - bfs: the frontier widget double-buffers in the scratchpad (8 KiB per
-//    frontier = 1024 nodes) and a level frontier can approach V.
-//  - dijkstra: the edge window (0x11000..0x20000) holds ~8 edges/node at
-//    8 B each, bounding V at 960.
-//  - barnes_hut: the BRAM accumulator / position / leaf caches bound the
-//    particle count at 96 (the paper's configuration) — see images.cc.
-//  - pdes: the scratchpad event heap and the software heap window bound
-//    the chain count at 512.
+// Since the layout refactor (src/mem/layout.hh) the address maps are
+// computed from the problem size, so no workload is window-bound any
+// more. The remaining ceilings are *derived*:
+//  - Fabric BRAM (maxScratchpadBytes(): the largest scratchpad the
+//    application fabric can host next to the biggest Table II image)
+//    bounds the widget state of bfs (16 B/node frontier double-buffer),
+//    pdes (8 B/chain event heap) and barnes_hut (32 B/particle
+//    accumulator+position caches plus 64 B/node node+leaf caches, tree
+//    nodes <= 2x particles for the quadtree generator).
+//  - dijkstra packs node ids into 16-bit heap-entry fields (hard cap
+//    65536); the registry stops one quarter below so a max-size run
+//    finishes inside the default 500 ms simulated-time watchdog in
+//    every mode. pdes gets the same watchdog derate on top of its BRAM
+//    bound: its CPU baseline degrades with contention, not just size.
+//  - tangent/popcount stream through the hubs with O(1) fabric state;
+//    their caps only keep a sweep's single scenario inside the watchdog.
 //  - sort: the streaming network exists in the Table II sizes only.
+// Ceilings round down to a power of two so sweep axes stay tidy.
+
+/** Largest power of two <= v. */
+unsigned
+floorPow2(std::size_t v)
+{
+    unsigned r = 1;
+    while (std::size_t{r} * 2 <= v)
+        r *= 2;
+    return r;
+}
+
+constexpr unsigned kWatchdogSizeCap = 65536;
+
 ParamSpec
 tangentSpec()
 {
     ParamSpec s;
     s.defSize = 400;
     s.minSize = 1;
-    s.maxSize = 8192;
+    s.maxSize = kWatchdogSizeCap;
     s.sizeMeaning = "tangent calls";
     s.memHubs = 0;
     s.defSeed = 12345;
@@ -39,7 +59,7 @@ popcountSpec()
     ParamSpec s;
     s.defSize = 96;
     s.minSize = 1;
-    s.maxSize = 2048;
+    s.maxSize = kWatchdogSizeCap;
     s.sizeMeaning = "512-bit vectors";
     s.memHubs = 1;
     s.defSeed = 99;
@@ -64,7 +84,7 @@ dijkstraSpec()
     ParamSpec s;
     s.defSize = 128;
     s.minSize = 2;
-    s.maxSize = 960;
+    s.maxSize = 65536 / 4; // 16-bit node ids, derated for the watchdog
     s.sizeMeaning = "graph nodes";
     s.memHubs = 1;
     s.defSeed = 4242;
@@ -80,7 +100,8 @@ barnesHutSpec()
     s.maxCores = 4; // the force pipelines' register map is built for 4
     s.defSize = 96;
     s.minSize = 4;
-    s.maxSize = 96;
+    // 32 B/particle + 64 B/node BRAM caches, nodes <= 2x particles.
+    s.maxSize = floorPow2(maxScratchpadBytes() / (32 + 2 * 64));
     s.sizeMeaning = "particles";
     s.memHubs = 1;
     s.defSeed = 31337;
@@ -96,7 +117,11 @@ pdesSpec()
     s.maxCores = 16;
     s.defSize = 32;
     s.minSize = 1;
-    s.maxSize = 512;
+    // One 8 B packed event per in-flight chain in the scratchpad heap
+    // (BRAM cap 32768), derated 8x so the MCS-contended CPU baseline
+    // still finishes inside the default watchdog at 16 cores (~220 ms
+    // simulated at 4096 chains, measured).
+    s.maxSize = floorPow2(maxScratchpadBytes() / 8) / 8;
     s.sizeMeaning = "event chains";
     s.memHubs = 1;
     s.defSeed = 0; // the event "circuit" is deterministic, no RNG
@@ -112,7 +137,8 @@ bfsSpec()
     s.maxCores = 16;
     s.defSize = 256;
     s.minSize = 2;
-    s.maxSize = 1024;
+    // The frontier widget double-buffers 8 B entries in the scratchpad.
+    s.maxSize = floorPow2(maxScratchpadBytes() / 16);
     s.sizeMeaning = "graph nodes";
     s.memHubs = 0;
     s.defSeed = 777;
@@ -120,6 +146,19 @@ bfsSpec()
 }
 
 } // namespace
+
+std::string
+Workload::accelKeyFor(unsigned size) const
+{
+    if (params.allowedSizes.empty())
+        return accelKey;
+    // The registered key carries the default size ("sort64"); swap the
+    // numeric suffix for the configured one.
+    std::string stem = accelKey;
+    while (!stem.empty() && stem.back() >= '0' && stem.back() <= '9')
+        stem.pop_back();
+    return stem + std::to_string(size);
+}
 
 const std::vector<Workload> &
 workloadRegistry()

@@ -75,6 +75,11 @@ struct Workload
 
     bool takesCores() const { return params.minCores < params.maxCores; }
     bool takesSeed() const { return params.defSeed != 0; }
+
+    /** Table II key of the configuration running at @p size. Workloads
+     *  with an enumerated size set have one synthesized network per size
+     *  (sort32/sort64/sort128); everything else has a single row. */
+    std::string accelKeyFor(unsigned size) const;
 };
 
 /** All registered workloads, in the paper's Fig. 12 order. */

@@ -11,6 +11,7 @@
  */
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 
@@ -20,22 +21,39 @@ namespace
 {
 
 constexpr unsigned kKeys = 512;
-constexpr Addr kIn = 0x10000;
-constexpr Addr kSliced = 0x20000; // slice-sorted intermediate
-constexpr Addr kOut = 0x30000;
+
+/** Base addresses of the computed memory layout. */
+struct SortMap
+{
+    Addr in = 0;
+    Addr sliced = 0; ///< slice-sorted intermediate
+    Addr out = 0;
+};
+
+/** The layout. The window floors reproduce the seed-era map (in at
+ *  0x10000, sliced at 0x20000, out at 0x30000). */
+Layout
+sortLayout()
+{
+    LayoutBuilder b;
+    b.region("in", 4, kKeys, {.minWindowBytes = 0x10000});
+    b.region("sliced", 4, kKeys, {.minWindowBytes = 0x10000});
+    b.region("out", 4, kKeys);
+    return b.build();
+}
 
 void
-setup(System &sys, std::uint64_t seed)
+setup(System &sys, const SortMap &m, std::uint64_t seed)
 {
     std::uint64_t x = seed;
     for (unsigned i = 0; i < kKeys; ++i) {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
-        sys.memory().write(kIn + 4 * i, 4, (x >> 32) & 0x7fffffff);
+        sys.memory().write(m.in + 4 * i, 4, (x >> 32) & 0x7fffffff);
     }
 }
 
 bool
-check(System &sys, Addr where)
+check(System &sys, const SortMap &m, Addr where)
 {
     std::uint64_t prev = 0, sum_in = 0, sum_out = 0;
     for (unsigned i = 0; i < kKeys; ++i) {
@@ -44,7 +62,7 @@ check(System &sys, Addr where)
             return false;
         prev = v;
         sum_out += v;
-        sum_in += sys.memory().read(kIn + 4 * i, 4);
+        sum_in += sys.memory().read(m.in + 4 * i, 4);
     }
     return sum_in == sum_out;
 }
@@ -76,22 +94,22 @@ quicksort(Core &c, Addr arr, int lo, int hi)
 }
 
 CoTask<void>
-cpuWorkload(Core &c)
+cpuWorkload(Core &c, SortMap m)
 {
     // Copy input to output, then quicksort in place (the baseline sorts
     // the whole array).
     for (unsigned i = 0; i < kKeys; ++i) {
-        std::uint64_t v = co_await c.load(kIn + 4 * i, 4);
-        co_await c.store(kOut + 4 * i, v, 4);
+        std::uint64_t v = co_await c.load(m.in + 4 * i, 4);
+        co_await c.store(m.out + 4 * i, v, 4);
     }
-    co_await quicksort(c, kOut, 0, kKeys - 1);
+    co_await quicksort(c, m.out, 0, kKeys - 1);
 }
 
 /** Loser-tree k-way merge of the slice-sorted intermediate array. Head
  *  keys stay in registers; each output costs log2(k) compares, one load
  *  (the winner's successor) and one store. */
 CoTask<void>
-kwayMerge(Core &c, unsigned slice_keys)
+kwayMerge(Core &c, SortMap m, unsigned slice_keys)
 {
     const unsigned k = kKeys / slice_keys;
     std::vector<unsigned> pos(k, 0);
@@ -100,7 +118,7 @@ kwayMerge(Core &c, unsigned slice_keys)
     while ((1u << lg) < k)
         ++lg;
     for (unsigned s = 0; s < k; ++s)
-        head[s] = co_await c.load(kSliced + 4ull * s * slice_keys, 4);
+        head[s] = co_await c.load(m.sliced + 4ull * s * slice_keys, 4);
     for (unsigned out = 0; out < kKeys; ++out) {
         unsigned best = 0;
         std::uint64_t best_v = ~0ull;
@@ -113,27 +131,27 @@ kwayMerge(Core &c, unsigned slice_keys)
         // Loser-tree cost: log2(k) compares, not k (the scan above is
         // host-side selection; the simulated cost is charged here).
         co_await c.compute(std::max(1u, lg) * cost::kMergeCompareOps);
-        co_await c.store(kOut + 4 * out, best_v, 4);
+        co_await c.store(m.out + 4 * out, best_v, 4);
         if (++pos[best] < slice_keys) {
             head[best] = co_await c.load(
-                kSliced + 4ull * (best * slice_keys + pos[best]), 4);
+                m.sliced + 4ull * (best * slice_keys + pos[best]), 4);
         }
     }
 }
 
 CoTask<void>
-accelWorkload(Core &c, System &sys, unsigned slice_keys)
+accelWorkload(Core &c, System &sys, SortMap m, unsigned slice_keys)
 {
     const unsigned slices = kKeys / slice_keys;
-    co_await c.mmioWrite(sys.regAddr(2), kIn);
-    co_await c.mmioWrite(sys.regAddr(3), kSliced);
+    co_await c.mmioWrite(sys.regAddr(2), m.in);
+    co_await c.mmioWrite(sys.regAddr(3), m.sliced);
     co_await c.mmioWrite(sys.regAddr(4), slice_keys);
     // Push all slice commands; the accelerator pipelines them.
     for (unsigned s = 0; s < slices; ++s)
         co_await c.mmioWrite(sys.regAddr(0), s);
     for (unsigned s = 0; s < slices; ++s)
         co_await popReg(c, sys.regAddr(1)); // done tokens
-    co_await kwayMerge(c, slice_keys);
+    co_await kwayMerge(c, m, slice_keys);
 }
 
 } // namespace
@@ -142,20 +160,23 @@ AppResult
 runSort(const WorkloadParams &p, const SystemConfig &base)
 {
     const unsigned n = p.size; // keys per accelerated slice
+    Layout layout = sortLayout();
+    SortMap m{layout.base("in"), layout.base("sliced"),
+              layout.base("out")};
     System sys(appConfig(p.cores, p.memHubs, base));
-    setup(sys, p.seed);
+    setup(sys, m, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::sortImage(n));
     Tick t0 = sys.eventQueue().now();
     if (base.mode == SystemMode::CpuOnly) {
-        sys.core(0).start([](Core &c) { return cpuWorkload(c); });
+        sys.core(0).start([m](Core &c) { return cpuWorkload(c, m); });
     } else {
         sys.core(0).start(
-            [&sys, n](Core &c) { return accelWorkload(c, sys, n); });
+            [&sys, m, n](Core &c) { return accelWorkload(c, sys, m, n); });
     }
     sys.run();
     AppResult res{"sort/" + std::to_string(n), base.mode,
-                  sys.lastCoreFinish() - t0, check(sys, kOut)};
+                  sys.lastCoreFinish() - t0, check(sys, m, m.out)};
     reportRun(sys);
     return res;
 }

@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "accel/images.hh"
+#include "mem/layout.hh"
 #include "workload/apps.hh"
 #include "workload/cost_model.hh"
 
@@ -22,30 +23,47 @@ namespace duet
 namespace
 {
 
-// The args window (0x10000..0x20000) bounds the call count at 8192.
-constexpr Addr kArgs = 0x10000;
-constexpr Addr kResults = 0x20000;
 constexpr unsigned kPipeDepth = 4;
 
+/** Base addresses of the computed memory layout. */
+struct TangentMap
+{
+    Addr args = 0;
+    Addr results = 0;
+};
+
+/** The layout. The window floors reproduce the seed-era map (args at
+ *  0x10000, results at 0x20000); the computed windows lift the old
+ *  8192-call ceiling. */
+Layout
+tangentLayout(unsigned calls)
+{
+    LayoutBuilder b;
+    b.region("args", 8, calls, {.minWindowBytes = 0x10000});
+    b.region("results", 8, calls);
+    return b.build();
+}
+
 void
-setup(System &sys, unsigned calls, std::uint64_t seed)
+setup(System &sys, const TangentMap &m, unsigned calls,
+      std::uint64_t seed)
 {
     // Angles in [0, 0.7) rad, Q16.16; deterministic per seed.
     std::uint64_t x = seed;
     for (unsigned i = 0; i < calls; ++i) {
         x = x * 6364136223846793005ull + 1442695040888963407ull;
         std::uint64_t angle = (x >> 33) % 45875;
-        sys.memory().write(kArgs + 8 * i, 8, angle);
+        sys.memory().write(m.args + 8 * i, 8, angle);
     }
 }
 
 bool
-check(System &sys, unsigned calls)
+check(System &sys, const TangentMap &m, unsigned calls)
 {
     for (unsigned i = 0; i < calls; ++i) {
-        std::uint64_t angle = sys.memory().read(kArgs + 8 * i, 8);
+        std::uint64_t angle = sys.memory().read(m.args + 8 * i, 8);
         double got =
-            static_cast<double>(sys.memory().read(kResults + 8 * i, 8));
+            static_cast<double>(sys.memory().read(m.results + 8 * i, 8));
         double want = static_cast<double>(accel::libmTangentQ16(angle));
         // 1% relative with an 8-LSB absolute floor: the PWL table's
         // interpolation/rounding error is a few Q16.16 units, which
@@ -57,28 +75,28 @@ check(System &sys, unsigned calls)
 }
 
 CoTask<void>
-cpuWorkload(Core &c, unsigned calls)
+cpuWorkload(Core &c, TangentMap m, unsigned calls)
 {
     for (unsigned i = 0; i < calls; ++i) {
-        std::uint64_t angle = co_await c.load(kArgs + 8 * i);
+        std::uint64_t angle = co_await c.load(m.args + 8 * i);
         co_await c.compute(cost::kLibmTan);
-        co_await c.store(kResults + 8 * i, accel::libmTangentQ16(angle));
+        co_await c.store(m.results + 8 * i, accel::libmTangentQ16(angle));
     }
 }
 
 CoTask<void>
-accelWorkload(Core &c, System &sys, unsigned calls)
+accelWorkload(Core &c, System &sys, TangentMap m, unsigned calls)
 {
     // Software pipelining: keep kPipeDepth requests in flight.
     unsigned sent = 0, received = 0;
     while (received < calls) {
         while (sent < calls && sent - received < kPipeDepth) {
-            std::uint64_t angle = co_await c.load(kArgs + 8 * sent);
+            std::uint64_t angle = co_await c.load(m.args + 8 * sent);
             co_await c.mmioWrite(sys.regAddr(0), angle);
             ++sent;
         }
         std::uint64_t r = co_await popReg(c, sys.regAddr(1));
-        co_await c.store(kResults + 8 * received, r);
+        co_await c.store(m.results + 8 * received, r);
         ++received;
     }
 }
@@ -89,22 +107,24 @@ AppResult
 runTangent(const WorkloadParams &p, const SystemConfig &base)
 {
     const unsigned calls = p.size;
+    Layout layout = tangentLayout(calls);
+    TangentMap m{layout.base("args"), layout.base("results")};
     System sys(appConfig(p.cores, p.memHubs, base));
-    setup(sys, calls, p.seed);
+    setup(sys, m, calls, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::tangentImage());
     Tick t0 = sys.eventQueue().now();
     if (base.mode == SystemMode::CpuOnly) {
         sys.core(0).start(
-            [calls](Core &c) { return cpuWorkload(c, calls); });
+            [m, calls](Core &c) { return cpuWorkload(c, m, calls); });
     } else {
-        sys.core(0).start([&sys, calls](Core &c) {
-            return accelWorkload(c, sys, calls);
+        sys.core(0).start([&sys, m, calls](Core &c) {
+            return accelWorkload(c, sys, m, calls);
         });
     }
     sys.run();
     AppResult res{"tangent", base.mode, sys.lastCoreFinish() - t0,
-                  check(sys, calls)};
+                  check(sys, m, calls)};
     reportRun(sys);
     return res;
 }

@@ -393,14 +393,55 @@ TEST(Aggregate, CsvHasHeaderAndOneRowPerScenario)
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line,
               "workload,app,mode,cores,mem_hubs,size,seed,runtime_ticks,"
-              "runtime_ns,correct");
+              "runtime_ns,speedup,area_mm2,adp_norm,correct");
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line, "bfs,bfs/4,duet,4,0,256,777," +
-                        std::to_string(123 * kTicksPerNs) + ",123,true");
+                        std::to_string(123 * kTicksPerNs) +
+                        ",123,0.0000,0.0000,0.0000,true");
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line.substr(0, 9), "sort,sort");
     EXPECT_NE(line.find(",false"), std::string::npos);
     EXPECT_FALSE(std::getline(is, line)); // exactly header + 2 rows
+}
+
+// ------------------------- derived metrics ----------------------------
+
+TEST(Derived, SpeedupAndAdpJoinTheMatchingCpuRow)
+{
+    // A duet/cpu pair and an odd-one-out (different size: no partner).
+    SweepRow duet{"bfs", "bfs/4", "duet", 4, 0, 256, 777,
+                  100 * kTicksPerNs, true};
+    SweepRow cpu{"bfs", "bfs/4", "cpu", 4, 0, 256, 777,
+                 400 * kTicksPerNs, true};
+    SweepRow lone{"bfs", "bfs/4", "duet", 4, 0, 512, 777,
+                  100 * kTicksPerNs, true};
+    std::vector<SweepRow> rows{duet, cpu, lone};
+    addDerivedMetrics(rows);
+
+    EXPECT_DOUBLE_EQ(rows[0].speedup, 4.0);
+    EXPECT_DOUBLE_EQ(rows[1].speedup, 1.0); // the cpu row vs itself
+    EXPECT_DOUBLE_EQ(rows[2].speedup, 0.0); // no partner -> n/a
+    // Every row gets a silicon area; the Duet system carries the
+    // adapter, so its area exceeds the CPU baseline's.
+    EXPECT_GT(rows[1].areaMm2, 0.0);
+    EXPECT_GT(rows[0].areaMm2, rows[1].areaMm2);
+    // ADP normalized to the cpu row: cpu == 1 by construction; the duet
+    // row ran 4x faster on a bigger system.
+    EXPECT_DOUBLE_EQ(rows[1].adpNorm, 1.0);
+    double expect = rows[0].areaMm2 * 100 / (rows[1].areaMm2 * 400);
+    EXPECT_NEAR(rows[0].adpNorm, expect, 1e-12);
+    EXPECT_DOUBLE_EQ(rows[2].adpNorm, 0.0);
+}
+
+TEST(Derived, AccelKeyTracksSizeDependentTableRows)
+{
+    const Workload *sort = findWorkload("sort");
+    ASSERT_NE(sort, nullptr);
+    EXPECT_EQ(sort->accelKeyFor(32), "sort32");
+    EXPECT_EQ(sort->accelKeyFor(128), "sort128");
+    const Workload *bfs = findWorkload("bfs");
+    ASSERT_NE(bfs, nullptr);
+    EXPECT_EQ(bfs->accelKeyFor(16384), "bfs");
 }
 
 TEST(Aggregate, JsonLinesOneObjectPerRow)
