@@ -1,21 +1,41 @@
-# Sweep smoke test: run a tiny `duet_sim --sweep` cross-product and assert
-# the aggregated CSV has exactly one data row per scenario.
+# Sweep smoke test: run the same tiny `duet_sim --sweep` cross-product
+# twice — serially (--jobs 1) and through the parallel executor
+# (--jobs N) — assert the aggregated CSV has exactly one data row per
+# scenario, and require the two runs to be byte-identical (the
+# executor's scenario-order reassembly guarantee).
 #
 # Usage:
-#   cmake -DDUET_SIM=<path> -DCSV=<path> -DEXPECT_ROWS=<n> \
+#   cmake -DDUET_SIM=<path> -DCSV=<path> -DEXPECT_ROWS=<n> [-DJOBS=<n>] \
 #         -P cmake/sweep_smoke.cmake
 
 if(NOT DUET_SIM OR NOT CSV OR NOT EXPECT_ROWS)
   message(FATAL_ERROR "need -DDUET_SIM=, -DCSV= and -DEXPECT_ROWS=")
 endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+set(CSV_PAR "${CSV}.j${JOBS}")
+
+foreach(pass "1;${CSV}" "${JOBS};${CSV_PAR}")
+  list(GET pass 0 jobs)
+  list(GET pass 1 out)
+  execute_process(
+    COMMAND ${DUET_SIM} --sweep
+            --workload popcount,tangent --mode duet,cpu --size 8
+            --jobs ${jobs} --csv ${out}
+    RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "duet_sim --sweep --jobs ${jobs} exited with ${rv}")
+  endif()
+endforeach()
 
 execute_process(
-  COMMAND ${DUET_SIM} --sweep
-          --workload popcount,tangent --mode duet,cpu --size 8
-          --csv ${CSV}
-  RESULT_VARIABLE rv)
-if(NOT rv EQUAL 0)
-  message(FATAL_ERROR "duet_sim --sweep exited with ${rv}")
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${CSV} ${CSV_PAR}
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+          "--jobs 1 and --jobs ${JOBS} sweeps are not byte-identical "
+          "(${CSV} vs ${CSV_PAR})")
 endif()
 
 file(STRINGS ${CSV} lines)
@@ -38,4 +58,5 @@ foreach(line IN LISTS lines)
   endif()
 endforeach()
 
-message(STATUS "sweep smoke OK: ${data_rows} scenarios in ${CSV}")
+message(STATUS
+        "sweep smoke OK: ${data_rows} scenarios, -j1 == -j${JOBS}, in ${CSV}")

@@ -14,7 +14,14 @@
  *   duet_sim --workload sort --size 128 --mode fpsoc --stats
  *   duet_sim --workload bfs --size 512 --seed 42
  *   duet_sim --sweep --workload bfs,sort --mode duet,cpu --cores 4,8 \
- *            --csv out.csv
+ *            --jobs 8 --csv out.csv
+ *   duet_sim --derive out.jsonl --csv out.csv
+ *
+ * Sweep scenarios run in forked worker processes (sim/executor.hh),
+ * `--jobs` at a time; results are reassembled in scenario order, so the
+ * aggregated outputs are byte-identical whatever the job count, and a
+ * crashing or hanging scenario becomes a failed row instead of killing
+ * the batch.
  */
 
 #include <cstdio>
@@ -59,15 +66,21 @@ openSink(const std::string &path, std::ofstream &file)
 }
 
 /**
- * One sweep output sink. File sinks stream each row as it completes (so
- * an interrupted sweep keeps every finished scenario) and are rewritten
- * once the batch is done, when the derived columns — whose cpu partner
- * row may run *after* the row it normalizes — are final. The stdout
- * sink cannot be rewritten, so it is written once at the end.
+ * One sweep output sink. File sinks are atomic: all writes go to
+ * `<path>.tmp`, which is renamed onto the final path only once the
+ * batch is done — an aborted or crashed batch never leaves a truncated
+ * or partially rewritten file at `<path>` (at worst a stale `.tmp`
+ * with every finished row). Rows stream to the temp file as they
+ * complete, then it is rewritten once at the end, when the derived
+ * columns — whose cpu partner row may run *after* the row it
+ * normalizes — are final and the rows are back in scenario order. The
+ * stdout sink cannot be renamed or rewritten, so it is written once at
+ * the end.
  */
 struct SweepSink
 {
     std::string path;
+    std::string tmpPath;
     std::ofstream file;
     bool toStdout = false;
 
@@ -78,7 +91,8 @@ struct SweepSink
         toStdout = p == "-";
         if (toStdout)
             return true;
-        return openSink(p, file) != nullptr;
+        tmpPath = p + ".tmp";
+        return openSink(tmpPath, file) != nullptr;
     }
 
     void
@@ -90,18 +104,30 @@ struct SweepSink
         file.flush();
     }
 
-    void
+    bool
     finalize(const std::function<void(std::ostream &)> &write_all)
     {
         if (toStdout) {
             write_all(std::cout);
-            return;
+            return true;
         }
-        // Rewrite in place with the final derived columns.
+        // Rewrite the temp file with the final content, then publish
+        // it with an atomic rename.
         file.close();
-        file.open(path, std::ios::trunc);
+        file.open(tmpPath, std::ios::trunc);
         write_all(file);
         file.flush();
+        if (!file) {
+            std::cerr << "duet_sim: writing " << tmpPath << " failed\n";
+            return false;
+        }
+        file.close();
+        if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+            std::cerr << "duet_sim: cannot rename " << tmpPath << " to "
+                      << path << "\n";
+            return false;
+        }
+        return true;
     }
 };
 
@@ -135,34 +161,100 @@ runSweepMode(const SimOptions &opts)
     SystemConfig base;
     applySimOverrides(opts, base);
 
-    // Stream each finished row to the file sinks (derived columns still
-    // 0 at that point), then rewrite them once the batch is done and
+    SweepRunOptions ropts;
+    ropts.jobs = opts.jobs; // 0: the executor picks the hardware count
+    ropts.timeoutSeconds = opts.scenarioTimeoutS;
+
+    // Stream each finished row to the file sinks (completion order,
+    // derived columns still 0 at that point), then rewrite them once
+    // the batch is done, the rows are back in scenario order, and
     // addDerivedMetrics() has joined every row with its cpu partner —
     // which may have run after it.
     if (haveCsv)
         csvSink.streamRow([](std::ostream &os) { writeCsvHeader(os); });
-    std::vector<SweepRow> rows =
-        runSweep(scenarios, base, &std::cerr, [&](const SweepRow &row) {
+    std::vector<SweepRow> rows = runSweep(
+        scenarios, base, &std::cerr,
+        [&](const SweepRow &row) {
             if (haveCsv)
                 csvSink.streamRow(
                     [&](std::ostream &os) { writeCsvRow(os, row); });
             if (haveJsonl)
                 jsonlSink.streamRow(
                     [&](std::ostream &os) { writeJsonLine(os, row); });
-        });
+        },
+        ropts);
     addDerivedMetrics(rows);
+    bool sinks_ok = true;
     if (haveCsv)
-        csvSink.finalize([&](std::ostream &os) { writeCsv(os, rows); });
+        sinks_ok &= csvSink.finalize(
+            [&](std::ostream &os) { writeCsv(os, rows); });
     if (haveJsonl)
-        jsonlSink.finalize(
+        sinks_ok &= jsonlSink.finalize(
             [&](std::ostream &os) { writeJsonLines(os, rows); });
     if (!haveCsv && !haveJsonl)
         writeTable(std::cout, rows);
+    if (!sinks_ok)
+        return 2;
 
+    std::size_t failed = 0;
     for (const SweepRow &r : rows)
         if (!r.correct)
-            return 1;
+            ++failed;
+    if (failed != 0) {
+        std::cerr << "duet_sim: " << failed << "/" << rows.size()
+                  << " scenarios failed\n";
+        return 1;
+    }
     return 0;
+}
+
+/**
+ * `--derive in.jsonl`: re-run addDerivedMetrics() over a previously
+ * written JSON-lines file — the executor wire format doubles as the
+ * on-disk format — without re-simulating anything.
+ */
+int
+runDeriveMode(const SimOptions &opts)
+{
+    std::vector<SweepRow> rows;
+    std::string err;
+    if (opts.derivePath == "-") {
+        if (!readSweepRows(std::cin, rows, err)) {
+            std::cerr << "duet_sim: --derive -: " << err << "\n";
+            return 2;
+        }
+    } else {
+        std::ifstream in(opts.derivePath);
+        if (!in) {
+            std::cerr << "duet_sim: cannot open " << opts.derivePath
+                      << "\n";
+            return 2;
+        }
+        if (!readSweepRows(in, rows, err)) {
+            std::cerr << "duet_sim: " << opts.derivePath << ": " << err
+                      << "\n";
+            return 2;
+        }
+    }
+    addDerivedMetrics(rows);
+
+    const bool haveCsv = !opts.csvPath.empty();
+    const bool haveJsonl = !opts.jsonlPath.empty();
+    SweepSink csvSink, jsonlSink;
+    if (haveCsv && !csvSink.open(opts.csvPath))
+        return 2;
+    if (haveJsonl && !jsonlSink.open(opts.jsonlPath))
+        return 2;
+    bool sinks_ok = true;
+    if (haveCsv)
+        sinks_ok &= csvSink.finalize(
+            [&](std::ostream &os) { writeCsv(os, rows); });
+    if (haveJsonl)
+        sinks_ok &= jsonlSink.finalize(
+            [&](std::ostream &os) { writeJsonLines(os, rows); });
+    if (!haveCsv && !haveJsonl)
+        writeTable(std::cout, rows);
+    return sinks_ok ? 0 : 2;
 }
 
 int
@@ -269,5 +361,7 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!opts.derivePath.empty())
+        return runDeriveMode(opts);
     return opts.sweep ? runSweepMode(opts) : runSingleMode(opts);
 }

@@ -70,8 +70,25 @@ simUsage()
         "sweep mode:\n"
         "  --sweep           expand the cross-product of the selection\n"
         "                    lists and run every scenario\n"
+        "  --jobs N          worker processes running scenarios in\n"
+        "                    parallel (default: the hardware thread\n"
+        "                    count); results are aggregated in scenario\n"
+        "                    order, so outputs are byte-identical to -j1\n"
+        "  --scenario-timeout-s N\n"
+        "                    per-scenario wall-clock budget; a scenario\n"
+        "                    past it is killed and recorded as a failed\n"
+        "                    row (default: unlimited)\n"
         "  --csv PATH        write one CSV row per scenario (`-` = stdout)\n"
         "  --jsonl PATH      write one JSON object per scenario per line\n"
+        "                    (file sinks write to PATH.tmp and rename at\n"
+        "                    batch end)\n"
+        "\n"
+        "derive mode:\n"
+        "  --derive PATH     recompute the derived columns (speedup,\n"
+        "                    area_mm2, adp_norm) from a previously\n"
+        "                    written --jsonl file (`-` = stdin) without\n"
+        "                    re-simulating; output via --csv/--jsonl or\n"
+        "                    the default table\n"
         "\n"
         "system shape:\n"
         "  --l2-kib N        private (L2) cache capacity per tile, KiB\n"
@@ -124,6 +141,11 @@ systemModeName(SystemMode mode)
 ParseStatus
 parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
 {
+    // Set by the dispatch branches below (one source of truth with the
+    // flag names): --derive rejects both groups, since nothing is
+    // simulated there and an ignored flag would mislead.
+    bool selectionSeen = false;
+    bool shapeSeen = false;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
         auto value = [&](std::string &out) {
@@ -167,19 +189,42 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             opts.stats = true;
         } else if (flag == "--sweep") {
             opts.sweep = true;
+        } else if (flag == "--jobs") {
+            if (!u32(opts.jobs))
+                return ParseStatus::Error;
+            if (opts.jobs == 0 || opts.jobs > 1024) {
+                err = "--jobs must be in [1, 1024]";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--scenario-timeout-s") {
+            if (!u32(opts.scenarioTimeoutS))
+                return ParseStatus::Error;
+            if (opts.scenarioTimeoutS == 0 ||
+                opts.scenarioTimeoutS > 86400) {
+                err = "--scenario-timeout-s must be in [1, 86400]";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--derive") {
+            if (!value(opts.derivePath))
+                return ParseStatus::Error;
         } else if (flag == "--workload") {
+            selectionSeen = true;
             if (!value(opts.workload))
                 return ParseStatus::Error;
         } else if (flag == "--mode") {
+            selectionSeen = true;
             if (!value(opts.modeName))
                 return ParseStatus::Error;
         } else if (flag == "--cores") {
+            selectionSeen = true;
             if (!value(opts.coresSpec))
                 return ParseStatus::Error;
         } else if (flag == "--size" || flag == "--sort-elems") {
+            selectionSeen = true;
             if (!value(opts.sizeSpec))
                 return ParseStatus::Error;
         } else if (flag == "--seed") {
+            selectionSeen = true;
             if (!value(opts.seedSpec))
                 return ParseStatus::Error;
         } else if (flag == "--csv") {
@@ -189,6 +234,7 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             if (!value(opts.jsonlPath))
                 return ParseStatus::Error;
         } else if (flag == "--l2-kib") {
+            shapeSeen = true;
             if (!u32(opts.l2KiB))
                 return ParseStatus::Error;
             if (opts.l2KiB > kMaxCacheKiB) {
@@ -196,9 +242,11 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
                 return ParseStatus::Error;
             }
         } else if (flag == "--l2-ways") {
+            shapeSeen = true;
             if (!u32(opts.l2Ways))
                 return ParseStatus::Error;
         } else if (flag == "--l3-kib") {
+            shapeSeen = true;
             if (!u32(opts.l3KiB))
                 return ParseStatus::Error;
             if (opts.l3KiB > kMaxCacheKiB) {
@@ -206,9 +254,11 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
                 return ParseStatus::Error;
             }
         } else if (flag == "--l3-ways") {
+            shapeSeen = true;
             if (!u32(opts.l3Ways))
                 return ParseStatus::Error;
         } else if (flag == "--spm-kib") {
+            shapeSeen = true;
             if (!u32(opts.spmKiB))
                 return ParseStatus::Error;
             if (opts.spmKiB == 0 || opts.spmKiB > kMaxCacheKiB) {
@@ -216,12 +266,15 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
                 return ParseStatus::Error;
             }
         } else if (flag == "--cpu-mhz") {
+            shapeSeen = true;
             if (!u64(opts.cpuFreqMhz))
                 return ParseStatus::Error;
         } else if (flag == "--fpga-mhz") {
+            shapeSeen = true;
             if (!u64(opts.fpgaFreqMhz))
                 return ParseStatus::Error;
         } else if (flag == "--max-us") {
+            shapeSeen = true;
             if (!u64(opts.maxTicksUs))
                 return ParseStatus::Error;
             if (opts.maxTicksUs > ~0ull / kTicksPerUs) {
@@ -234,8 +287,36 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         }
     }
 
-    if ((!opts.csvPath.empty() || !opts.jsonlPath.empty()) && !opts.sweep) {
-        err = "--csv/--jsonl require --sweep";
+    if (!opts.derivePath.empty() && opts.sweep) {
+        err = "--derive and --sweep are mutually exclusive";
+        return ParseStatus::Error;
+    }
+    if ((opts.jobs != 0 || opts.scenarioTimeoutS != 0) && !opts.sweep) {
+        err = "--jobs/--scenario-timeout-s require --sweep";
+        return ParseStatus::Error;
+    }
+    if (!opts.derivePath.empty()) {
+        if (selectionSeen) {
+            // Nothing is simulated in derive mode; silently ignoring a
+            // selection flag would suggest it filtered the input rows.
+            err = "scenario-selection flags do not apply to --derive";
+            return ParseStatus::Error;
+        }
+        if (shapeSeen) {
+            // Same hazard: a cache/clock flag cannot change metrics
+            // that were already measured.
+            err = "system-shape flags do not apply to --derive";
+            return ParseStatus::Error;
+        }
+        if (opts.json || opts.stats) {
+            err = "--json/--stats are single-run flags; with --derive "
+                  "use --csv or --jsonl";
+            return ParseStatus::Error;
+        }
+    }
+    if ((!opts.csvPath.empty() || !opts.jsonlPath.empty()) &&
+        !opts.sweep && opts.derivePath.empty()) {
+        err = "--csv/--jsonl require --sweep or --derive";
         return ParseStatus::Error;
     }
     if (!opts.csvPath.empty() && opts.csvPath == opts.jsonlPath) {
@@ -254,8 +335,9 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
 
     // Without --sweep the scenario-selection flags must be single values
     // (lists are a sweep feature; a stray comma should not silently fall
-    // back to anything).
-    if (!opts.sweep) {
+    // back to anything). Derive mode simulates nothing, so it skips
+    // scenario validation entirely.
+    if (!opts.sweep && opts.derivePath.empty()) {
         SystemMode m;
         if (!parseSystemMode(opts.modeName, m)) {
             err = "unknown --mode: " + opts.modeName +

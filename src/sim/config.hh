@@ -42,6 +42,9 @@ struct SimOptions
     std::uint64_t fpgaFreqMhz = 0;
     std::uint64_t maxTicksUs = 0; ///< watchdog override, in simulated us
     bool sweep = false;           ///< run the scenario cross-product
+    unsigned jobs = 0;            ///< --sweep worker processes (0 = hw conc.)
+    unsigned scenarioTimeoutS = 0; ///< --sweep per-scenario wall clock, s
+    std::string derivePath;       ///< --derive: JSONL to re-derive ("-" = stdin)
     std::string csvPath;          ///< --sweep CSV output ("-" = stdout)
     std::string jsonlPath;        ///< --sweep JSON-lines output
     bool json = false;            ///< machine-readable stats dump

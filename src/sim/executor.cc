@@ -1,0 +1,386 @@
+#include "sim/executor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace duet
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+// Exit code a worker uses when the job closure let an exception escape.
+// High enough to stay clear of the small exit codes jobs might produce
+// through libraries calling exit() themselves.
+constexpr int kUncaughtExitCode = 125;
+
+// A frame past this is a serialization bug, not a result; refusing it
+// bounds parent memory against a runaway worker.
+constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** Worker body: run the job, ship the frame, exit without running the
+ *  parent's atexit handlers (_exit, not exit). */
+[[noreturn]] void
+workerMain(const Job &job, int fd)
+{
+    std::string payload;
+    try {
+        payload = job();
+    } catch (...) {
+        _exit(kUncaughtExitCode);
+    }
+    if (payload.size() > kMaxPayloadBytes)
+        _exit(kUncaughtExitCode);
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const bool ok = writeAll(fd, &len, sizeof(len)) &&
+                    writeAll(fd, payload.data(), payload.size());
+    _exit(ok ? 0 : kUncaughtExitCode);
+}
+
+/** One in-flight worker process. */
+struct Worker
+{
+    pid_t pid = -1;
+    int fd = -1; ///< parent's (nonblocking) read end of the result pipe
+    std::size_t job = 0;
+    std::string buf; ///< frame bytes received so far
+    Clock::time_point deadline{};
+    bool hasDeadline = false;
+    bool timedOut = false; ///< parent sent SIGKILL at the deadline
+    bool done = false;     ///< EOF seen, process reaped, result final
+    JobResult result;
+};
+
+/** Stable signal names: strsignal() is locale-dependent, and these
+ *  strings end up in result rows that must not vary run to run. */
+std::string
+describeSignal(int sig)
+{
+    switch (sig) {
+      case SIGABRT:
+        return "SIGABRT";
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGILL:
+        return "SIGILL";
+      case SIGKILL:
+        return "SIGKILL";
+      case SIGTERM:
+        return "SIGTERM";
+      default:
+        return "signal " + std::to_string(sig);
+    }
+}
+
+/** True when @p buf holds exactly one complete frame; the payload lands
+ *  in @p payload. Otherwise @p err describes what is wrong. */
+bool
+frameComplete(const std::string &buf, std::string &payload, std::string &err)
+{
+    std::uint32_t len = 0;
+    if (buf.size() < sizeof(len)) {
+        err = "worker produced a truncated result frame (" +
+              std::to_string(buf.size()) + " of 4 header bytes)";
+        return false;
+    }
+    std::memcpy(&len, buf.data(), sizeof(len));
+    if (len > kMaxPayloadBytes) {
+        err = "worker produced an oversized result frame";
+        return false;
+    }
+    if (buf.size() != sizeof(len) + len) {
+        err = "worker result frame is " + std::to_string(buf.size()) +
+              " bytes, header promised " +
+              std::to_string(sizeof(len) + len);
+        return false;
+    }
+    payload.assign(buf, sizeof(len), len);
+    return true;
+}
+
+/** EOF on the pipe: reap the worker and classify the outcome. */
+void
+finishWorker(Worker &w)
+{
+    ::close(w.fd);
+    w.fd = -1;
+    int st = 0;
+    pid_t r;
+    do {
+        r = ::waitpid(w.pid, &st, 0);
+    } while (r < 0 && errno == EINTR);
+
+    JobResult &res = w.result;
+    std::string payload, frame_err;
+    const bool frame_ok = frameComplete(w.buf, payload, frame_err);
+    if (w.timedOut) {
+        // Diagnostic was filled when the parent sent SIGKILL; a frame
+        // that raced in before the kill is discarded (the job blew its
+        // budget either way).
+        res.status = JobStatus::TimedOut;
+    } else if (r >= 0 && WIFSIGNALED(st)) {
+        res.status = JobStatus::Crashed;
+        res.diagnostic = "worker killed by " + describeSignal(WTERMSIG(st));
+    } else if (r >= 0 && WIFEXITED(st) &&
+               WEXITSTATUS(st) == kUncaughtExitCode) {
+        res.status = JobStatus::Crashed;
+        res.diagnostic = "worker raised an uncaught exception";
+    } else if (r >= 0 && WIFEXITED(st) && WEXITSTATUS(st) != 0) {
+        res.status = JobStatus::Crashed;
+        res.diagnostic =
+            "worker exited with status " + std::to_string(WEXITSTATUS(st));
+    } else if (!frame_ok) {
+        res.status = JobStatus::Crashed;
+        res.diagnostic = frame_err;
+    } else {
+        res.status = JobStatus::Ok;
+        res.payload = std::move(payload);
+    }
+    w.buf.clear();
+    w.done = true;
+}
+
+/** Kills and reaps every still-active worker if runJobs unwinds early
+ *  (observer threw, allocation failed): no orphans, no zombies. */
+struct PoolReaper
+{
+    std::vector<Worker> &active;
+
+    ~PoolReaper()
+    {
+        for (Worker &w : active) {
+            if (w.pid > 0 && !w.done) {
+                ::kill(w.pid, SIGKILL);
+                int st = 0;
+                pid_t r;
+                do {
+                    r = ::waitpid(w.pid, &st, 0);
+                } while (r < 0 && errno == EINTR);
+            }
+            if (w.fd >= 0)
+                ::close(w.fd);
+        }
+    }
+};
+
+} // namespace
+
+unsigned
+defaultJobCount()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+std::size_t
+effectiveJobCount(const ExecutorConfig &cfg, std::size_t njobs)
+{
+    return std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               cfg.jobs != 0 ? cfg.jobs : defaultJobCount(), njobs));
+}
+
+std::vector<JobResult>
+runJobs(const std::vector<Job> &jobs, const ExecutorConfig &cfg,
+        const JobObserver &observer)
+{
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+    const std::size_t slots = effectiveJobCount(cfg, jobs.size());
+
+    std::vector<Worker> active;
+    active.reserve(slots);
+    PoolReaper reaper{active};
+    std::size_t next = 0, completed = 0;
+
+    // Deliver a result that never got (or never needed) a worker.
+    auto deliver = [&](std::size_t idx, JobResult &&res) {
+        results[idx] = std::move(res);
+        ++completed;
+        if (observer)
+            observer(idx, results[idx]);
+    };
+
+    // Resource exhaustion (fd table, process table) is transient while
+    // workers are still running: draining one frees what the spawn
+    // needs, so defer instead of failing the job.
+    auto transient = [&](int e) {
+        return !active.empty() &&
+               (e == EMFILE || e == ENFILE || e == EAGAIN);
+    };
+
+    // True when the job was spawned or delivered; false to defer the
+    // spawn until an active worker drains.
+    auto spawn = [&](std::size_t idx) {
+        int fds[2];
+        if (::pipe(fds) != 0) {
+            if (transient(errno))
+                return false;
+            JobResult res;
+            res.diagnostic =
+                "pipe failed: " + std::string(std::strerror(errno));
+            deliver(idx, std::move(res));
+            return true;
+        }
+        // The child would otherwise re-flush any bytes sitting in the
+        // parent's stdio buffers on its own exit path.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            const int e = errno;
+            ::close(fds[0]);
+            ::close(fds[1]);
+            if (transient(e))
+                return false;
+            JobResult res;
+            res.diagnostic =
+                "fork failed: " + std::string(std::strerror(e));
+            deliver(idx, std::move(res));
+            return true;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            workerMain(jobs[idx], fds[1]); // _exits, never returns
+        }
+        ::close(fds[1]);
+        // Nonblocking reads: one chatty worker must not stall the
+        // drain loop (and with it, other workers' timeout deadlines).
+        ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+        Worker w;
+        w.pid = pid;
+        w.fd = fds[0];
+        w.job = idx;
+        if (cfg.timeoutSeconds > 0) {
+            w.deadline =
+                Clock::now() + std::chrono::seconds(cfg.timeoutSeconds);
+            w.hasDeadline = true;
+        }
+        active.push_back(std::move(w));
+        return true;
+    };
+
+    while (completed < jobs.size()) {
+        while (active.size() < slots && next < jobs.size()) {
+            if (!spawn(next))
+                break; // deferred: retry once a worker drains
+            ++next;
+        }
+        if (active.empty()) {
+            if (next >= jobs.size())
+                break; // every remaining spawn failed and was delivered
+            continue;
+        }
+
+        std::vector<pollfd> pfds;
+        pfds.reserve(active.size());
+        for (const Worker &w : active)
+            pfds.push_back({w.fd, POLLIN, 0});
+        int timeout_ms = -1;
+        const auto now = Clock::now();
+        for (const Worker &w : active) {
+            if (!w.hasDeadline || w.timedOut)
+                continue;
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    w.deadline - now)
+                    .count();
+            const int ms =
+                static_cast<int>(std::clamp<long long>(left, 0, 60'000));
+            timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+        }
+        const int rv =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   timeout_ms);
+        if (rv < 0 && errno != EINTR)
+            break; // PoolReaper cleans up; pending jobs stay Crashed
+
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            Worker &w = active[i];
+            char chunk[65536];
+            while (true) {
+                const ssize_t n = ::read(w.fd, chunk, sizeof(chunk));
+                if (n > 0) {
+                    w.buf.append(chunk, static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0) {
+                    finishWorker(w);
+                    break;
+                }
+                if (errno == EINTR)
+                    continue;
+                break; // EAGAIN: drained for now
+            }
+        }
+
+        const auto after = Clock::now();
+        for (Worker &w : active) {
+            if (!w.hasDeadline || w.timedOut || w.done ||
+                after < w.deadline)
+                continue;
+            ::kill(w.pid, SIGKILL);
+            w.timedOut = true;
+            w.result.diagnostic =
+                "timed out after " + std::to_string(cfg.timeoutSeconds) +
+                " s (worker killed)";
+            // The EOF from the dying worker arrives on the next poll
+            // pass; finishWorker() then reaps and finalizes it.
+        }
+
+        for (std::size_t i = 0; i < active.size();) {
+            if (!active[i].done) {
+                ++i;
+                continue;
+            }
+            Worker w = std::move(active[i]);
+            active.erase(active.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            deliver(w.job, std::move(w.result));
+        }
+    }
+    // A hard poll failure abandons undelivered jobs; give them a real
+    // diagnostic (legitimate crashes always carry one already).
+    for (JobResult &res : results) {
+        if (res.status == JobStatus::Crashed && res.diagnostic.empty())
+            res.diagnostic = "executor aborted before the job finished";
+    }
+    return results;
+}
+
+} // namespace duet

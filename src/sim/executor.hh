@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A fork-per-job process pool: runs opaque job closures in worker
+ * processes (up to a configurable number at once), ships each worker's
+ * result back over a pipe in a small length-prefixed wire frame, and
+ * reassembles the results **in submission order** regardless of the
+ * order workers finish in.
+ *
+ * Worker processes buy crash isolation for free: a job that aborts,
+ * segfaults or overruns the per-job wall-clock timeout becomes a failed
+ * JobResult with a one-line diagnostic instead of taking the whole batch
+ * down. The pool is deliberately workload-agnostic — it schedules
+ * closures returning serialized bytes, not sweep-specific types — so the
+ * `--sweep` batch runner is just its first client.
+ *
+ * Wire format (worker -> parent, one frame per job):
+ *
+ *     [u32 payload length, host byte order][payload bytes]
+ *
+ * A worker that exits without delivering a complete frame (signal,
+ * nonzero exit, short write) is reported as crashed.
+ */
+
+#ifndef DUET_SIM_EXECUTOR_HH
+#define DUET_SIM_EXECUTOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace duet
+{
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,       ///< worker delivered a complete payload and exited 0
+    Crashed,  ///< worker died: signal, nonzero exit, or truncated frame
+    TimedOut, ///< parent killed the worker at the per-job deadline
+};
+
+/** What came back from one worker process. */
+struct JobResult
+{
+    JobStatus status = JobStatus::Crashed;
+    std::string payload;    ///< the job closure's return value (Ok only)
+    std::string diagnostic; ///< one-line failure description (non-Ok)
+};
+
+/** Process-pool knobs. */
+struct ExecutorConfig
+{
+    unsigned jobs = 0;           ///< concurrent workers; 0 = hardware conc.
+    unsigned timeoutSeconds = 0; ///< per-job wall clock; 0 = unlimited
+};
+
+/**
+ * A unit of schedulable work. Runs in a forked worker; the returned
+ * bytes are shipped back to the parent verbatim. Must not throw — an
+ * escaped exception is reported as a crashed worker (the child cannot
+ * propagate it across the process boundary).
+ */
+using Job = std::function<std::string()>;
+
+/**
+ * Completion observer, called in the parent as each job finishes — in
+ * completion order, which under jobs > 1 need not be submission order.
+ * @p index is the job's position in the submitted vector.
+ */
+using JobObserver =
+    std::function<void(std::size_t index, const JobResult &result)>;
+
+/** std::thread::hardware_concurrency(), clamped to at least 1. */
+unsigned defaultJobCount();
+
+/** The worker count runJobs actually uses for a batch of @p njobs:
+ *  `cfg.jobs` (0 = defaultJobCount()) clamped to [1, njobs]. Exposed so
+ *  callers rendering progress (live "running" counters) agree with the
+ *  scheduler by construction. */
+std::size_t effectiveJobCount(const ExecutorConfig &cfg, std::size_t njobs);
+
+/**
+ * Run every job in @p jobs in forked worker processes, at most
+ * `cfg.jobs` (0 = defaultJobCount()) at a time, and return one
+ * JobResult per job **in submission order**. A worker that crashes or
+ * times out yields a failed result; the rest of the batch keeps
+ * running. @p observer, when set, receives each result as it completes.
+ */
+std::vector<JobResult> runJobs(const std::vector<Job> &jobs,
+                               const ExecutorConfig &cfg,
+                               const JobObserver &observer = {});
+
+} // namespace duet
+
+#endif // DUET_SIM_EXECUTOR_HH

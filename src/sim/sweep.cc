@@ -1,12 +1,17 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <iomanip>
+#include <istream>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
 
 #include "area/area_model.hh"
 #include "sim/config.hh"
+#include "sim/executor.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -261,52 +266,127 @@ expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
     return true;
 }
 
+namespace
+{
+
+/** The one scenario-to-row identity mapping: every row — completed,
+ *  SimFatal, crashed or timed out — derives from this, so the join key
+ *  addDerivedMetrics() uses always matches across outcomes. */
+SweepRow
+identityRow(const SweepScenario &sc)
+{
+    SweepRow row;
+    row.workload = sc.workload->name;
+    row.app = sc.workload->name; // a completed run overwrites this
+    row.mode = systemModeName(sc.mode);
+    row.cores = sc.params.cores;
+    row.memHubs = sc.params.memHubs;
+    row.size = sc.params.size;
+    row.seed = sc.params.seed;
+    return row;
+}
+
+/** A worker outcome that is not a parseable row becomes a failed row
+ *  carrying the scenario identity and the executor's diagnostic. */
+SweepRow
+failedRow(const SweepScenario &sc, std::string diagnostic)
+{
+    SweepRow row = identityRow(sc);
+    row.error = std::move(diagnostic);
+    return row;
+}
+
+} // namespace
+
+SweepRow
+runScenario(const SweepScenario &sc, const SystemConfig &base)
+{
+    SweepRow row = identityRow(sc);
+    SystemConfig cfg = base;
+    cfg.mode = sc.mode;
+    try {
+        AppResult res = runWorkload(*sc.workload, sc.params, cfg);
+        row.app = res.name;
+        row.runtime = res.runtime;
+        row.correct = res.correct;
+    } catch (const SimFatal &e) {
+        row.error = e.what();
+    }
+    return row;
+}
+
 std::vector<SweepRow>
 runSweep(const std::vector<SweepScenario> &scenarios,
          const SystemConfig &base, std::ostream *progress,
-         const std::function<void(const SweepRow &)> &on_row)
+         const std::function<void(const SweepRow &)> &on_row,
+         const SweepRunOptions &opts)
 {
-    std::vector<SweepRow> rows;
-    rows.reserve(scenarios.size());
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-        const SweepScenario &sc = scenarios[i];
+    // One job per scenario: run it in the worker and ship the row as a
+    // JSON-lines object — the same serialization the --jsonl sink (and
+    // --derive) uses, so the wire format has exactly one definition.
+    std::vector<Job> jobs;
+    jobs.reserve(scenarios.size());
+    for (const SweepScenario &sc : scenarios) {
+        jobs.push_back([&sc, &base] {
+            std::ostringstream os;
+            writeJsonLine(os, runScenario(sc, base));
+            return os.str();
+        });
+    }
+
+    ExecutorConfig ecfg;
+    ecfg.jobs = opts.jobs;
+    ecfg.timeoutSeconds = opts.timeoutSeconds;
+    const std::size_t slots = effectiveJobCount(ecfg, scenarios.size());
+
+    std::vector<SweepRow> rows(scenarios.size());
+    std::vector<char> delivered(scenarios.size(), 0);
+    std::size_t done = 0, failed = 0;
+    const JobObserver observer = [&](std::size_t idx,
+                                     const JobResult &jr) {
+        const SweepScenario &sc = scenarios[idx];
         SweepRow row;
-        row.workload = sc.workload->name;
-        row.mode = systemModeName(sc.mode);
-        row.cores = sc.params.cores;
-        row.memHubs = sc.params.memHubs;
-        row.size = sc.params.size;
-        row.seed = sc.params.seed;
+        std::string perr;
+        if (jr.status == JobStatus::Ok) {
+            if (!parseSweepRow(jr.payload, row, perr))
+                row = failedRow(sc, "malformed worker row: " + perr);
+        } else {
+            row = failedRow(sc, jr.diagnostic);
+        }
+        ++done;
+        if (!row.correct)
+            ++failed;
         if (progress != nullptr) {
-            *progress << "[" << (i + 1) << "/" << scenarios.size() << "] "
+            // The executor keeps every slot full until the queue
+            // drains, so the live worker count is the open slots.
+            const std::size_t running =
+                std::min(slots, scenarios.size() - done);
+            *progress << "[" << done << "/" << scenarios.size() << "] "
                       << row.workload << " mode=" << row.mode
                       << " cores=" << row.cores << " size=" << row.size;
             if (sc.workload->takesSeed())
                 *progress << " seed=" << row.seed;
-            *progress << " ..." << std::flush;
-        }
-        SystemConfig cfg = base;
-        cfg.mode = sc.mode;
-        try {
-            AppResult res = runWorkload(*sc.workload, sc.params, cfg);
-            row.app = res.name;
-            row.runtime = res.runtime;
-            row.correct = res.correct;
-        } catch (const SimFatal &e) {
-            row.app = sc.workload->name;
-            row.runtime = 0;
-            row.correct = false;
-            if (progress != nullptr)
-                *progress << " " << e.what();
-        }
-        if (progress != nullptr) {
-            *progress << " " << row.runtime / kTicksPerNs << " ns, "
-                      << (row.correct ? "correct" : "INCORRECT") << "\n";
+            *progress << " -> " << row.runtime / kTicksPerNs << " ns, "
+                      << (row.correct ? "correct" : "FAILED");
+            if (!row.error.empty())
+                *progress << " (" << row.error << ")";
+            *progress << "  [running " << running << ", failed "
+                      << failed << "]\n";
+            progress->flush();
         }
         if (on_row)
             on_row(row);
-        rows.push_back(std::move(row));
-    }
+        rows[idx] = std::move(row);
+        delivered[idx] = 1;
+    };
+    const std::vector<JobResult> outcomes =
+        runJobs(jobs, ecfg, observer);
+    // A hard executor abort can abandon jobs without ever calling the
+    // observer; those still get identity-carrying failed rows (the
+    // executor stamps a diagnostic on everything it abandons).
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        if (!delivered[i])
+            rows[i] = failedRow(scenarios[i], outcomes[i].diagnostic);
     return rows;
 }
 
@@ -398,15 +478,19 @@ void
 writeJsonLine(std::ostream &os, const SweepRow &r)
 {
     os << "{\"workload\": " << jsonQuote(r.workload)
-       << ", \"app\": " << jsonQuote(r.app) << ", \"mode\": \"" << r.mode
-       << "\", \"cores\": " << r.cores << ", \"mem_hubs\": " << r.memHubs
+       << ", \"app\": " << jsonQuote(r.app)
+       << ", \"mode\": " << jsonQuote(r.mode)
+       << ", \"cores\": " << r.cores << ", \"mem_hubs\": " << r.memHubs
        << ", \"size\": " << r.size << ", \"seed\": " << r.seed
        << ", \"runtime_ticks\": " << r.runtime
        << ", \"runtime_ns\": " << r.runtime / kTicksPerNs
        << ", \"speedup\": " << fmtMetric(r.speedup)
        << ", \"area_mm2\": " << fmtMetric(r.areaMm2)
        << ", \"adp_norm\": " << fmtMetric(r.adpNorm)
-       << ", \"correct\": " << (r.correct ? "true" : "false") << "}\n";
+       << ", \"correct\": " << (r.correct ? "true" : "false");
+    if (!r.error.empty())
+        os << ", \"error\": " << jsonQuote(r.error);
+    os << "}\n";
 }
 
 void
@@ -414,6 +498,408 @@ writeJsonLines(std::ostream &os, const std::vector<SweepRow> &rows)
 {
     for (const SweepRow &r : rows)
         writeJsonLine(os, r);
+}
+
+namespace
+{
+
+/** Cursor over one JSON-lines object; the helpers below consume from
+ *  @p i and report one-line diagnostics through @p err. */
+struct JsonCursor
+{
+    const std::string &s;
+    std::size_t i = 0;
+    std::string &err;
+
+    void
+    skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                s[i] == '\n'))
+            ++i;
+    }
+
+    bool
+    expect(char ch)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != ch) {
+            err = std::string("expected '") + ch + "' at offset " +
+                  std::to_string(i);
+            return false;
+        }
+        ++i;
+        return true;
+    }
+
+    /** Parse a quoted string, undoing jsonQuote()'s escapes (plus the
+     *  standard short escapes, for hand-written files). */
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (i >= s.size()) {
+                err = "unterminated string";
+                return false;
+            }
+            const char ch = s[i++];
+            if (ch == '"')
+                return true;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (i >= s.size()) {
+                err = "dangling escape at end of string";
+                return false;
+            }
+            const char esc = s[i++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (i + 4 > s.size()) {
+                    err = "truncated \\u escape";
+                    return false;
+                }
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s[i++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        err = "bad hex digit in \\u escape";
+                        return false;
+                    }
+                }
+                // jsonQuote only emits \u for control bytes; anything
+                // past one byte would need UTF-8 re-encoding we never
+                // produce.
+                if (code > 0xff) {
+                    err = "\\u escape past U+00FF is not supported";
+                    return false;
+                }
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                err = std::string("unknown escape '\\") + esc + "'";
+                return false;
+            }
+        }
+    }
+
+    /** Consume a number/true/false/null token verbatim. */
+    bool
+    parseScalarToken(std::string &out)
+    {
+        skipWs();
+        const std::size_t start = i;
+        while (i < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[i])) != 0 ||
+                s[i] == '+' || s[i] == '-' || s[i] == '.'))
+            ++i;
+        if (i == start) {
+            err = "expected a value at offset " + std::to_string(start);
+            return false;
+        }
+        out = s.substr(start, i - start);
+        return true;
+    }
+
+    /** Skip one value of any shape — string, scalar, or a (string-
+     *  aware) balanced array/object — so unknown keys stay forward-
+     *  compatible whatever a future writer puts in them. */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (i >= s.size()) {
+            err = "expected a value at offset " + std::to_string(i);
+            return false;
+        }
+        const char first = s[i];
+        if (first == '"') {
+            std::string sink;
+            return parseString(sink);
+        }
+        if (first != '[' && first != '{') {
+            std::string sink;
+            return parseScalarToken(sink);
+        }
+        std::string stack;
+        while (true) {
+            if (i >= s.size()) {
+                err = "unterminated composite value";
+                return false;
+            }
+            const char ch = s[i];
+            if (ch == '"') {
+                std::string sink;
+                if (!parseString(sink))
+                    return false;
+                continue;
+            }
+            ++i;
+            if (ch == '[' || ch == '{') {
+                stack += ch;
+            } else if (ch == ']' || ch == '}') {
+                if (stack.empty() ||
+                    stack.back() != (ch == ']' ? '[' : '{')) {
+                    err = "mismatched brackets in composite value";
+                    return false;
+                }
+                stack.pop_back();
+                if (stack.empty())
+                    return true;
+            }
+            // Everything else (scalars, commas, colons, whitespace)
+            // is structure we do not care about.
+        }
+    }
+};
+
+bool
+tokenToU64(const std::string &tok, std::uint64_t &out, std::string &err)
+{
+    if (!parseDecimal(tok, out)) {
+        err = "bad unsigned value '" + tok + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+tokenToU32(const std::string &tok, unsigned &out, std::string &err)
+{
+    std::uint64_t v = 0;
+    if (!tokenToU64(tok, v, err) || v > 0xffffffffull) {
+        err = "bad 32-bit value '" + tok + "'";
+        return false;
+    }
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+bool
+tokenToDouble(const std::string &tok, double &out, std::string &err)
+{
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == tok.c_str()) {
+        err = "bad number '" + tok + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+tokenToBool(const std::string &tok, bool &out, std::string &err)
+{
+    if (tok == "true") {
+        out = true;
+    } else if (tok == "false") {
+        out = false;
+    } else {
+        err = "bad boolean '" + tok + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
+{
+    row = SweepRow{};
+    JsonCursor c{json_line, 0, err};
+    if (!c.expect('{'))
+        return false;
+
+    // Required keys: everything writeJsonLine() has always emitted.
+    // runtime_ns is redundant (runtime_ticks / kTicksPerNs) and the
+    // derived columns are recomputed by --derive, so those are
+    // optional; unknown keys are skipped for forward compatibility.
+    bool sawWorkload = false, sawApp = false, sawMode = false;
+    bool sawCores = false, sawHubs = false, sawSize = false;
+    bool sawSeed = false, sawRuntime = false, sawCorrect = false;
+
+    c.skipWs();
+    if (c.i < json_line.size() && json_line[c.i] == '}') {
+        ++c.i;
+    } else {
+        while (true) {
+            std::string key;
+            if (!c.parseString(key))
+                return false;
+            if (!c.expect(':'))
+                return false;
+            // Keys this reader does not assign (runtime_ns, anything a
+            // future writer adds — whatever the value's shape) are
+            // skipped wholesale for forward compatibility.
+            const bool known =
+                key == "workload" || key == "app" || key == "mode" ||
+                key == "error" || key == "cores" || key == "mem_hubs" ||
+                key == "size" || key == "seed" ||
+                key == "runtime_ticks" || key == "speedup" ||
+                key == "area_mm2" || key == "adp_norm" ||
+                key == "correct";
+            if (!known) {
+                if (!c.skipValue())
+                    return false;
+                c.skipWs();
+                if (c.i < json_line.size() && json_line[c.i] == ',') {
+                    ++c.i;
+                    continue;
+                }
+                if (!c.expect('}'))
+                    return false;
+                break;
+            }
+            c.skipWs();
+            const bool isString =
+                c.i < json_line.size() && json_line[c.i] == '"';
+            std::string sval, tok;
+            if (isString) {
+                if (!c.parseString(sval))
+                    return false;
+            } else if (!c.parseScalarToken(tok)) {
+                return false;
+            }
+            auto want_string = [&](const char *k) {
+                if (!isString)
+                    err = std::string("key '") + k +
+                          "' wants a string value";
+                return isString;
+            };
+            auto want_scalar = [&](const char *k) {
+                if (isString)
+                    err = std::string("key '") + k +
+                          "' wants an unquoted value";
+                return !isString;
+            };
+            bool ok = true;
+            if (key == "workload") {
+                ok = want_string("workload");
+                row.workload = sval;
+                sawWorkload = true;
+            } else if (key == "app") {
+                ok = want_string("app");
+                row.app = sval;
+                sawApp = true;
+            } else if (key == "mode") {
+                ok = want_string("mode");
+                row.mode = sval;
+                sawMode = true;
+            } else if (key == "error") {
+                ok = want_string("error");
+                row.error = sval;
+            } else if (key == "cores") {
+                ok = want_scalar("cores") &&
+                     tokenToU32(tok, row.cores, err);
+                sawCores = true;
+            } else if (key == "mem_hubs") {
+                ok = want_scalar("mem_hubs") &&
+                     tokenToU32(tok, row.memHubs, err);
+                sawHubs = true;
+            } else if (key == "size") {
+                ok = want_scalar("size") &&
+                     tokenToU32(tok, row.size, err);
+                sawSize = true;
+            } else if (key == "seed") {
+                ok = want_scalar("seed") &&
+                     tokenToU64(tok, row.seed, err);
+                sawSeed = true;
+            } else if (key == "runtime_ticks") {
+                ok = want_scalar("runtime_ticks") &&
+                     tokenToU64(tok, row.runtime, err);
+                sawRuntime = true;
+            } else if (key == "speedup") {
+                ok = want_scalar("speedup") &&
+                     tokenToDouble(tok, row.speedup, err);
+            } else if (key == "area_mm2") {
+                ok = want_scalar("area_mm2") &&
+                     tokenToDouble(tok, row.areaMm2, err);
+            } else if (key == "adp_norm") {
+                ok = want_scalar("adp_norm") &&
+                     tokenToDouble(tok, row.adpNorm, err);
+            } else if (key == "correct") {
+                ok = want_scalar("correct") &&
+                     tokenToBool(tok, row.correct, err);
+                sawCorrect = true;
+            }
+            if (!ok)
+                return false;
+            c.skipWs();
+            if (c.i < json_line.size() && json_line[c.i] == ',') {
+                ++c.i;
+                continue;
+            }
+            if (!c.expect('}'))
+                return false;
+            break;
+        }
+    }
+    c.skipWs();
+    if (c.i != json_line.size()) {
+        err = "trailing garbage after the row object";
+        return false;
+    }
+    if (!(sawWorkload && sawApp && sawMode && sawCores && sawHubs &&
+          sawSize && sawSeed && sawRuntime && sawCorrect)) {
+        err = "row object is missing required keys";
+        return false;
+    }
+    return true;
+}
+
+bool
+readSweepRows(std::istream &in, std::vector<SweepRow> &rows,
+              std::string &err)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        SweepRow row;
+        std::string perr;
+        if (!parseSweepRow(line, row, perr)) {
+            err = "line " + std::to_string(lineno) + ": " + perr;
+            return false;
+        }
+        rows.push_back(std::move(row));
+    }
+    return true;
 }
 
 void

@@ -59,6 +59,10 @@ struct SweepRow
     double speedup = 0.0; ///< cpu-row runtime / this runtime
     double areaMm2 = 0.0; ///< system silicon area (area_model, 45 nm)
     double adpNorm = 0.0; ///< (area x delay) / the cpu row's (area x delay)
+    /// Why the scenario failed (SimFatal text, worker crash/timeout
+    /// diagnostic); empty for rows that ran to completion. Serialized
+    /// in JSON-lines (when non-empty) but not in the fixed CSV columns.
+    std::string error;
 };
 
 /**
@@ -88,18 +92,41 @@ bool expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
                  std::string &err);
 
 /**
+ * Run one scenario in-process over @p base (the mode is taken from the
+ * scenario). A SimFatal becomes a failed row (correct=false, zero
+ * runtime, the message in SweepRow::error) instead of propagating. This
+ * is the body every sweep worker process executes.
+ */
+SweepRow runScenario(const SweepScenario &sc, const SystemConfig &base);
+
+/** Batch-runner knobs (sim/executor.hh does the actual scheduling). */
+struct SweepRunOptions
+{
+    unsigned jobs = 1;           ///< worker processes; 0 = hardware conc.
+    unsigned timeoutSeconds = 0; ///< per-scenario wall clock; 0 = none
+};
+
+/**
  * Run every scenario over @p base (cache geometry, clocks, watchdog; the
- * mode is set per scenario). A scenario that dies with SimFatal is
- * recorded as incorrect with zero runtime rather than aborting the
- * batch. @p progress, when non-null, receives one "[i/n] ..." line per
- * scenario; @p on_row, when set, receives each row as it completes (so
- * callers can stream output and an interrupted sweep keeps its finished
- * rows).
+ * mode is set per scenario), in forked worker processes scheduled by the
+ * executor (sim/executor.hh) — `opts.jobs` at a time. Rows come back
+ * over the executor's wire format and are reassembled **in scenario
+ * order**, so the returned vector (and any output rendered from it) is
+ * byte-identical whatever the job count. A scenario that dies with
+ * SimFatal, crashes its worker (abort/SIGSEGV) or exceeds the
+ * per-scenario timeout is recorded as a failed row with a diagnostic in
+ * SweepRow::error rather than aborting the batch.
+ *
+ * @p progress, when non-null, receives one line per *completed*
+ * scenario (completion order) with a live running/done/failed counter;
+ * @p on_row, when set, receives each row as it completes (so callers
+ * can stream output and an interrupted sweep keeps its finished rows).
  */
 std::vector<SweepRow>
 runSweep(const std::vector<SweepScenario> &scenarios,
          const SystemConfig &base, std::ostream *progress,
-         const std::function<void(const SweepRow &)> &on_row = {});
+         const std::function<void(const SweepRow &)> &on_row = {},
+         const SweepRunOptions &opts = {});
 
 /**
  * Fill the derived columns of every row, Fig. 12 style: silicon area
@@ -123,6 +150,26 @@ void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows);
 
 /** Write one row as a JSON-lines object. */
 void writeJsonLine(std::ostream &os, const SweepRow &row);
+
+/**
+ * Parse one JSON-lines object written by writeJsonLine() back into a
+ * SweepRow — the inverse of the executor wire format, also the entry
+ * point for re-deriving metrics from a previously written file
+ * (`duet_sim --derive`). Requires the identity and result fields
+ * (workload/app/mode/cores/mem_hubs/size/seed/runtime_ticks/correct);
+ * the derived columns and `error` are optional, unknown keys are
+ * ignored. On malformed input, fills @p err and returns false.
+ */
+bool parseSweepRow(const std::string &json_line, SweepRow &row,
+                   std::string &err);
+
+/**
+ * Read a whole JSON-lines stream (blank lines skipped) into @p rows.
+ * On the first malformed line, fills @p err with a line-numbered
+ * diagnostic and returns false.
+ */
+bool readSweepRows(std::istream &in, std::vector<SweepRow> &rows,
+                   std::string &err);
 
 /** Write rows as JSON-lines (one object per line). */
 void writeJsonLines(std::ostream &os, const std::vector<SweepRow> &rows);

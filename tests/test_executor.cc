@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests of the fork-per-job process pool (sim/executor.hh) and the
+ * SweepRow wire format it ships results in: submission-order
+ * reassembly under adversarial completion order, crash isolation
+ * (abort/SIGSEGV become failed results, the batch continues), the
+ * per-job timeout kill path, payloads larger than the pipe buffer,
+ * JSON round-trip fuzz over extreme field values, and `-j1` vs `-j8`
+ * byte-identity of a real 12-row sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sim/config.hh"
+#include "sim/executor.hh"
+#include "sim/sweep.hh"
+
+namespace duet
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/** Block (bounded) until @p path exists — cross-process ordering. */
+void
+awaitFile(const fs::path &path)
+{
+    const auto deadline = std::chrono::steady_clock::now() + 30s;
+    while (!fs::exists(path) &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(5ms);
+}
+
+// ------------------------- scheduling ---------------------------------
+
+TEST(Executor, DefaultJobCountIsPositive)
+{
+    EXPECT_GE(defaultJobCount(), 1u);
+}
+
+TEST(Executor, EmptyBatchIsANoOp)
+{
+    EXPECT_TRUE(runJobs({}, ExecutorConfig{}).empty());
+}
+
+TEST(Executor, ResultsComeBackInSubmissionOrder)
+{
+    // Adversarial completion order, deterministically: job 0 waits for
+    // a file job 1 creates, so job 1 *must* finish first — yet the
+    // result vector must still be in submission order.
+    const fs::path flag =
+        fs::path(::testing::TempDir()) / "duet_executor_order_flag";
+    fs::remove(flag);
+    std::vector<Job> jobs;
+    jobs.push_back([&flag] {
+        awaitFile(flag);
+        return std::string("first-submitted");
+    });
+    jobs.push_back([&flag] {
+        std::ofstream(flag) << "go";
+        return std::string("second-submitted");
+    });
+
+    std::vector<std::size_t> completion;
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    std::vector<JobResult> results =
+        runJobs(jobs, cfg, [&](std::size_t idx, const JobResult &) {
+            completion.push_back(idx);
+        });
+    fs::remove(flag);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[0].payload, "first-submitted");
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].payload, "second-submitted");
+    EXPECT_EQ(completion, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Executor, HardwareDefaultWhenJobsIsZero)
+{
+    std::vector<Job> jobs{[] { return std::string("a"); },
+                          [] { return std::string("b"); }};
+    std::vector<JobResult> results = runJobs(jobs, ExecutorConfig{});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].payload, "a");
+    EXPECT_EQ(results[1].payload, "b");
+}
+
+// ------------------------- crash isolation ----------------------------
+
+TEST(Executor, AbortingWorkerBecomesFailedResultBatchContinues)
+{
+    std::vector<Job> jobs;
+    for (int i = 0; i < 4; ++i) {
+        if (i == 2) {
+            jobs.push_back([]() -> std::string { std::abort(); });
+        } else {
+            jobs.push_back([i] { return "ok" + std::to_string(i); });
+        }
+    }
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    std::vector<JobResult> results = runJobs(jobs, cfg);
+    ASSERT_EQ(results.size(), 4u);
+    for (int i : {0, 1, 3}) {
+        EXPECT_EQ(results[i].status, JobStatus::Ok) << i;
+        EXPECT_EQ(results[i].payload, "ok" + std::to_string(i));
+    }
+    EXPECT_EQ(results[2].status, JobStatus::Crashed);
+    EXPECT_NE(results[2].diagnostic.find("SIGABRT"), std::string::npos)
+        << results[2].diagnostic;
+}
+
+TEST(Executor, SegfaultSignalIsNamedInTheDiagnostic)
+{
+    std::vector<Job> jobs{[]() -> std::string {
+        std::raise(SIGSEGV);
+        return "unreachable";
+    }};
+    std::vector<JobResult> results = runJobs(jobs, ExecutorConfig{});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Crashed);
+    EXPECT_NE(results[0].diagnostic.find("SIGSEGV"), std::string::npos)
+        << results[0].diagnostic;
+}
+
+TEST(Executor, UncaughtExceptionIsReportedNotPropagated)
+{
+    std::vector<Job> jobs{
+        []() -> std::string { throw std::runtime_error("boom"); }};
+    std::vector<JobResult> results = runJobs(jobs, ExecutorConfig{});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Crashed);
+    EXPECT_NE(results[0].diagnostic.find("exception"), std::string::npos)
+        << results[0].diagnostic;
+}
+
+TEST(Executor, NonzeroExitIsACrash)
+{
+    std::vector<Job> jobs{[]() -> std::string { std::_Exit(7); }};
+    std::vector<JobResult> results = runJobs(jobs, ExecutorConfig{});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, JobStatus::Crashed);
+    EXPECT_NE(results[0].diagnostic.find("status 7"), std::string::npos)
+        << results[0].diagnostic;
+}
+
+// ------------------------- timeout ------------------------------------
+
+TEST(Executor, TimeoutKillsHungWorkerBatchContinues)
+{
+    std::vector<Job> jobs;
+    jobs.push_back([] { return std::string("quick"); });
+    jobs.push_back([]() -> std::string {
+        std::this_thread::sleep_for(60s); // far past the deadline
+        return "never";
+    });
+    jobs.push_back([] { return std::string("also quick"); });
+    ExecutorConfig cfg;
+    cfg.jobs = 3;
+    cfg.timeoutSeconds = 1;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<JobResult> results = runJobs(jobs, cfg);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_EQ(results[2].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].status, JobStatus::TimedOut);
+    EXPECT_NE(results[1].diagnostic.find("timed out after 1 s"),
+              std::string::npos)
+        << results[1].diagnostic;
+    // The hung worker must die at its deadline, not after its sleep.
+    EXPECT_LT(elapsed, 30s);
+}
+
+// ------------------------- wire frames --------------------------------
+
+TEST(Executor, EmptyAndPipeBufferSizedPayloadsRoundTrip)
+{
+    // 2 MiB is far past the kernel pipe buffer: the worker's write can
+    // only complete because the parent drains concurrently.
+    std::string big(2 * 1024 * 1024, 'x');
+    big += "tail";
+    std::vector<Job> jobs{[] { return std::string(); },
+                          [&big] { return big; }};
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    std::vector<JobResult> results = runJobs(jobs, cfg);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, JobStatus::Ok);
+    EXPECT_TRUE(results[0].payload.empty());
+    EXPECT_EQ(results[1].status, JobStatus::Ok);
+    EXPECT_EQ(results[1].payload, big);
+}
+
+// ------------------------- row wire format ----------------------------
+
+std::string
+rowJson(const SweepRow &row)
+{
+    std::ostringstream os;
+    writeJsonLine(os, row);
+    return os.str();
+}
+
+SweepRow
+sampleRow()
+{
+    SweepRow r;
+    r.workload = "bfs";
+    r.app = "bfs/4";
+    r.mode = "duet";
+    r.cores = 4;
+    r.memHubs = 0;
+    r.size = 256;
+    r.seed = 777;
+    r.runtime = 123 * kTicksPerNs;
+    r.correct = true;
+    return r;
+}
+
+TEST(RowWire, ExtremeFieldValuesRoundTrip)
+{
+    SweepRow row;
+    row.workload = "we\"ird\\name\nwith\tcontrol\x01bytes";
+    row.app = "";
+    row.mode = "duet";
+    row.cores = 0xffffffffu;
+    row.memHubs = 0;
+    row.size = 0xffffffffu;
+    row.seed = ~0ull;
+    row.runtime = ~Tick{0};
+    row.correct = true;
+    row.speedup = 123456.7891;
+    row.areaMm2 = 0.0001;
+    row.adpNorm = 0.0;
+    row.error = "worker killed by SIGSEGV";
+
+    SweepRow back;
+    std::string err;
+    ASSERT_TRUE(parseSweepRow(rowJson(row), back, err)) << err;
+    EXPECT_EQ(back.workload, row.workload);
+    EXPECT_EQ(back.app, row.app);
+    EXPECT_EQ(back.mode, row.mode);
+    EXPECT_EQ(back.cores, row.cores);
+    EXPECT_EQ(back.memHubs, row.memHubs);
+    EXPECT_EQ(back.size, row.size);
+    EXPECT_EQ(back.seed, row.seed);
+    EXPECT_EQ(back.runtime, row.runtime);
+    EXPECT_EQ(back.correct, row.correct);
+    EXPECT_EQ(back.error, row.error);
+    // The metric columns are fixed 4-decimal text on the wire; the
+    // round trip is exact at that precision.
+    EXPECT_DOUBLE_EQ(back.speedup, row.speedup);
+    EXPECT_DOUBLE_EQ(back.areaMm2, row.areaMm2);
+    // Serialize-parse-serialize is byte-stable.
+    EXPECT_EQ(rowJson(back), rowJson(row));
+}
+
+TEST(RowWire, RoundTripFuzzIsByteStable)
+{
+    // Deterministic LCG fuzz: any row writeJsonLine() can emit must
+    // parse back and re-serialize byte-identically (that is exactly
+    // what a parallel sweep does to every row).
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state;
+    };
+    auto fuzzString = [&next] {
+        std::string s;
+        const std::size_t len = next() % 24;
+        for (std::size_t i = 0; i < len; ++i)
+            s += static_cast<char>(next() % 256);
+        return s;
+    };
+    for (int iter = 0; iter < 256; ++iter) {
+        SweepRow row;
+        row.workload = fuzzString();
+        row.app = fuzzString();
+        row.mode = fuzzString();
+        row.cores = static_cast<unsigned>(next());
+        row.memHubs = static_cast<unsigned>(next() % 64);
+        row.size = static_cast<unsigned>(next());
+        row.seed = next();
+        row.runtime = next();
+        row.correct = next() % 2 == 0;
+        // Moderate magnitudes: the wire format is fixed 4-decimal
+        // text, which is only self-inverse below ~2^49.
+        row.speedup = static_cast<double>(next() % 1000000000) / 1e4;
+        row.areaMm2 = static_cast<double>(next() % 1000000) / 1e4;
+        row.adpNorm = static_cast<double>(next() % 1000000) / 1e4;
+        if (next() % 2 == 0)
+            row.error = fuzzString();
+
+        const std::string line = rowJson(row);
+        SweepRow back;
+        std::string err;
+        ASSERT_TRUE(parseSweepRow(line, back, err))
+            << "iter " << iter << ": " << err << "\n" << line;
+        EXPECT_EQ(rowJson(back), line) << "iter " << iter;
+        EXPECT_EQ(back.seed, row.seed);
+        EXPECT_EQ(back.runtime, row.runtime);
+        EXPECT_EQ(back.workload, row.workload);
+        EXPECT_EQ(back.error, row.error);
+    }
+}
+
+TEST(RowWire, MalformedLinesAreRejectedWithDiagnostics)
+{
+    SweepRow row;
+    std::string err;
+    EXPECT_FALSE(parseSweepRow("", row, err));
+    EXPECT_FALSE(parseSweepRow("not json", row, err));
+    EXPECT_FALSE(parseSweepRow("{}", row, err)); // missing required keys
+    EXPECT_NE(err.find("missing"), std::string::npos);
+    EXPECT_FALSE(parseSweepRow("{\"workload\": \"bfs\"", row, err));
+    EXPECT_FALSE(parseSweepRow("{\"workload\": 7}", row, err));
+    // A valid row with trailing garbage must not pass.
+    std::string line = rowJson(sampleRow());
+    line.pop_back(); // strip '\n'
+    EXPECT_TRUE(parseSweepRow(line, row, err)) << err;
+    EXPECT_FALSE(parseSweepRow(line + "}", row, err));
+    // Unknown keys are forward-compatible, not fatal — whatever the
+    // value's shape, including nested composites with tricky strings.
+    EXPECT_TRUE(parseSweepRow(
+        line.substr(0, line.size() - 1) + ", \"future_key\": 12}", row,
+        err))
+        << err;
+    EXPECT_TRUE(parseSweepRow(
+        line.substr(0, line.size() - 1) +
+            ", \"future\": {\"a\": [1, \"x\\\"]y\", []], \"b\": null}}",
+        row, err))
+        << err;
+    // ... but a malformed composite is still an error.
+    EXPECT_FALSE(parseSweepRow(
+        line.substr(0, line.size() - 1) + ", \"future\": [}}", row, err));
+}
+
+TEST(RowWire, ReadSweepRowsSkipsBlanksAndNumbersErrors)
+{
+    std::istringstream good(rowJson(sampleRow()) + "\n" +
+                            rowJson(sampleRow()));
+    std::vector<SweepRow> rows;
+    std::string err;
+    ASSERT_TRUE(readSweepRows(good, rows, err)) << err;
+    EXPECT_EQ(rows.size(), 2u);
+
+    // rowJson ends with '\n', so the garbage sits on line 2.
+    std::istringstream bad(rowJson(sampleRow()) + "garbage\n");
+    rows.clear();
+    EXPECT_FALSE(readSweepRows(bad, rows, err));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+// ------------------------- parallel sweeps ----------------------------
+
+TEST(SweepParallel, TwelveRowSweepIsByteIdenticalAcrossJobCounts)
+{
+    SweepSpec spec;
+    spec.workloads = "popcount,tangent";
+    spec.modes = "duet,cpu";
+    spec.sizes = "4,8,16";
+    std::vector<SweepScenario> scenarios;
+    std::string err;
+    ASSERT_TRUE(expandSweep(spec, scenarios, err)) << err;
+    ASSERT_EQ(scenarios.size(), 12u);
+
+    SystemConfig base;
+    auto render = [&](unsigned jobs) {
+        SweepRunOptions opts;
+        opts.jobs = jobs;
+        std::size_t streamed = 0;
+        std::vector<SweepRow> rows = runSweep(
+            scenarios, base, nullptr,
+            [&](const SweepRow &) { ++streamed; }, opts);
+        EXPECT_EQ(streamed, scenarios.size()) << "jobs=" << jobs;
+        addDerivedMetrics(rows);
+        std::ostringstream csv, jsonl;
+        writeCsv(csv, rows);
+        writeJsonLines(jsonl, rows);
+        for (const SweepRow &r : rows)
+            EXPECT_TRUE(r.correct)
+                << "jobs=" << jobs << " " << r.workload << "/" << r.mode
+                << " size=" << r.size << ": " << r.error;
+        return csv.str() + "\x1e" + jsonl.str();
+    };
+    const std::string j1 = render(1);
+    const std::string j8 = render(8);
+    EXPECT_EQ(j1, j8);
+    // Sanity: real rows, not an empty-vs-empty match.
+    EXPECT_NE(j1.find("popcount"), std::string::npos);
+    EXPECT_NE(j1.find("tangent"), std::string::npos);
+}
+
+} // namespace
+} // namespace duet

@@ -372,16 +372,80 @@ TEST(Flags, SweepRejectsSingleRunOutputFlags)
     EXPECT_EQ(opts.coresSpec, "4,8");
 }
 
+TEST(Flags, DeriveRejectsSimulationFlagsAndSweep)
+{
+    // Derive mode simulates nothing: a scenario-selection or system-
+    // shape flag could only mislead, so both are hard errors.
+    SimOptions opts;
+    std::string err;
+    EXPECT_EQ(parseArgs({"--derive", "x.jsonl", "--workload", "bfs"},
+                        opts, err),
+              ParseStatus::Error);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--derive", "x.jsonl", "--l2-kib", "64"}, opts,
+                        err),
+              ParseStatus::Error);
+    EXPECT_NE(err.find("--derive"), std::string::npos);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--derive", "x.jsonl", "--sweep"}, opts, err),
+              ParseStatus::Error);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--derive", "x.jsonl", "--csv", "out.csv"},
+                        opts, err),
+              ParseStatus::Ok)
+        << err;
+    EXPECT_EQ(opts.derivePath, "x.jsonl");
+}
+
+TEST(Flags, JobsAndTimeoutAreSweepOnlyAndBounded)
+{
+    SimOptions opts;
+    std::string err;
+    EXPECT_EQ(parseArgs({"--jobs", "4"}, opts, err), ParseStatus::Error);
+    EXPECT_NE(err.find("--sweep"), std::string::npos);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--sweep", "--jobs", "0"}, opts, err),
+              ParseStatus::Error);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--scenario-timeout-s", "5"}, opts, err),
+              ParseStatus::Error);
+    opts = SimOptions{};
+    EXPECT_EQ(parseArgs({"--sweep", "--jobs", "8",
+                         "--scenario-timeout-s", "30"},
+                        opts, err),
+              ParseStatus::Ok)
+        << err;
+    EXPECT_EQ(opts.jobs, 8u);
+    EXPECT_EQ(opts.scenarioTimeoutS, 30u);
+}
+
 // ------------------------- aggregation --------------------------------
+
+SweepRow
+makeRow(const char *workload, const char *app, const char *mode,
+        unsigned cores, unsigned hubs, unsigned size, std::uint64_t seed,
+        Tick runtime, bool correct)
+{
+    SweepRow r;
+    r.workload = workload;
+    r.app = app;
+    r.mode = mode;
+    r.cores = cores;
+    r.memHubs = hubs;
+    r.size = size;
+    r.seed = seed;
+    r.runtime = runtime;
+    r.correct = correct;
+    return r;
+}
 
 std::vector<SweepRow>
 sampleRows()
 {
-    SweepRow a{"bfs", "bfs/4", "duet", 4, 0, 256, 777,
-               123 * kTicksPerNs, true};
-    SweepRow b{"sort", "sort/64", "cpu", 1, 2, 64, 7,
-               456 * kTicksPerNs, false};
-    return {a, b};
+    return {makeRow("bfs", "bfs/4", "duet", 4, 0, 256, 777,
+                    123 * kTicksPerNs, true),
+            makeRow("sort", "sort/64", "cpu", 1, 2, 64, 7,
+                    456 * kTicksPerNs, false)};
 }
 
 TEST(Aggregate, CsvHasHeaderAndOneRowPerScenario)
@@ -409,13 +473,13 @@ TEST(Aggregate, CsvHasHeaderAndOneRowPerScenario)
 TEST(Derived, SpeedupAndAdpJoinTheMatchingCpuRow)
 {
     // A duet/cpu pair and an odd-one-out (different size: no partner).
-    SweepRow duet{"bfs", "bfs/4", "duet", 4, 0, 256, 777,
-                  100 * kTicksPerNs, true};
-    SweepRow cpu{"bfs", "bfs/4", "cpu", 4, 0, 256, 777,
-                 400 * kTicksPerNs, true};
-    SweepRow lone{"bfs", "bfs/4", "duet", 4, 0, 512, 777,
-                  100 * kTicksPerNs, true};
-    std::vector<SweepRow> rows{duet, cpu, lone};
+    std::vector<SweepRow> rows{
+        makeRow("bfs", "bfs/4", "duet", 4, 0, 256, 777,
+                100 * kTicksPerNs, true),
+        makeRow("bfs", "bfs/4", "cpu", 4, 0, 256, 777,
+                400 * kTicksPerNs, true),
+        makeRow("bfs", "bfs/4", "duet", 4, 0, 512, 777,
+                100 * kTicksPerNs, true)};
     addDerivedMetrics(rows);
 
     EXPECT_DOUBLE_EQ(rows[0].speedup, 4.0);
