@@ -1,0 +1,85 @@
+# Serve smoke test: pipe a canned 10-request JSONL batch — 8 valid
+# scenarios, one unknown workload and one deterministic failure (a 1 us
+# simulated-time watchdog) — through `duet_sim --serve --jobs 4` and
+# assert the protocol contract: one response line per request, the right
+# ok/invalid/failed split, the `N served / M failed` summary on stderr,
+# and exit status 1 (failures present, but the server survived them).
+#
+# Usage:
+#   cmake -DDUET_SIM=<path> -DWORK_DIR=<dir> -P cmake/serve_smoke.cmake
+
+if(NOT DUET_SIM OR NOT WORK_DIR)
+  message(FATAL_ERROR "need -DDUET_SIM= and -DWORK_DIR=")
+endif()
+
+set(REQS ${WORK_DIR}/serve_smoke_requests.jsonl)
+set(RESP ${WORK_DIR}/serve_smoke_responses.jsonl)
+
+set(lines "")
+foreach(i RANGE 1 4)
+  math(EXPR sz "2 + ${i}")
+  string(APPEND lines
+         "{\"id\": \"p${i}\", \"workload\": \"popcount\", \"size\": ${sz}}\n")
+  string(APPEND lines
+         "{\"id\": \"t${i}\", \"workload\": \"tangent\", \"size\": ${sz}}\n")
+endforeach()
+string(APPEND lines "{\"id\": \"bad\", \"workload\": \"no-such-workload\"}\n")
+string(APPEND lines
+       "{\"id\": \"watchdog\", \"workload\": \"bfs\", \"max_us\": 1}\n")
+file(WRITE ${REQS} "${lines}")
+
+execute_process(
+  COMMAND ${DUET_SIM} --serve --jobs 4
+  INPUT_FILE ${REQS}
+  OUTPUT_FILE ${RESP}
+  ERROR_VARIABLE summary
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 1)
+  message(FATAL_ERROR
+          "--serve with failing requests should exit 1, got '${rv}' "
+          "(stderr: ${summary})")
+endif()
+if(NOT summary MATCHES "8 served / 2 failed")
+  message(FATAL_ERROR "unexpected serve summary: ${summary}")
+endif()
+
+file(STRINGS ${RESP} resp_lines)
+list(LENGTH resp_lines total)
+if(NOT total EQUAL 10)
+  message(FATAL_ERROR "expected 10 response lines in ${RESP}, got ${total}")
+endif()
+
+set(ok 0)
+set(invalid 0)
+set(failed 0)
+foreach(line IN LISTS resp_lines)
+  if(line MATCHES "\"status\": \"ok\"")
+    math(EXPR ok "${ok} + 1")
+  elseif(line MATCHES "\"status\": \"invalid\"")
+    math(EXPR invalid "${invalid} + 1")
+  elseif(line MATCHES "\"status\": \"failed\"")
+    math(EXPR failed "${failed} + 1")
+  endif()
+endforeach()
+if(NOT ok EQUAL 8 OR NOT invalid EQUAL 1 OR NOT failed EQUAL 1)
+  message(FATAL_ERROR
+          "expected 8 ok / 1 invalid / 1 failed responses, got "
+          "${ok} / ${invalid} / ${failed}")
+endif()
+
+# The failure responses answer the requests that caused them.
+set(saw_bad FALSE)
+set(saw_watchdog FALSE)
+foreach(line IN LISTS resp_lines)
+  if(line MATCHES "\"id\": \"bad\", \"status\": \"invalid\"")
+    set(saw_bad TRUE)
+  endif()
+  if(line MATCHES "\"id\": \"watchdog\", \"status\": \"failed\"")
+    set(saw_watchdog TRUE)
+  endif()
+endforeach()
+if(NOT saw_bad OR NOT saw_watchdog)
+  message(FATAL_ERROR "failure responses lost their request ids")
+endif()
+
+message(STATUS "serve smoke OK: 10 requests, 8 ok / 1 invalid / 1 failed")

@@ -32,6 +32,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "service/scenario_service.hh"
+#include "service/serve.hh"
 #include "sim/config.hh"
 #include "sim/sweep.hh"
 #include "workload/apps.hh"
@@ -140,6 +144,8 @@ runSweepMode(const SimOptions &opts)
     spec.cores = opts.coresSpec;
     spec.sizes = opts.sizeSpec;
     spec.seeds = opts.seedSpec;
+    spec.l2KiB = opts.l2Spec;
+    spec.l3KiB = opts.l3Spec;
 
     std::vector<SweepScenario> scenarios;
     std::string err;
@@ -162,22 +168,40 @@ runSweepMode(const SimOptions &opts)
     applySimOverrides(opts, base);
 
     SweepRunOptions ropts;
-    ropts.jobs = opts.jobs; // 0: the executor picks the hardware count
+    ropts.jobs = opts.jobs; // 0: the service picks the hardware count
     ropts.timeoutSeconds = opts.scenarioTimeoutS;
 
+    // Progress only renders on an interactive stderr — a carriage-
+    // return line repainted in place. Piped stderr (CI logs, 2>file)
+    // gets nothing but the failure summary; --quiet forces that even
+    // on a terminal.
+    const bool tty_progress = !opts.quiet && ::isatty(2) != 0;
+    std::ostream *progress = tty_progress ? &std::cerr : nullptr;
+    ropts.ttyProgress = tty_progress;
+
+    // A sweep with cache-ladder axes carries the coordinates in extra
+    // CSV columns; default sweeps keep the pre-ladder layout byte for
+    // byte (writeCsv() at finalize detects the same condition from the
+    // rows themselves).
+    const bool cacheCols =
+        !opts.l2Spec.empty() || !opts.l3Spec.empty();
+
     // Stream each finished row to the file sinks (completion order,
-    // derived columns still 0 at that point), then rewrite them once
-    // the batch is done, the rows are back in scenario order, and
-    // addDerivedMetrics() has joined every row with its cpu partner —
-    // which may have run after it.
+    // cross-row derived columns still 0 at that point), then rewrite
+    // them once the batch is done, the rows are back in scenario
+    // order, and addDerivedMetrics() has joined every row with its cpu
+    // partner — which may have run after it.
     if (haveCsv)
-        csvSink.streamRow([](std::ostream &os) { writeCsvHeader(os); });
+        csvSink.streamRow([&](std::ostream &os) {
+            writeCsvHeader(os, cacheCols);
+        });
     std::vector<SweepRow> rows = runSweep(
-        scenarios, base, &std::cerr,
+        scenarios, base, progress,
         [&](const SweepRow &row) {
             if (haveCsv)
-                csvSink.streamRow(
-                    [&](std::ostream &os) { writeCsvRow(os, row); });
+                csvSink.streamRow([&](std::ostream &os) {
+                    writeCsvRow(os, row, cacheCols);
+                });
             if (haveJsonl)
                 jsonlSink.streamRow(
                     [&](std::ostream &os) { writeJsonLine(os, row); });
@@ -260,6 +284,17 @@ runDeriveMode(const SimOptions &opts)
 int
 runSingleMode(const SimOptions &opts)
 {
+    // Build the request exactly as a --serve client would; the service
+    // layer owns validation and per-request config layering. The run
+    // itself stays in-process: the stats observer below needs the
+    // System in this address space, which a pool worker cannot offer.
+    ScenarioRequest req;
+    req.workload = opts.workload;
+    req.mode = opts.modeName;
+    req.cores = opts.cores;
+    req.size = opts.size;
+    req.seed = opts.seed;
+
     const Workload *w = findWorkload(opts.workload);
     if (w == nullptr) {
         std::cerr << "duet_sim: unknown workload '" << opts.workload
@@ -274,23 +309,12 @@ runSingleMode(const SimOptions &opts)
         std::cerr << "duet_sim: note: --seed is ignored by workload '"
                   << opts.workload << "' (deterministic input)\n";
 
-    WorkloadParams params{opts.cores, 0, opts.size, opts.seed};
-    std::string err;
-    if (!resolveParams(*w, params, err)) {
-        std::cerr << "duet_sim: " << err << "\n\n" << simUsage();
-        return 2;
-    }
-
-    SystemMode mode = SystemMode::Duet;
-    parseSystemMode(opts.modeName, mode); // validated during parsing
-
     // Shape the System the workload builds and capture its stats registry
     // (dumped post-run, pre-teardown) for the report below.
     std::string statsText;
     std::string statsJson;
     unsigned coresBuilt = 0;
     SystemConfig base;
-    base.mode = mode;
     applySimOverrides(opts, base);
     base.observer = [&](System &sys) {
         std::ostringstream text, json;
@@ -301,9 +325,18 @@ runSingleMode(const SimOptions &opts)
         coresBuilt = sys.numCores();
     };
 
+    SweepScenario sc;
+    SystemConfig cfg;
+    std::string err;
+    if (!validateRequest(req, base, sc, cfg, err)) {
+        std::cerr << "duet_sim: " << err << "\n\n" << simUsage();
+        return 2;
+    }
+    const WorkloadParams &params = sc.params;
+
     AppResult res;
     try {
-        res = runWorkload(*w, params, base);
+        res = runWorkload(*sc.workload, params, cfg);
     } catch (const SimFatal &e) {
         std::cerr << "duet_sim: " << e.what() << "\n";
         return 1;
@@ -361,6 +394,8 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opts.serve)
+        return runServe(opts);
     if (!opts.derivePath.empty())
         return runDeriveMode(opts);
     return opts.sweep ? runSweepMode(opts) : runSingleMode(opts);

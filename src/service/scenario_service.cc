@@ -1,0 +1,579 @@
+#include "service/scenario_service.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include <poll.h>
+
+#include "sim/config.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** Best-effort identity for a request that never became a scenario:
+ *  echo whatever the client supplied so an Invalid response still says
+ *  which request it answers. */
+SweepRow
+requestEchoRow(const ScenarioRequest &req)
+{
+    SweepRow row;
+    row.workload = req.workload;
+    row.app = req.workload;
+    row.mode = req.mode;
+    row.cores = req.cores;
+    row.size = req.size;
+    row.seed = req.seed;
+    row.l2KiB = req.l2KiB;
+    row.l3KiB = req.l3KiB;
+    return row;
+}
+
+/** Fill the per-row derived columns (silicon area; speedup/ADP need a
+ *  cpu partner row and stay 0 on a lone response — `--derive` joins
+ *  saved responses after the fact). */
+void
+deriveSingleRow(SweepRow &row)
+{
+    std::vector<SweepRow> one{std::move(row)};
+    addDerivedMetrics(one);
+    row = std::move(one.front());
+}
+
+} // namespace
+
+const char *
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok:
+        return "ok";
+      case ResponseStatus::Failed:
+        return "failed";
+      case ResponseStatus::Invalid:
+        return "invalid";
+    }
+    return "?";
+}
+
+bool
+parseScenarioRequest(const std::string &json_line, ScenarioRequest &req,
+                     std::string &err)
+{
+    req = ScenarioRequest{};
+    json::Cursor c{json_line, 0, err};
+    if (!c.expect('{'))
+        return false;
+
+    bool sawWorkload = false;
+    c.skipWs();
+    if (c.peek('}')) {
+        ++c.i;
+    } else {
+        while (true) {
+            std::string key;
+            if (!c.parseString(key))
+                return false;
+            if (!c.expect(':'))
+                return false;
+            const bool isString = c.peek('"');
+            std::string sval, tok;
+            if (isString) {
+                if (!c.parseString(sval))
+                    return false;
+            } else if (!c.parseScalarToken(tok)) {
+                return false;
+            }
+            auto want_string = [&](const char *k) {
+                if (!isString)
+                    err = std::string("key '") + k +
+                          "' wants a string value";
+                return isString;
+            };
+            auto want_scalar = [&](const char *k) {
+                if (isString)
+                    err = std::string("key '") + k +
+                          "' wants an unquoted value";
+                return !isString;
+            };
+            bool ok = true;
+            if (key == "id") {
+                // Clients may tag with a string or a bare number; the
+                // id is opaque either way and echoed back verbatim.
+                req.id = isString ? sval : tok;
+                if (req.id.empty()) {
+                    err = "empty request id";
+                    ok = false;
+                }
+            } else if (key == "workload") {
+                ok = want_string("workload");
+                req.workload = sval;
+                sawWorkload = true;
+            } else if (key == "mode") {
+                ok = want_string("mode");
+                req.mode = sval;
+            } else if (key == "cores") {
+                ok = want_scalar("cores") &&
+                     json::tokenToU32(tok, req.cores, err);
+            } else if (key == "size") {
+                ok = want_scalar("size") &&
+                     json::tokenToU32(tok, req.size, err);
+            } else if (key == "seed") {
+                ok = want_scalar("seed") &&
+                     json::tokenToU64(tok, req.seed, err);
+            } else if (key == "l2_kib") {
+                ok = want_scalar("l2_kib") &&
+                     json::tokenToU32(tok, req.l2KiB, err);
+            } else if (key == "l3_kib") {
+                ok = want_scalar("l3_kib") &&
+                     json::tokenToU32(tok, req.l3KiB, err);
+            } else if (key == "l2_ways") {
+                ok = want_scalar("l2_ways") &&
+                     json::tokenToU32(tok, req.l2Ways, err);
+            } else if (key == "l3_ways") {
+                ok = want_scalar("l3_ways") &&
+                     json::tokenToU32(tok, req.l3Ways, err);
+            } else if (key == "spm_kib") {
+                ok = want_scalar("spm_kib") &&
+                     json::tokenToU32(tok, req.spmKiB, err);
+            } else if (key == "cpu_mhz") {
+                ok = want_scalar("cpu_mhz") &&
+                     json::tokenToU64(tok, req.cpuFreqMhz, err);
+            } else if (key == "fpga_mhz") {
+                ok = want_scalar("fpga_mhz") &&
+                     json::tokenToU64(tok, req.fpgaFreqMhz, err);
+            } else if (key == "max_us") {
+                ok = want_scalar("max_us") &&
+                     json::tokenToU64(tok, req.maxTicksUs, err);
+            } else {
+                // A typo'd key silently ignored would run a different
+                // scenario than the client asked for.
+                err = "unknown request key '" + key + "'";
+                return false;
+            }
+            if (!ok)
+                return false;
+            c.skipWs();
+            if (c.i < json_line.size() && json_line[c.i] == ',') {
+                ++c.i;
+                continue;
+            }
+            if (!c.expect('}'))
+                return false;
+            break;
+        }
+    }
+    if (!c.atLineEnd())
+        return false;
+    if (!sawWorkload) {
+        err = "request is missing the 'workload' key";
+        return false;
+    }
+    return true;
+}
+
+void
+writeScenarioRequest(std::ostream &os, const ScenarioRequest &req)
+{
+    os << '{';
+    if (!req.id.empty())
+        os << "\"id\": " << jsonQuote(req.id) << ", ";
+    os << "\"workload\": " << jsonQuote(req.workload)
+       << ", \"mode\": " << jsonQuote(req.mode);
+    if (req.cores != 0)
+        os << ", \"cores\": " << req.cores;
+    if (req.size != 0)
+        os << ", \"size\": " << req.size;
+    if (req.seed != 0)
+        os << ", \"seed\": " << req.seed;
+    if (req.l2KiB != 0)
+        os << ", \"l2_kib\": " << req.l2KiB;
+    if (req.l3KiB != 0)
+        os << ", \"l3_kib\": " << req.l3KiB;
+    if (req.l2Ways != 0)
+        os << ", \"l2_ways\": " << req.l2Ways;
+    if (req.l3Ways != 0)
+        os << ", \"l3_ways\": " << req.l3Ways;
+    if (req.spmKiB != 0)
+        os << ", \"spm_kib\": " << req.spmKiB;
+    if (req.cpuFreqMhz != 0)
+        os << ", \"cpu_mhz\": " << req.cpuFreqMhz;
+    if (req.fpgaFreqMhz != 0)
+        os << ", \"fpga_mhz\": " << req.fpgaFreqMhz;
+    if (req.maxTicksUs != 0)
+        os << ", \"max_us\": " << req.maxTicksUs;
+    os << "}\n";
+}
+
+void
+writeScenarioResponse(std::ostream &os, const ScenarioResponse &resp)
+{
+    os << "{\"id\": " << jsonQuote(resp.id) << ", \"status\": \""
+       << responseStatusName(resp.status) << "\", ";
+    writeJsonRowFields(os, resp.row);
+    os << "}\n";
+}
+
+bool
+parseScenarioResponse(const std::string &json_line, ScenarioResponse &resp,
+                      std::string &err)
+{
+    resp = ScenarioResponse{};
+    // First pass: pull the service envelope (id, status) out of the
+    // object; everything else is row fields.
+    json::Cursor c{json_line, 0, err};
+    if (!c.expect('{'))
+        return false;
+    bool sawId = false, sawStatus = false;
+    c.skipWs();
+    if (c.peek('}')) {
+        ++c.i;
+    } else {
+        while (true) {
+            std::string key;
+            if (!c.parseString(key))
+                return false;
+            if (!c.expect(':'))
+                return false;
+            if (key == "id" || key == "status") {
+                std::string sval;
+                if (!c.parseString(sval))
+                    return false;
+                if (key == "id") {
+                    resp.id = sval;
+                    sawId = true;
+                } else if (sval == "ok") {
+                    resp.status = ResponseStatus::Ok;
+                    sawStatus = true;
+                } else if (sval == "failed") {
+                    resp.status = ResponseStatus::Failed;
+                    sawStatus = true;
+                } else if (sval == "invalid") {
+                    resp.status = ResponseStatus::Invalid;
+                    sawStatus = true;
+                } else {
+                    err = "unknown response status '" + sval + "'";
+                    return false;
+                }
+            } else if (!c.skipValue()) {
+                return false;
+            }
+            c.skipWs();
+            if (c.i < json_line.size() && json_line[c.i] == ',') {
+                ++c.i;
+                continue;
+            }
+            if (!c.expect('}'))
+                return false;
+            break;
+        }
+    }
+    if (!c.atLineEnd())
+        return false;
+    if (!sawId || !sawStatus) {
+        err = "response is missing the 'id'/'status' envelope";
+        return false;
+    }
+    // Second pass: the embedded row. parseSweepRow skips the envelope
+    // keys as unknown, so the row wire format stays single-sourced.
+    return parseSweepRow(json_line, resp.row, err);
+}
+
+bool
+validateRequest(const ScenarioRequest &req, const SystemConfig &base,
+                SweepScenario &sc, SystemConfig &cfg, std::string &err)
+{
+    const Workload *w = findWorkload(req.workload);
+    if (w == nullptr) {
+        err = "unknown workload '" + req.workload + "'";
+        return false;
+    }
+    SystemMode mode = SystemMode::Duet;
+    if (!parseSystemMode(req.mode, mode)) {
+        err = "unknown mode '" + req.mode + "' (want duet|cpu|fpsoc)";
+        return false;
+    }
+    sc = SweepScenario{};
+    sc.workload = w;
+    sc.mode = mode;
+    sc.params = WorkloadParams{req.cores, 0, req.size, req.seed};
+    if (!resolveParams(*w, sc.params, err))
+        return false;
+    auto cacheBound = [&err](const char *what, unsigned kib) {
+        if (kib > kMaxCacheKiB) {
+            err = std::string(what) + " " + std::to_string(kib) +
+                  " KiB is too large (max " +
+                  std::to_string(kMaxCacheKiB) + ")";
+            return false;
+        }
+        return true;
+    };
+    if (!cacheBound("l2_kib", req.l2KiB) ||
+        !cacheBound("l3_kib", req.l3KiB) ||
+        !cacheBound("spm_kib", req.spmKiB))
+        return false;
+    if (req.maxTicksUs > ~std::uint64_t{0} / kTicksPerUs) {
+        err = "max_us too large";
+        return false;
+    }
+    sc.l2KiB = req.l2KiB;
+    sc.l3KiB = req.l3KiB;
+
+    cfg = base;
+    cfg.mode = mode;
+    if (req.l2Ways != 0)
+        cfg.l2.ways = req.l2Ways;
+    if (req.l3Ways != 0)
+        cfg.l3.ways = req.l3Ways;
+    if (req.spmKiB != 0) {
+        cfg.scratchpadBytes = std::size_t{req.spmKiB} * 1024;
+        cfg.scratchpadAuto = false;
+    }
+    if (req.cpuFreqMhz != 0)
+        cfg.cpuFreqMhz = req.cpuFreqMhz;
+    if (req.fpgaFreqMhz != 0)
+        cfg.fpgaFreqMhz = req.fpgaFreqMhz;
+    if (req.maxTicksUs != 0)
+        cfg.maxTicks = req.maxTicksUs * kTicksPerUs;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// ScenarioService
+// ---------------------------------------------------------------------
+
+ScenarioService::ScenarioService(const SystemConfig &base,
+                                 const Options &opts,
+                                 ResponseHandler handler)
+    : base_(base), opts_(opts), handler_(std::move(handler)),
+      pool_(ExecutorConfig{opts.jobs, opts.timeoutSeconds,
+                           opts.maxInFlight})
+{
+}
+
+ScenarioService::~ScenarioService() = default;
+
+void
+ScenarioService::deliver(ScenarioResponse &&resp)
+{
+    if (resp.status == ResponseStatus::Ok)
+        ++summary_.served;
+    else
+        ++summary_.failed;
+    if (handler_)
+        handler_(resp);
+}
+
+void
+ScenarioService::submit(const ScenarioRequest &req)
+{
+    SweepScenario sc;
+    SystemConfig cfg;
+    std::string verr;
+    if (!validateRequest(req, base_, sc, cfg, verr)) {
+        ScenarioResponse resp;
+        resp.id = req.id;
+        resp.status = ResponseStatus::Invalid;
+        resp.row = requestEchoRow(req);
+        resp.row.error = verr;
+        deliver(std::move(resp));
+        return;
+    }
+
+    auto runner = opts_.runner != nullptr ? opts_.runner : &runScenario;
+    // The scenario and per-request config are copied into the closure:
+    // the forked worker sees them through its address-space snapshot,
+    // and the parent's copies stay alive until the worker is reaped.
+    Job job = [sc, cfg, runner]() {
+        std::ostringstream os;
+        writeJsonLine(os, runner(sc, cfg));
+        return os.str();
+    };
+    pool_.submit(
+        std::move(job),
+        [this, id = req.id, sc](JobResult &&jr) mutable {
+            ScenarioResponse resp;
+            resp.id = std::move(id);
+            std::string perr;
+            if (jr.status == JobStatus::Ok) {
+                if (!parseSweepRow(jr.payload, resp.row, perr)) {
+                    resp.row = scenarioIdentityRow(sc);
+                    resp.row.error = "malformed worker row: " + perr;
+                }
+            } else {
+                resp.row = scenarioIdentityRow(sc);
+                resp.row.error = jr.diagnostic;
+            }
+            deriveSingleRow(resp.row);
+            resp.status = resp.row.correct ? ResponseStatus::Ok
+                                           : ResponseStatus::Failed;
+            deliver(std::move(resp));
+        });
+}
+
+void
+ScenarioService::reject(const std::string &id, const std::string &error)
+{
+    ScenarioResponse resp;
+    resp.id = id;
+    resp.status = ResponseStatus::Invalid;
+    resp.row.error = error;
+    deliver(std::move(resp));
+}
+
+void
+ScenarioService::pump(int timeout_ms)
+{
+    pool_.pump(timeout_ms);
+}
+
+void
+ScenarioService::addReadFds(std::vector<pollfd> &fds) const
+{
+    pool_.addReadFds(fds);
+}
+
+int
+ScenarioService::timeoutHintMs() const
+{
+    return pool_.timeoutHintMs();
+}
+
+std::size_t
+ScenarioService::inFlight() const
+{
+    return pool_.inFlight();
+}
+
+ScenarioService::Summary
+ScenarioService::drain()
+{
+    pool_.drain();
+    return summary_;
+}
+
+// ---------------------------------------------------------------------
+// runSweep: the --sweep front-end as a service client
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ScenarioRequest
+requestFromScenario(const SweepScenario &sc)
+{
+    ScenarioRequest req;
+    req.workload = sc.workload->name;
+    req.mode = systemModeName(sc.mode);
+    req.cores = sc.params.cores;
+    req.size = sc.params.size;
+    req.seed = sc.params.seed;
+    req.l2KiB = sc.l2KiB;
+    req.l3KiB = sc.l3KiB;
+    return req;
+}
+
+} // namespace
+
+std::vector<SweepRow>
+runSweep(const std::vector<SweepScenario> &scenarios,
+         const SystemConfig &base, std::ostream *progress,
+         const std::function<void(const SweepRow &)> &on_row,
+         const SweepRunOptions &opts)
+{
+    std::vector<SweepRow> rows(scenarios.size());
+    if (scenarios.empty())
+        return rows;
+    std::vector<char> delivered(scenarios.size(), 0);
+
+    ExecutorConfig ecfg;
+    ecfg.jobs = opts.jobs;
+    const std::size_t slots = effectiveJobCount(ecfg, scenarios.size());
+
+    std::size_t done = 0, failed = 0;
+    std::size_t lastProgressLen = 0;
+
+    ScenarioService::Options sopts;
+    sopts.jobs = static_cast<unsigned>(slots);
+    sopts.timeoutSeconds = opts.timeoutSeconds;
+    sopts.maxInFlight = 0; // the whole batch queues up front
+
+    const auto handler = [&](const ScenarioResponse &resp) {
+        // The sweep owns the ids: the scenario's index, assigned below.
+        std::uint64_t idx64 = 0;
+        if (!parseDecimal(resp.id, idx64) || idx64 >= rows.size())
+            return; // unreachable with our own ids; drop defensively
+        const std::size_t idx = static_cast<std::size_t>(idx64);
+        const SweepRow &row = resp.row;
+        ++done;
+        if (!row.correct)
+            ++failed;
+        if (progress != nullptr) {
+            // The service keeps every slot full until the queue
+            // drains, so the live worker count is the open slots.
+            const std::size_t running =
+                std::min(slots, scenarios.size() - done);
+            std::ostringstream line;
+            line << "[" << done << "/" << scenarios.size() << "] "
+                 << row.workload << " mode=" << row.mode
+                 << " cores=" << row.cores << " size=" << row.size;
+            if (scenarios[idx].workload->takesSeed())
+                line << " seed=" << row.seed;
+            if (row.l2KiB != 0)
+                line << " l2=" << row.l2KiB << "K";
+            if (row.l3KiB != 0)
+                line << " l3=" << row.l3KiB << "K";
+            line << " -> " << row.runtime / kTicksPerNs << " ns, "
+                 << (row.correct ? "correct" : "FAILED");
+            if (!row.error.empty())
+                line << " (" << row.error << ")";
+            line << "  [running " << running << ", failed " << failed
+                 << "]";
+            std::string text = line.str();
+            if (opts.ttyProgress) {
+                // Repaint in place; pad so a shorter line fully covers
+                // the previous one.
+                const std::size_t len = text.size();
+                if (len < lastProgressLen)
+                    text.append(lastProgressLen - len, ' ');
+                lastProgressLen = len;
+                *progress << '\r' << text;
+            } else {
+                *progress << text << '\n';
+            }
+            progress->flush();
+        }
+        if (on_row)
+            on_row(row);
+        rows[idx] = row;
+        delivered[idx] = 1;
+    };
+
+    ScenarioService svc(base, sopts, handler);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        ScenarioRequest req = requestFromScenario(scenarios[i]);
+        req.id = std::to_string(i);
+        svc.submit(req);
+    }
+    svc.drain();
+    if (progress != nullptr && opts.ttyProgress && done != 0) {
+        *progress << '\n';
+        progress->flush();
+    }
+    // Every submission gets a response (even on a scheduler abort), but
+    // keep the identity-preserving safety net: a row must never lose
+    // which scenario it answers.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (!delivered[i]) {
+            rows[i] = scenarioIdentityRow(scenarios[i]);
+            rows[i].error = "executor aborted before the job finished";
+        }
+    }
+    return rows;
+}
+
+} // namespace duet

@@ -1,0 +1,292 @@
+#include "service/serve.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/config.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** Set by the SIGTERM/SIGINT handlers (installed without SA_RESTART so
+ *  blocking reads/accepts return EINTR): stop intake, drain, report. */
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+/** EINTR-safe full write; false once the stream is broken (EPIPE when
+ *  the client went away — SIGPIPE is ignored while serving). In
+ *  --listen mode the request and response fds are the same socket, so
+ *  the intake's O_NONBLOCK applies here too: a full send buffer
+ *  (client not draining yet) is EAGAIN, which means wait for
+ *  writability, not a broken stream. */
+bool
+writeAllFd(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, -1); // EINTR just retries the write
+                continue;
+            }
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+ServeSummary
+serveStream(int in_fd, int out_fd, const SystemConfig &base,
+            const ScenarioService::Options &opts)
+{
+    ServeSummary sum;
+
+    // Responses stream as rows complete, one flushed line each, so a
+    // client pipelining requests sees results without waiting for its
+    // own EOF. Once the response stream breaks we keep draining (the
+    // summary should still be accurate) but stop writing.
+    const ScenarioService::ResponseHandler handler =
+        [out_fd, &sum](const ScenarioResponse &resp) {
+            if (sum.ioError)
+                return;
+            std::ostringstream os;
+            writeScenarioResponse(os, resp);
+            const std::string line = os.str();
+            if (!writeAllFd(out_fd, line.data(), line.size()))
+                sum.ioError = true;
+        };
+    ScenarioService svc(base, opts, handler);
+
+    // Nonblocking intake: one poll covers the request stream and every
+    // worker pipe, so responses flow while the client is idle and
+    // per-request deadlines fire while we wait for input.
+    const int in_flags = ::fcntl(in_fd, F_GETFL, 0);
+    if (in_flags >= 0)
+        ::fcntl(in_fd, F_SETFL, in_flags | O_NONBLOCK);
+
+    std::string inbuf;
+    std::size_t lineno = 0;
+    bool eof = false;
+
+    auto feedLine = [&](const std::string &line) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            return; // blank keep-alive line
+        ScenarioRequest req;
+        std::string perr;
+        if (!parseScenarioRequest(line, req, perr)) {
+            // One bad line answers for itself — the batch lives on.
+            svc.reject(std::to_string(lineno),
+                       "bad request line: " + perr);
+            return;
+        }
+        if (req.id.empty())
+            req.id = std::to_string(lineno);
+        svc.submit(req); // blocks (delivering responses) at the cap
+    };
+
+    while (!eof && g_stop == 0) {
+        std::vector<pollfd> fds;
+        fds.push_back({in_fd, POLLIN, 0});
+        svc.addReadFds(fds);
+        const int rv = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()),
+                              svc.timeoutHintMs());
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue; // signal: the loop re-checks g_stop
+            break;
+        }
+        // Worker frames, deadline kills and completed responses move
+        // even when the poll only woke for (or timed out waiting on)
+        // the request stream.
+        svc.pump(0);
+        if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+            continue;
+        char chunk[65536];
+        while (true) {
+            const ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                inbuf.append(chunk, static_cast<std::size_t>(n));
+                std::size_t nl;
+                while ((nl = inbuf.find('\n')) != std::string::npos) {
+                    feedLine(inbuf.substr(0, nl));
+                    inbuf.erase(0, nl + 1);
+                }
+                continue;
+            }
+            if (n == 0) {
+                eof = true;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break; // drained for now
+            // A persistent read error (EIO on a vanished terminal,
+            // POLLERR states): treat as end of intake, not a busy
+            // loop — drain and summarize like EOF.
+            eof = true;
+            break;
+        }
+    }
+    // A final request without a trailing newline still counts.
+    if (!inbuf.empty() && g_stop == 0)
+        feedLine(inbuf);
+
+    const ScenarioService::Summary s = svc.drain();
+    sum.served = s.served;
+    sum.failed = s.failed;
+
+    if (in_flags >= 0)
+        ::fcntl(in_fd, F_SETFL, in_flags); // stdin may outlive us
+    return sum;
+}
+
+namespace
+{
+
+/** Bind @p path, accept one connection, serve it to EOF, clean up.
+ *  Sequential single-client semantics: a scenario server fronts one
+ *  submission pipe at a time; parallelism lives in the worker pool. */
+bool
+serveListen(const std::string &path, const SystemConfig &base,
+            const ScenarioService::Options &opts, ServeSummary &sum)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "duet_sim: --listen path is too long (max "
+                  << sizeof(addr.sun_path) - 1 << " bytes)\n";
+        return false;
+    }
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lfd < 0) {
+        std::cerr << "duet_sim: socket: " << std::strerror(errno) << "\n";
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(lfd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::cerr << "duet_sim: cannot bind " << path << ": "
+                  << std::strerror(errno)
+                  << (errno == EADDRINUSE
+                          ? " (stale socket from a dead server? "
+                            "remove it first)"
+                          : "")
+                  << "\n";
+        ::close(lfd);
+        return false;
+    }
+    if (::listen(lfd, 1) != 0) {
+        std::cerr << "duet_sim: listen: " << std::strerror(errno) << "\n";
+        ::close(lfd);
+        ::unlink(path.c_str());
+        return false;
+    }
+
+    int conn = -1;
+    while (g_stop == 0) {
+        conn = ::accept(lfd, nullptr, nullptr);
+        if (conn >= 0)
+            break;
+        if (errno == EINTR)
+            continue; // signal: re-check g_stop
+        std::cerr << "duet_sim: accept: " << std::strerror(errno) << "\n";
+        ::close(lfd);
+        ::unlink(path.c_str());
+        return false;
+    }
+    if (conn >= 0) {
+        sum = serveStream(conn, conn, base, opts);
+        ::close(conn);
+    }
+    ::close(lfd);
+    ::unlink(path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+runServe(const SimOptions &opts)
+{
+    SystemConfig base;
+    applySimOverrides(opts, base);
+
+    ScenarioService::Options sopts;
+    sopts.jobs = opts.jobs; // 0: the pool picks the hardware count
+    sopts.timeoutSeconds = opts.scenarioTimeoutS;
+    // Intake backpressure: keep a few rounds of work queued ahead of
+    // the pool, but never read the whole request stream into memory.
+    const std::size_t slots =
+        sopts.jobs != 0 ? sopts.jobs : defaultJobCount();
+    sopts.maxInFlight = 4 * slots;
+
+    // Shutdown must interrupt blocking poll/accept: handlers without
+    // SA_RESTART. SIGPIPE off so a vanished client surfaces as EPIPE.
+    g_stop = 0;
+    struct sigaction sa {};
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    struct sigaction ign {};
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    struct sigaction old_term {}, old_int {}, old_pipe {};
+    ::sigaction(SIGTERM, &sa, &old_term);
+    ::sigaction(SIGINT, &sa, &old_int);
+    ::sigaction(SIGPIPE, &ign, &old_pipe);
+
+    ServeSummary sum;
+    bool setup_ok = true;
+    if (!opts.listenPath.empty()) {
+        setup_ok = serveListen(opts.listenPath, base, sopts, sum);
+    } else {
+        // Responses go straight to fd 1; anything buffered on the C++
+        // stream must land first.
+        std::cout.flush();
+        std::fflush(stdout);
+        sum = serveStream(STDIN_FILENO, STDOUT_FILENO, base, sopts);
+    }
+
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    if (!setup_ok)
+        return 2;
+    std::fprintf(stderr, "duet_sim: %zu served / %zu failed\n",
+                 sum.served, sum.failed);
+    if (sum.ioError) {
+        std::fprintf(stderr,
+                     "duet_sim: response stream broke mid-serve\n");
+        return 2;
+    }
+    return sum.failed != 0 ? 1 : 0;
+}
+
+} // namespace duet

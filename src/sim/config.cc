@@ -20,10 +20,6 @@ parseU32(const std::string &s, unsigned &out)
     return true;
 }
 
-// Cache capacities are stored in bytes as `unsigned`; 1 GiB (2^20 KiB)
-// keeps the * 1024 in applySimOverrides from wrapping.
-constexpr unsigned kMaxCacheKiB = 1u << 20;
-
 } // namespace
 
 bool
@@ -48,9 +44,9 @@ simUsage()
     return
         "usage: duet_sim [options]\n"
         "\n"
-        "Runs one Duet benchmark scenario (or, with --sweep, a whole\n"
-        "cross-product of scenarios) and reports runtime, correctness and\n"
-        "the statistics registry.\n"
+        "Runs one Duet benchmark scenario, a whole cross-product of\n"
+        "scenarios (--sweep), or a long-lived scenario server (--serve)\n"
+        "that schedules JSONL requests on the worker-process pool.\n"
         "\n"
         "scenario selection (with --sweep these take comma/range lists,\n"
         "e.g. `--cores 4,8` or `--cores 4:16:4`):\n"
@@ -69,7 +65,11 @@ simUsage()
         "\n"
         "sweep mode:\n"
         "  --sweep           expand the cross-product of the selection\n"
-        "                    lists and run every scenario\n"
+        "                    lists and run every scenario; --l2-kib and\n"
+        "                    --l3-kib also take lists here (cache ladders)\n"
+        "  --preset NAME     axis shorthand; `cache-ladder` sweeps\n"
+        "                    --l3-kib 64,256,1024,4096 unless an explicit\n"
+        "                    L3 list is given\n"
         "  --jobs N          worker processes running scenarios in\n"
         "                    parallel (default: the hardware thread\n"
         "                    count); results are aggregated in scenario\n"
@@ -82,6 +82,20 @@ simUsage()
         "  --jsonl PATH      write one JSON object per scenario per line\n"
         "                    (file sinks write to PATH.tmp and rename at\n"
         "                    batch end)\n"
+        "  --quiet           suppress the live progress line (progress\n"
+        "                    only renders on an interactive stderr)\n"
+        "\n"
+        "serve mode:\n"
+        "  --serve           read one JSONL scenario request per line\n"
+        "                    from stdin, stream one JSONL response per\n"
+        "                    request (tagged with the request id) as\n"
+        "                    rows complete, exit on EOF/SIGTERM with an\n"
+        "                    `N served / M failed` summary\n"
+        "  --listen PATH     serve one connection on a unix socket at\n"
+        "                    PATH instead of stdin/stdout\n"
+        "                    (--jobs/--scenario-timeout-s apply; cache\n"
+        "                    and clock flags set the base geometry that\n"
+        "                    per-request overrides layer onto)\n"
         "\n"
         "derive mode:\n"
         "  --derive PATH     recompute the derived columns (speedup,\n"
@@ -92,8 +106,10 @@ simUsage()
         "\n"
         "system shape:\n"
         "  --l2-kib N        private (L2) cache capacity per tile, KiB\n"
+        "                    (comma/range list with --sweep)\n"
         "  --l2-ways N       private cache associativity\n"
         "  --l3-kib N        L3 capacity per shard, KiB\n"
+        "                    (comma/range list with --sweep)\n"
         "  --l3-ways N       L3 shard associativity\n"
         "  --spm-kib N       eFPGA scratchpad (BRAM) capacity, KiB; by\n"
         "                    default it is sized from the workload's\n"
@@ -189,6 +205,21 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             opts.stats = true;
         } else if (flag == "--sweep") {
             opts.sweep = true;
+        } else if (flag == "--serve") {
+            opts.serve = true;
+        } else if (flag == "--listen") {
+            if (!value(opts.listenPath))
+                return ParseStatus::Error;
+        } else if (flag == "--quiet") {
+            opts.quiet = true;
+        } else if (flag == "--preset") {
+            if (!value(opts.preset))
+                return ParseStatus::Error;
+            if (opts.preset != "cache-ladder") {
+                err = "unknown --preset: " + opts.preset +
+                      " (want cache-ladder)";
+                return ParseStatus::Error;
+            }
         } else if (flag == "--jobs") {
             if (!u32(opts.jobs))
                 return ParseStatus::Error;
@@ -234,25 +265,19 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             if (!value(opts.jsonlPath))
                 return ParseStatus::Error;
         } else if (flag == "--l2-kib") {
+            // Raw spec: a list under --sweep (cache-ladder axis), a
+            // scalar otherwise — disambiguated after the flag loop.
             shapeSeen = true;
-            if (!u32(opts.l2KiB))
+            if (!value(opts.l2Spec))
                 return ParseStatus::Error;
-            if (opts.l2KiB > kMaxCacheKiB) {
-                err = "--l2-kib too large (max 1048576)";
-                return ParseStatus::Error;
-            }
         } else if (flag == "--l2-ways") {
             shapeSeen = true;
             if (!u32(opts.l2Ways))
                 return ParseStatus::Error;
         } else if (flag == "--l3-kib") {
             shapeSeen = true;
-            if (!u32(opts.l3KiB))
+            if (!value(opts.l3Spec))
                 return ParseStatus::Error;
-            if (opts.l3KiB > kMaxCacheKiB) {
-                err = "--l3-kib too large (max 1048576)";
-                return ParseStatus::Error;
-            }
         } else if (flag == "--l3-ways") {
             shapeSeen = true;
             if (!u32(opts.l3Ways))
@@ -291,9 +316,55 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         err = "--derive and --sweep are mutually exclusive";
         return ParseStatus::Error;
     }
-    if ((opts.jobs != 0 || opts.scenarioTimeoutS != 0) && !opts.sweep) {
-        err = "--jobs/--scenario-timeout-s require --sweep";
+    if (opts.serve) {
+        // The server takes scenarios off the request stream; a CLI
+        // selection flag would be dead weight at best, misleading at
+        // worst. Shape flags stay: they set the base geometry every
+        // request layers its overrides onto.
+        if (opts.sweep || !opts.derivePath.empty()) {
+            err = "--serve is exclusive with --sweep/--derive";
+            return ParseStatus::Error;
+        }
+        if (selectionSeen) {
+            err = "scenario-selection flags do not apply to --serve "
+                  "(send them per request)";
+            return ParseStatus::Error;
+        }
+        if (opts.json || opts.stats) {
+            err = "--json/--stats are single-run flags; --serve always "
+                  "streams JSONL responses";
+            return ParseStatus::Error;
+        }
+        if (!opts.csvPath.empty() || !opts.jsonlPath.empty()) {
+            err = "--csv/--jsonl do not apply to --serve (responses "
+                  "stream to stdout; pipe them through --derive)";
+            return ParseStatus::Error;
+        }
+    }
+    if (!opts.listenPath.empty() && !opts.serve) {
+        err = "--listen requires --serve";
         return ParseStatus::Error;
+    }
+    if ((opts.jobs != 0 || opts.scenarioTimeoutS != 0) && !opts.sweep &&
+        !opts.serve) {
+        err = "--jobs/--scenario-timeout-s require --sweep or --serve";
+        return ParseStatus::Error;
+    }
+    if (!opts.preset.empty() && !opts.sweep) {
+        err = "--preset requires --sweep";
+        return ParseStatus::Error;
+    }
+    if (opts.quiet && !opts.sweep) {
+        // Progress is a sweep feature; accepting the flag elsewhere
+        // would suggest it muted something.
+        err = "--quiet requires --sweep";
+        return ParseStatus::Error;
+    }
+    if (opts.preset == "cache-ladder" && opts.l3Spec.empty()) {
+        // The default L3 shard is 64 KiB: the ladder climbs from there
+        // past the >L3 working sets the computed layouts unlocked. An
+        // explicit --l3-kib list wins over the preset.
+        opts.l3Spec = "64,256,1024,4096";
     }
     if (!opts.derivePath.empty()) {
         if (selectionSeen) {
@@ -333,11 +404,37 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         return ParseStatus::Error;
     }
 
+    // Without --sweep, --l2-kib/--l3-kib must be single values too
+    // (lists are a cache-ladder sweep feature); the scalars land in
+    // l2KiB/l3KiB for applySimOverrides with the original bounds.
+    if (!opts.sweep) {
+        auto cacheScalar = [&err](const char *flag,
+                                  const std::string &spec, unsigned &out) {
+            if (spec.empty())
+                return true;
+            if (!parseU32(spec, out)) {
+                err = std::string("bad value for ") + flag + ": " + spec +
+                      " (lists need --sweep)";
+                return false;
+            }
+            if (out > kMaxCacheKiB) {
+                err = std::string(flag) + " too large (max " +
+                      std::to_string(kMaxCacheKiB) + ")";
+                return false;
+            }
+            return true;
+        };
+        if (!cacheScalar("--l2-kib", opts.l2Spec, opts.l2KiB))
+            return ParseStatus::Error;
+        if (!cacheScalar("--l3-kib", opts.l3Spec, opts.l3KiB))
+            return ParseStatus::Error;
+    }
+
     // Without --sweep the scenario-selection flags must be single values
     // (lists are a sweep feature; a stray comma should not silently fall
     // back to anything). Derive mode simulates nothing, so it skips
     // scenario validation entirely.
-    if (!opts.sweep && opts.derivePath.empty()) {
+    if (!opts.sweep && !opts.serve && opts.derivePath.empty()) {
         SystemMode m;
         if (!parseSystemMode(opts.modeName, m)) {
             err = "unknown --mode: " + opts.modeName +

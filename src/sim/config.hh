@@ -21,6 +21,12 @@ namespace duet
 struct SystemConfig; // system/system.hh
 enum class SystemMode;
 
+/// Cache capacities are stored in bytes as `unsigned`; 1 GiB (2^20 KiB)
+/// keeps the * 1024 when applying overrides from wrapping. Shared by
+/// the flag layer, the sweep cache-ladder axes and the scenario
+/// service's request validation.
+constexpr unsigned kMaxCacheKiB = 1u << 20;
+
 /** Everything the duet_sim CLI can ask for. Zero/empty means "workload
  *  default". */
 struct SimOptions
@@ -30,20 +36,26 @@ struct SimOptions
     std::string coresSpec;         ///< raw --cores value (list w/ --sweep)
     std::string sizeSpec;          ///< raw --size value (list w/ --sweep)
     std::string seedSpec;          ///< raw --seed value (list w/ --sweep)
+    std::string l2Spec;            ///< raw --l2-kib value (list w/ --sweep)
+    std::string l3Spec;            ///< raw --l3-kib value (list w/ --sweep)
     unsigned cores = 0;     ///< parsed scalar (single-run mode)
     unsigned size = 0;      ///< parsed scalar problem size (single-run)
     std::uint64_t seed = 0; ///< parsed scalar RNG seed (single-run)
-    unsigned l2KiB = 0;     ///< private-cache capacity override
+    unsigned l2KiB = 0;     ///< parsed scalar L2 capacity (non-sweep modes)
     unsigned l2Ways = 0;
-    unsigned l3KiB = 0; ///< per-shard L3 capacity override
+    unsigned l3KiB = 0; ///< parsed scalar L3 capacity (non-sweep modes)
     unsigned l3Ways = 0;
     unsigned spmKiB = 0; ///< eFPGA scratchpad pin (0 = layout-sized)
     std::uint64_t cpuFreqMhz = 0;
     std::uint64_t fpgaFreqMhz = 0;
     std::uint64_t maxTicksUs = 0; ///< watchdog override, in simulated us
     bool sweep = false;           ///< run the scenario cross-product
-    unsigned jobs = 0;            ///< --sweep worker processes (0 = hw conc.)
-    unsigned scenarioTimeoutS = 0; ///< --sweep per-scenario wall clock, s
+    std::string preset;           ///< --sweep axis shorthand (cache-ladder)
+    bool serve = false;           ///< long-lived JSONL scenario server
+    std::string listenPath;      ///< --serve on a unix socket, not stdio
+    bool quiet = false;          ///< force sweep progress off
+    unsigned jobs = 0;            ///< worker processes (0 = hw conc.)
+    unsigned scenarioTimeoutS = 0; ///< per-scenario wall clock, s
     std::string derivePath;       ///< --derive: JSONL to re-derive ("-" = stdin)
     std::string csvPath;          ///< --sweep CSV output ("-" = stdout)
     std::string jsonlPath;        ///< --sweep JSON-lines output

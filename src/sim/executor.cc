@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <thread>
 
 #include <fcntl.h>
@@ -65,20 +66,6 @@ workerMain(const Job &job, int fd)
     _exit(ok ? 0 : kUncaughtExitCode);
 }
 
-/** One in-flight worker process. */
-struct Worker
-{
-    pid_t pid = -1;
-    int fd = -1; ///< parent's (nonblocking) read end of the result pipe
-    std::size_t job = 0;
-    std::string buf; ///< frame bytes received so far
-    Clock::time_point deadline{};
-    bool hasDeadline = false;
-    bool timedOut = false; ///< parent sent SIGKILL at the deadline
-    bool done = false;     ///< EOF seen, process reaped, result final
-    JobResult result;
-};
-
 /** Stable signal names: strsignal() is locale-dependent, and these
  *  strings end up in result rows that must not vary run to run. */
 std::string
@@ -130,6 +117,20 @@ frameComplete(const std::string &buf, std::string &payload, std::string &err)
     return true;
 }
 
+/** One in-flight worker process. */
+struct Worker
+{
+    pid_t pid = -1;
+    int fd = -1; ///< parent's (nonblocking) read end of the result pipe
+    std::string buf; ///< frame bytes received so far
+    Clock::time_point deadline{};
+    bool hasDeadline = false;
+    bool timedOut = false; ///< parent sent SIGKILL at the deadline
+    bool done = false;     ///< EOF seen, process reaped, result final
+    JobResult result;
+    ProcessPool::Completion completion;
+};
+
 /** EOF on the pipe: reap the worker and classify the outcome. */
 void
 finishWorker(Worker &w)
@@ -172,29 +173,6 @@ finishWorker(Worker &w)
     w.done = true;
 }
 
-/** Kills and reaps every still-active worker if runJobs unwinds early
- *  (observer threw, allocation failed): no orphans, no zombies. */
-struct PoolReaper
-{
-    std::vector<Worker> &active;
-
-    ~PoolReaper()
-    {
-        for (Worker &w : active) {
-            if (w.pid > 0 && !w.done) {
-                ::kill(w.pid, SIGKILL);
-                int st = 0;
-                pid_t r;
-                do {
-                    r = ::waitpid(w.pid, &st, 0);
-                } while (r < 0 && errno == EINTR);
-            }
-            if (w.fd >= 0)
-                ::close(w.fd);
-        }
-    }
-};
-
 } // namespace
 
 unsigned
@@ -212,104 +190,113 @@ effectiveJobCount(const ExecutorConfig &cfg, std::size_t njobs)
                cfg.jobs != 0 ? cfg.jobs : defaultJobCount(), njobs));
 }
 
-std::vector<JobResult>
-runJobs(const std::vector<Job> &jobs, const ExecutorConfig &cfg,
-        const JobObserver &observer)
+// ---------------------------------------------------------------------
+// ProcessPool
+// ---------------------------------------------------------------------
+
+struct ProcessPool::Impl
 {
-    std::vector<JobResult> results(jobs.size());
-    if (jobs.empty())
-        return results;
-    const std::size_t slots = effectiveJobCount(cfg, jobs.size());
-
-    std::vector<Worker> active;
-    active.reserve(slots);
-    PoolReaper reaper{active};
-    std::size_t next = 0, completed = 0;
-
-    // Deliver a result that never got (or never needed) a worker.
-    auto deliver = [&](std::size_t idx, JobResult &&res) {
-        results[idx] = std::move(res);
-        ++completed;
-        if (observer)
-            observer(idx, results[idx]);
+    struct PendingJob
+    {
+        Job job;
+        Completion done;
     };
+
+    ExecutorConfig cfg;
+    std::size_t slots = 1;
+    std::vector<Worker> active;
+    std::deque<PendingJob> pending;
+    bool abortedFlag = false;
+
+    std::size_t
+    inFlight() const
+    {
+        return active.size() + pending.size();
+    }
 
     // Resource exhaustion (fd table, process table) is transient while
     // workers are still running: draining one frees what the spawn
     // needs, so defer instead of failing the job.
-    auto transient = [&](int e) {
+    bool
+    transient(int e) const
+    {
         return !active.empty() &&
                (e == EMFILE || e == ENFILE || e == EAGAIN);
-    };
+    }
 
-    // True when the job was spawned or delivered; false to defer the
-    // spawn until an active worker drains.
-    auto spawn = [&](std::size_t idx) {
-        int fds[2];
-        if (::pipe(fds) != 0) {
-            if (transient(errno))
-                return false;
-            JobResult res;
-            res.diagnostic =
-                "pipe failed: " + std::string(std::strerror(errno));
-            deliver(idx, std::move(res));
-            return true;
-        }
-        // The child would otherwise re-flush any bytes sitting in the
-        // parent's stdio buffers on its own exit path.
-        std::fflush(stdout);
-        std::fflush(stderr);
-        const pid_t pid = ::fork();
-        if (pid < 0) {
-            const int e = errno;
-            ::close(fds[0]);
+    /** Start queued jobs while worker slots are free. A spawn that
+     *  defers (transient resource exhaustion) leaves the job queued; a
+     *  hard failure delivers a failed result on the spot. */
+    std::size_t
+    spawnPending()
+    {
+        std::size_t delivered = 0;
+        while (!pending.empty() && active.size() < slots) {
+            PendingJob next = std::move(pending.front());
+            pending.pop_front();
+
+            int fds[2];
+            if (::pipe(fds) != 0) {
+                const int e = errno;
+                if (transient(e)) {
+                    pending.push_front(std::move(next));
+                    break;
+                }
+                JobResult res;
+                res.diagnostic =
+                    "pipe failed: " + std::string(std::strerror(e));
+                ++delivered;
+                if (next.done)
+                    next.done(std::move(res));
+                continue;
+            }
+            // The child would otherwise re-flush any bytes sitting in
+            // the parent's stdio buffers on its own exit path.
+            std::fflush(stdout);
+            std::fflush(stderr);
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                const int e = errno;
+                ::close(fds[0]);
+                ::close(fds[1]);
+                if (transient(e)) {
+                    pending.push_front(std::move(next));
+                    break;
+                }
+                JobResult res;
+                res.diagnostic =
+                    "fork failed: " + std::string(std::strerror(e));
+                ++delivered;
+                if (next.done)
+                    next.done(std::move(res));
+                continue;
+            }
+            if (pid == 0) {
+                ::close(fds[0]);
+                workerMain(next.job, fds[1]); // _exits, never returns
+            }
             ::close(fds[1]);
-            if (transient(e))
-                return false;
-            JobResult res;
-            res.diagnostic =
-                "fork failed: " + std::string(std::strerror(e));
-            deliver(idx, std::move(res));
-            return true;
+            // Nonblocking reads: one chatty worker must not stall the
+            // drain loop (and with it, other workers' deadlines).
+            ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+            Worker w;
+            w.pid = pid;
+            w.fd = fds[0];
+            w.completion = std::move(next.done);
+            if (cfg.timeoutSeconds > 0) {
+                w.deadline = Clock::now() +
+                             std::chrono::seconds(cfg.timeoutSeconds);
+                w.hasDeadline = true;
+            }
+            active.push_back(std::move(w));
         }
-        if (pid == 0) {
-            ::close(fds[0]);
-            workerMain(jobs[idx], fds[1]); // _exits, never returns
-        }
-        ::close(fds[1]);
-        // Nonblocking reads: one chatty worker must not stall the
-        // drain loop (and with it, other workers' timeout deadlines).
-        ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-        Worker w;
-        w.pid = pid;
-        w.fd = fds[0];
-        w.job = idx;
-        if (cfg.timeoutSeconds > 0) {
-            w.deadline =
-                Clock::now() + std::chrono::seconds(cfg.timeoutSeconds);
-            w.hasDeadline = true;
-        }
-        active.push_back(std::move(w));
-        return true;
-    };
+        return delivered;
+    }
 
-    while (completed < jobs.size()) {
-        while (active.size() < slots && next < jobs.size()) {
-            if (!spawn(next))
-                break; // deferred: retry once a worker drains
-            ++next;
-        }
-        if (active.empty()) {
-            if (next >= jobs.size())
-                break; // every remaining spawn failed and was delivered
-            continue;
-        }
-
-        std::vector<pollfd> pfds;
-        pfds.reserve(active.size());
-        for (const Worker &w : active)
-            pfds.push_back({w.fd, POLLIN, 0});
-        int timeout_ms = -1;
+    int
+    deadlineHintMs() const
+    {
+        int hint = -1;
         const auto now = Clock::now();
         for (const Worker &w : active) {
             if (!w.hasDeadline || w.timedOut)
@@ -320,13 +307,72 @@ runJobs(const std::vector<Job> &jobs, const ExecutorConfig &cfg,
                     .count();
             const int ms =
                 static_cast<int>(std::clamp<long long>(left, 0, 60'000));
-            timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+            hint = hint < 0 ? ms : std::min(hint, ms);
         }
+        return hint;
+    }
+
+    /** Unrecoverable scheduler error: SIGKILL and reap every worker,
+     *  fail everything in flight, and refuse further submissions. */
+    std::size_t
+    abort()
+    {
+        abortedFlag = true;
+        std::size_t delivered = 0;
+        std::vector<Worker> doomed;
+        doomed.swap(active);
+        std::deque<PendingJob> queued;
+        queued.swap(pending);
+        for (Worker &w : doomed) {
+            if (w.pid > 0 && !w.done) {
+                ::kill(w.pid, SIGKILL);
+                int st = 0;
+                pid_t r;
+                do {
+                    r = ::waitpid(w.pid, &st, 0);
+                } while (r < 0 && errno == EINTR);
+            }
+            if (w.fd >= 0)
+                ::close(w.fd);
+            JobResult res;
+            res.diagnostic = "executor aborted before the job finished";
+            ++delivered;
+            if (w.completion)
+                w.completion(std::move(res));
+        }
+        for (PendingJob &p : queued) {
+            JobResult res;
+            res.diagnostic = "executor aborted before the job finished";
+            ++delivered;
+            if (p.done)
+                p.done(std::move(res));
+        }
+        return delivered;
+    }
+
+    std::size_t
+    pump(int timeout_ms)
+    {
+        std::size_t delivered = spawnPending();
+        if (active.empty())
+            return delivered;
+
+        std::vector<pollfd> pfds;
+        pfds.reserve(active.size());
+        for (const Worker &w : active)
+            pfds.push_back({w.fd, POLLIN, 0});
+        int effective = timeout_ms;
+        const int hint = deadlineHintMs();
+        if (hint >= 0 && (effective < 0 || hint < effective))
+            effective = hint;
         const int rv =
             ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
-                   timeout_ms);
-        if (rv < 0 && errno != EINTR)
-            break; // PoolReaper cleans up; pending jobs stay Crashed
+                   effective);
+        if (rv < 0) {
+            if (errno == EINTR)
+                return delivered;
+            return delivered + abort();
+        }
 
         for (std::size_t i = 0; i < active.size(); ++i) {
             if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
@@ -363,17 +409,145 @@ runJobs(const std::vector<Job> &jobs, const ExecutorConfig &cfg,
             // pass; finishWorker() then reaps and finalizes it.
         }
 
+        // Pull finished workers out of the active set *before* running
+        // their completions: a callback that throws must not leave a
+        // reaped worker in the pool.
+        std::vector<Worker> finished;
         for (std::size_t i = 0; i < active.size();) {
             if (!active[i].done) {
                 ++i;
                 continue;
             }
-            Worker w = std::move(active[i]);
+            finished.push_back(std::move(active[i]));
             active.erase(active.begin() +
                          static_cast<std::ptrdiff_t>(i));
-            deliver(w.job, std::move(w.result));
         }
+        delivered += spawnPending(); // refill slots freed this pass
+        for (Worker &w : finished) {
+            ++delivered;
+            if (w.completion)
+                w.completion(std::move(w.result));
+        }
+        return delivered;
     }
+};
+
+ProcessPool::ProcessPool(const ExecutorConfig &cfg)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->cfg = cfg;
+    impl_->slots = std::max<std::size_t>(
+        1, cfg.jobs != 0 ? cfg.jobs : defaultJobCount());
+}
+
+ProcessPool::~ProcessPool()
+{
+    // Kill and reap without delivering completions: the callback
+    // targets may already be mid-destruction in the owner.
+    for (Worker &w : impl_->active) {
+        if (w.pid > 0 && !w.done) {
+            ::kill(w.pid, SIGKILL);
+            int st = 0;
+            pid_t r;
+            do {
+                r = ::waitpid(w.pid, &st, 0);
+            } while (r < 0 && errno == EINTR);
+        }
+        if (w.fd >= 0)
+            ::close(w.fd);
+    }
+}
+
+void
+ProcessPool::submit(Job job, Completion done)
+{
+    if (impl_->abortedFlag) {
+        JobResult res;
+        res.diagnostic = "executor aborted before the job finished";
+        if (done)
+            done(std::move(res));
+        return;
+    }
+    const std::size_t cap = impl_->cfg.maxInFlight;
+    while (cap != 0 && impl_->inFlight() >= cap && !impl_->abortedFlag)
+        impl_->pump(-1);
+    if (impl_->abortedFlag) {
+        // The pool died while we waited at the cap: this job must still
+        // get its answer, and nothing may be queued on a dead pool.
+        JobResult res;
+        res.diagnostic = "executor aborted before the job finished";
+        if (done)
+            done(std::move(res));
+        return;
+    }
+    impl_->pending.push_back(
+        Impl::PendingJob{std::move(job), std::move(done)});
+    impl_->spawnPending();
+}
+
+std::size_t
+ProcessPool::pump(int timeout_ms)
+{
+    return impl_->pump(timeout_ms);
+}
+
+void
+ProcessPool::drain()
+{
+    while (impl_->inFlight() > 0 && !impl_->abortedFlag)
+        impl_->pump(-1);
+}
+
+std::size_t
+ProcessPool::inFlight() const
+{
+    return impl_->inFlight();
+}
+
+void
+ProcessPool::addReadFds(std::vector<pollfd> &fds) const
+{
+    for (const Worker &w : impl_->active)
+        if (w.fd >= 0)
+            fds.push_back({w.fd, POLLIN, 0});
+}
+
+int
+ProcessPool::timeoutHintMs() const
+{
+    return impl_->deadlineHintMs();
+}
+
+bool
+ProcessPool::aborted() const
+{
+    return impl_->abortedFlag;
+}
+
+// ---------------------------------------------------------------------
+// runJobs: the fixed-batch wrapper
+// ---------------------------------------------------------------------
+
+std::vector<JobResult>
+runJobs(const std::vector<Job> &jobs, const ExecutorConfig &cfg,
+        const JobObserver &observer)
+{
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    ExecutorConfig pcfg = cfg;
+    pcfg.jobs = static_cast<unsigned>(effectiveJobCount(cfg, jobs.size()));
+    pcfg.maxInFlight = 0; // the whole batch queues up front
+    ProcessPool pool(pcfg);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit(jobs[i], [&results, &observer, i](JobResult &&res) {
+            results[i] = std::move(res);
+            if (observer)
+                observer(i, results[i]);
+        });
+    }
+    pool.drain();
     // A hard poll failure abandons undelivered jobs; give them a real
     // diagnostic (legitimate crashes always carry one already).
     for (JobResult &res : results) {

@@ -3,15 +3,26 @@
  * A fork-per-job process pool: runs opaque job closures in worker
  * processes (up to a configurable number at once), ships each worker's
  * result back over a pipe in a small length-prefixed wire frame, and
- * reassembles the results **in submission order** regardless of the
- * order workers finish in.
+ * delivers results through per-job completion callbacks.
  *
  * Worker processes buy crash isolation for free: a job that aborts,
  * segfaults or overruns the per-job wall-clock timeout becomes a failed
  * JobResult with a one-line diagnostic instead of taking the whole batch
  * down. The pool is deliberately workload-agnostic — it schedules
- * closures returning serialized bytes, not sweep-specific types — so the
- * `--sweep` batch runner is just its first client.
+ * closures returning serialized bytes, not sweep-specific types.
+ *
+ * Two layers:
+ *
+ *  - ProcessPool: a long-lived, submit-as-you-go scheduler. Jobs are
+ *    submitted over time (a scenario server feeding requests off a
+ *    stream), an optional in-flight cap applies backpressure at
+ *    submit(), and pump()/drain() move completions forward. External
+ *    event loops can fold the pool's pipe fds into their own poll()
+ *    via addReadFds()/timeoutHintMs().
+ *
+ *  - runJobs(): the fixed-batch convenience wrapper the `--sweep`
+ *    runner was built on — submit everything, drain, return results
+ *    **in submission order** regardless of completion order.
  *
  * Wire format (worker -> parent, one frame per job):
  *
@@ -26,8 +37,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+struct pollfd; // <poll.h>
 
 namespace duet
 {
@@ -53,6 +67,10 @@ struct ExecutorConfig
 {
     unsigned jobs = 0;           ///< concurrent workers; 0 = hardware conc.
     unsigned timeoutSeconds = 0; ///< per-job wall clock; 0 = unlimited
+    /// ProcessPool::submit() blocks (pumping completions) while this
+    /// many jobs are already queued or running; 0 = unbounded queue.
+    /// runJobs() ignores it: a fixed batch is queued wholesale.
+    std::size_t maxInFlight = 0;
 };
 
 /**
@@ -79,6 +97,71 @@ unsigned defaultJobCount();
  *  callers rendering progress (live "running" counters) agree with the
  *  scheduler by construction. */
 std::size_t effectiveJobCount(const ExecutorConfig &cfg, std::size_t njobs);
+
+/**
+ * The long-lived, submit-as-you-go process pool. Single-threaded by
+ * design: submissions, pump() and completion callbacks all happen on
+ * the owning thread (completions run inside submit()/pump()/drain(),
+ * never concurrently). Completion callbacks must not call submit() on
+ * the same pool.
+ *
+ * Destroying a pool with work still in flight SIGKILLs and reaps every
+ * worker without delivering the pending completions — the clean
+ * shutdown path is drain().
+ */
+class ProcessPool
+{
+  public:
+    /** Called in the parent once the job's outcome is final. */
+    using Completion = std::function<void(JobResult &&result)>;
+
+    explicit ProcessPool(const ExecutorConfig &cfg);
+    ~ProcessPool();
+    ProcessPool(const ProcessPool &) = delete;
+    ProcessPool &operator=(const ProcessPool &) = delete;
+
+    /**
+     * Schedule @p job. Spawns a worker immediately when a slot is free,
+     * queues otherwise. When the in-flight cap (cfg.maxInFlight) is
+     * reached, blocks pumping completions until the backlog shrinks
+     * below it. A spawn that fails outright (fork/pipe limits with no
+     * worker left to wait for) delivers a failed result synchronously.
+     */
+    void submit(Job job, Completion done);
+
+    /**
+     * Move the pool forward: wait up to @p timeout_ms (-1 = until
+     * something happens, 0 = just poll) for worker events, read result
+     * frames, enforce per-job deadlines, reap finished workers and
+     * deliver their completions, and start queued jobs as slots free
+     * up. Returns the number of completions delivered.
+     */
+    std::size_t pump(int timeout_ms);
+
+    /** Block until every submitted job has completed. */
+    void drain();
+
+    /** Jobs submitted but not yet completed (queued + running). */
+    std::size_t inFlight() const;
+
+    /**
+     * Fold the pool into an external event loop: append one POLLIN
+     * pollfd per running worker to @p fds, and cap the caller's poll
+     * timeout with timeoutHintMs() (-1 = no deadline pending) so
+     * per-job deadlines still fire while the caller waits on its own
+     * fds. After the poll, call pump(0).
+     */
+    void addReadFds(std::vector<pollfd> &fds) const;
+    int timeoutHintMs() const;
+
+    /** True after an unrecoverable scheduler error (hard poll failure):
+     *  every in-flight job has been failed and delivered. */
+    bool aborted() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Run every job in @p jobs in forked worker processes, at most

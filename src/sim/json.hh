@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The minimal JSON-lines reading layer shared by every duet_sim wire
+ * format: the SweepRow result rows (sim/sweep.hh) and the scenario
+ * service's request/response objects (service/scenario_service.hh).
+ *
+ * This is deliberately not a general JSON library — it reads exactly
+ * the one-object-per-line dialect jsonQuote()/writeJsonLine() emit
+ * (plus the standard short escapes, for hand-written files), with
+ * one-line diagnostics instead of exceptions so malformed input from a
+ * client or a crashed worker never takes the reader down.
+ */
+
+#ifndef DUET_SIM_JSON_HH
+#define DUET_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace duet
+{
+namespace json
+{
+
+/** Cursor over one JSON-lines object; the helpers consume from @p i
+ *  and report one-line diagnostics through @p err. */
+struct Cursor
+{
+    const std::string &s;
+    std::size_t i = 0;
+    std::string &err;
+
+    void skipWs();
+
+    /** Consume @p ch (after whitespace); false + diagnostic otherwise. */
+    bool expect(char ch);
+
+    /** True when the next non-space character is @p ch (not consumed). */
+    bool peek(char ch);
+
+    /** Parse a quoted string, undoing jsonQuote()'s escapes (plus the
+     *  standard short escapes, for hand-written files). */
+    bool parseString(std::string &out);
+
+    /** Consume a number/true/false/null token verbatim. */
+    bool parseScalarToken(std::string &out);
+
+    /** Skip one value of any shape — string, scalar, or a (string-
+     *  aware) balanced array/object — so unknown keys stay forward-
+     *  compatible whatever a future writer puts in them. */
+    bool skipValue();
+
+    /** After the object's '}': anything but trailing whitespace is an
+     *  error ("trailing garbage after the object"). */
+    bool atLineEnd();
+};
+
+/** Strict decimal token conversions, with one-line diagnostics. */
+bool tokenToU64(const std::string &tok, std::uint64_t &out,
+                std::string &err);
+bool tokenToU32(const std::string &tok, unsigned &out, std::string &err);
+bool tokenToDouble(const std::string &tok, double &out, std::string &err);
+bool tokenToBool(const std::string &tok, bool &out, std::string &err);
+
+} // namespace json
+} // namespace duet
+
+#endif // DUET_SIM_JSON_HH

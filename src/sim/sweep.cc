@@ -1,8 +1,6 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -11,7 +9,7 @@
 
 #include "area/area_model.hh"
 #include "sim/config.hh"
-#include "sim/executor.hh"
+#include "sim/json.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -209,6 +207,38 @@ expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
     std::vector<unsigned> sizes{0};
     if (!axis("--size", spec.sizes, sizes))
         return false;
+    // Cache-ladder axes: 0 is reserved for the base geometry, and every
+    // value obeys the capacity ceiling the scalar flags enforce.
+    auto cacheAxis = [&err](const char *flag, const std::string &list,
+                            std::vector<unsigned> &out) {
+        if (list.empty())
+            return true;
+        out.clear();
+        if (!parseRangeList(list, out, err)) {
+            err = std::string(flag) + ": " + err;
+            return false;
+        }
+        for (unsigned v : out) {
+            if (v == 0) {
+                err = std::string(flag) +
+                      ": 0 is reserved (selects the base geometry)";
+                return false;
+            }
+            if (v > kMaxCacheKiB) {
+                err = std::string(flag) + ": " + std::to_string(v) +
+                      " KiB is too large (max " +
+                      std::to_string(kMaxCacheKiB) + ")";
+                return false;
+            }
+        }
+        return true;
+    };
+    std::vector<unsigned> l2s{0};
+    if (!cacheAxis("--l2-kib", spec.l2KiB, l2s))
+        return false;
+    std::vector<unsigned> l3s{0};
+    if (!cacheAxis("--l3-kib", spec.l3KiB, l3s))
+        return false;
     std::vector<std::uint64_t> seeds{0};
     if (!spec.seeds.empty()) {
         seeds.clear();
@@ -231,8 +261,9 @@ expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
     // vector is materialized before anything runs.
     constexpr std::size_t kMaxScenarios = 65536;
     std::size_t total = 1;
-    for (std::size_t factor : {names.size(), modes.size(), cores.size(),
-                               sizes.size(), seeds.size()}) {
+    for (std::size_t factor :
+         {names.size(), modes.size(), cores.size(), sizes.size(),
+          seeds.size(), l2s.size(), l3s.size()}) {
         if (total > kMaxScenarios / factor) { // total * factor > max
             err = "sweep expands past " + std::to_string(kMaxScenarios) +
                   " scenarios";
@@ -251,13 +282,19 @@ expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
             for (unsigned c : cores) {
                 for (unsigned s : sizes) {
                     for (std::uint64_t seed : seeds) {
-                        SweepScenario sc;
-                        sc.workload = w;
-                        sc.mode = mode;
-                        sc.params = WorkloadParams{c, 0, s, seed};
-                        if (!resolveParams(*w, sc.params, err))
-                            return false;
-                        out.push_back(std::move(sc));
+                        for (unsigned l2 : l2s) {
+                            for (unsigned l3 : l3s) {
+                                SweepScenario sc;
+                                sc.workload = w;
+                                sc.mode = mode;
+                                sc.params = WorkloadParams{c, 0, s, seed};
+                                sc.l2KiB = l2;
+                                sc.l3KiB = l3;
+                                if (!resolveParams(*w, sc.params, err))
+                                    return false;
+                                out.push_back(std::move(sc));
+                            }
+                        }
                     }
                 }
             }
@@ -266,14 +303,8 @@ expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
     return true;
 }
 
-namespace
-{
-
-/** The one scenario-to-row identity mapping: every row — completed,
- *  SimFatal, crashed or timed out — derives from this, so the join key
- *  addDerivedMetrics() uses always matches across outcomes. */
 SweepRow
-identityRow(const SweepScenario &sc)
+scenarioIdentityRow(const SweepScenario &sc)
 {
     SweepRow row;
     row.workload = sc.workload->name;
@@ -283,27 +314,21 @@ identityRow(const SweepScenario &sc)
     row.memHubs = sc.params.memHubs;
     row.size = sc.params.size;
     row.seed = sc.params.seed;
+    row.l2KiB = sc.l2KiB;
+    row.l3KiB = sc.l3KiB;
     return row;
 }
-
-/** A worker outcome that is not a parseable row becomes a failed row
- *  carrying the scenario identity and the executor's diagnostic. */
-SweepRow
-failedRow(const SweepScenario &sc, std::string diagnostic)
-{
-    SweepRow row = identityRow(sc);
-    row.error = std::move(diagnostic);
-    return row;
-}
-
-} // namespace
 
 SweepRow
 runScenario(const SweepScenario &sc, const SystemConfig &base)
 {
-    SweepRow row = identityRow(sc);
+    SweepRow row = scenarioIdentityRow(sc);
     SystemConfig cfg = base;
     cfg.mode = sc.mode;
+    if (sc.l2KiB != 0)
+        cfg.l2.sizeBytes = sc.l2KiB * 1024; // bounded at expansion time
+    if (sc.l3KiB != 0)
+        cfg.l3.sizeBytes = sc.l3KiB * 1024;
     try {
         AppResult res = runWorkload(*sc.workload, sc.params, cfg);
         row.app = res.name;
@@ -315,80 +340,9 @@ runScenario(const SweepScenario &sc, const SystemConfig &base)
     return row;
 }
 
-std::vector<SweepRow>
-runSweep(const std::vector<SweepScenario> &scenarios,
-         const SystemConfig &base, std::ostream *progress,
-         const std::function<void(const SweepRow &)> &on_row,
-         const SweepRunOptions &opts)
-{
-    // One job per scenario: run it in the worker and ship the row as a
-    // JSON-lines object — the same serialization the --jsonl sink (and
-    // --derive) uses, so the wire format has exactly one definition.
-    std::vector<Job> jobs;
-    jobs.reserve(scenarios.size());
-    for (const SweepScenario &sc : scenarios) {
-        jobs.push_back([&sc, &base] {
-            std::ostringstream os;
-            writeJsonLine(os, runScenario(sc, base));
-            return os.str();
-        });
-    }
-
-    ExecutorConfig ecfg;
-    ecfg.jobs = opts.jobs;
-    ecfg.timeoutSeconds = opts.timeoutSeconds;
-    const std::size_t slots = effectiveJobCount(ecfg, scenarios.size());
-
-    std::vector<SweepRow> rows(scenarios.size());
-    std::vector<char> delivered(scenarios.size(), 0);
-    std::size_t done = 0, failed = 0;
-    const JobObserver observer = [&](std::size_t idx,
-                                     const JobResult &jr) {
-        const SweepScenario &sc = scenarios[idx];
-        SweepRow row;
-        std::string perr;
-        if (jr.status == JobStatus::Ok) {
-            if (!parseSweepRow(jr.payload, row, perr))
-                row = failedRow(sc, "malformed worker row: " + perr);
-        } else {
-            row = failedRow(sc, jr.diagnostic);
-        }
-        ++done;
-        if (!row.correct)
-            ++failed;
-        if (progress != nullptr) {
-            // The executor keeps every slot full until the queue
-            // drains, so the live worker count is the open slots.
-            const std::size_t running =
-                std::min(slots, scenarios.size() - done);
-            *progress << "[" << done << "/" << scenarios.size() << "] "
-                      << row.workload << " mode=" << row.mode
-                      << " cores=" << row.cores << " size=" << row.size;
-            if (sc.workload->takesSeed())
-                *progress << " seed=" << row.seed;
-            *progress << " -> " << row.runtime / kTicksPerNs << " ns, "
-                      << (row.correct ? "correct" : "FAILED");
-            if (!row.error.empty())
-                *progress << " (" << row.error << ")";
-            *progress << "  [running " << running << ", failed "
-                      << failed << "]\n";
-            progress->flush();
-        }
-        if (on_row)
-            on_row(row);
-        rows[idx] = std::move(row);
-        delivered[idx] = 1;
-    };
-    const std::vector<JobResult> outcomes =
-        runJobs(jobs, ecfg, observer);
-    // A hard executor abort can abandon jobs without ever calling the
-    // observer; those still get identity-carrying failed rows (the
-    // executor stamps a diagnostic on everything it abandons).
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        if (!delivered[i])
-            rows[i] = failedRow(scenarios[i], outcomes[i].diagnostic);
-    return rows;
-}
+// runSweep() is defined in service/scenario_service.cc: sweep.cc keeps
+// only the pure layers (grammar, expansion, codec, derived metrics) and
+// the service layer owns all scenario scheduling.
 
 namespace
 {
@@ -424,9 +378,13 @@ addDerivedMetrics(std::vector<SweepRow> &rows)
                                         modeIndex(r.mode), key);
     }
     // Index the cpu rows once so the join stays linear in row count.
+    // The cache-ladder coordinates are part of the key: a duet row at
+    // 4096 KiB L3 normalizes against the cpu row at the same geometry.
     auto join_key = [](const SweepRow &r) {
         return r.workload + '\0' + std::to_string(r.cores) + '\0' +
-               std::to_string(r.size) + '\0' + std::to_string(r.seed);
+               std::to_string(r.size) + '\0' + std::to_string(r.seed) +
+               '\0' + std::to_string(r.l2KiB) + '\0' +
+               std::to_string(r.l3KiB);
     };
     std::unordered_map<std::string, const SweepRow *> cpu_rows;
     for (const SweepRow &r : rows)
@@ -449,40 +407,60 @@ addDerivedMetrics(std::vector<SweepRow> &rows)
 }
 
 void
-writeCsvHeader(std::ostream &os)
+writeCsvHeader(std::ostream &os, bool cacheCols)
 {
-    os << "workload,app,mode,cores,mem_hubs,size,seed,runtime_ticks,"
-          "runtime_ns,speedup,area_mm2,adp_norm,correct\n";
+    os << "workload,app,mode,cores,mem_hubs,size,seed,"
+       << (cacheCols ? "l2_kib,l3_kib," : "")
+       << "runtime_ticks,runtime_ns,speedup,area_mm2,adp_norm,correct\n";
 }
 
 void
-writeCsvRow(std::ostream &os, const SweepRow &r)
+writeCsvRow(std::ostream &os, const SweepRow &r, bool cacheCols)
 {
     os << r.workload << ',' << r.app << ',' << r.mode << ',' << r.cores
-       << ',' << r.memHubs << ',' << r.size << ',' << r.seed << ','
-       << r.runtime << ',' << r.runtime / kTicksPerNs << ','
+       << ',' << r.memHubs << ',' << r.size << ',' << r.seed << ',';
+    if (cacheCols)
+        os << r.l2KiB << ',' << r.l3KiB << ',';
+    os << r.runtime << ',' << r.runtime / kTicksPerNs << ','
        << fmtMetric(r.speedup) << ',' << fmtMetric(r.areaMm2) << ','
        << fmtMetric(r.adpNorm) << ',' << (r.correct ? "true" : "false")
        << '\n';
 }
 
-void
-writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
+bool
+rowsHaveCacheColumns(const std::vector<SweepRow> &rows)
 {
-    writeCsvHeader(os);
     for (const SweepRow &r : rows)
-        writeCsvRow(os, r);
+        if (r.l2KiB != 0 || r.l3KiB != 0)
+            return true;
+    return false;
 }
 
 void
-writeJsonLine(std::ostream &os, const SweepRow &r)
+writeCsv(std::ostream &os, const std::vector<SweepRow> &rows)
 {
-    os << "{\"workload\": " << jsonQuote(r.workload)
+    const bool cacheCols = rowsHaveCacheColumns(rows);
+    writeCsvHeader(os, cacheCols);
+    for (const SweepRow &r : rows)
+        writeCsvRow(os, r, cacheCols);
+}
+
+void
+writeJsonRowFields(std::ostream &os, const SweepRow &r)
+{
+    os << "\"workload\": " << jsonQuote(r.workload)
        << ", \"app\": " << jsonQuote(r.app)
        << ", \"mode\": " << jsonQuote(r.mode)
        << ", \"cores\": " << r.cores << ", \"mem_hubs\": " << r.memHubs
-       << ", \"size\": " << r.size << ", \"seed\": " << r.seed
-       << ", \"runtime_ticks\": " << r.runtime
+       << ", \"size\": " << r.size << ", \"seed\": " << r.seed;
+    // The ladder coordinates appear exactly when a scenario pinned
+    // them, so default sweeps stay byte-identical to the pre-ladder
+    // wire format.
+    if (r.l2KiB != 0)
+        os << ", \"l2_kib\": " << r.l2KiB;
+    if (r.l3KiB != 0)
+        os << ", \"l3_kib\": " << r.l3KiB;
+    os << ", \"runtime_ticks\": " << r.runtime
        << ", \"runtime_ns\": " << r.runtime / kTicksPerNs
        << ", \"speedup\": " << fmtMetric(r.speedup)
        << ", \"area_mm2\": " << fmtMetric(r.areaMm2)
@@ -490,6 +468,13 @@ writeJsonLine(std::ostream &os, const SweepRow &r)
        << ", \"correct\": " << (r.correct ? "true" : "false");
     if (!r.error.empty())
         os << ", \"error\": " << jsonQuote(r.error);
+}
+
+void
+writeJsonLine(std::ostream &os, const SweepRow &r)
+{
+    os << '{';
+    writeJsonRowFields(os, r);
     os << "}\n";
 }
 
@@ -500,247 +485,12 @@ writeJsonLines(std::ostream &os, const std::vector<SweepRow> &rows)
         writeJsonLine(os, r);
 }
 
-namespace
-{
-
-/** Cursor over one JSON-lines object; the helpers below consume from
- *  @p i and report one-line diagnostics through @p err. */
-struct JsonCursor
-{
-    const std::string &s;
-    std::size_t i = 0;
-    std::string &err;
-
-    void
-    skipWs()
-    {
-        while (i < s.size() &&
-               (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
-                s[i] == '\n'))
-            ++i;
-    }
-
-    bool
-    expect(char ch)
-    {
-        skipWs();
-        if (i >= s.size() || s[i] != ch) {
-            err = std::string("expected '") + ch + "' at offset " +
-                  std::to_string(i);
-            return false;
-        }
-        ++i;
-        return true;
-    }
-
-    /** Parse a quoted string, undoing jsonQuote()'s escapes (plus the
-     *  standard short escapes, for hand-written files). */
-    bool
-    parseString(std::string &out)
-    {
-        if (!expect('"'))
-            return false;
-        out.clear();
-        while (true) {
-            if (i >= s.size()) {
-                err = "unterminated string";
-                return false;
-            }
-            const char ch = s[i++];
-            if (ch == '"')
-                return true;
-            if (ch != '\\') {
-                out += ch;
-                continue;
-            }
-            if (i >= s.size()) {
-                err = "dangling escape at end of string";
-                return false;
-            }
-            const char esc = s[i++];
-            switch (esc) {
-              case '"':
-              case '\\':
-              case '/':
-                out += esc;
-                break;
-              case 'n':
-                out += '\n';
-                break;
-              case 't':
-                out += '\t';
-                break;
-              case 'r':
-                out += '\r';
-                break;
-              case 'b':
-                out += '\b';
-                break;
-              case 'f':
-                out += '\f';
-                break;
-              case 'u': {
-                if (i + 4 > s.size()) {
-                    err = "truncated \\u escape";
-                    return false;
-                }
-                unsigned code = 0;
-                for (int k = 0; k < 4; ++k) {
-                    const char h = s[i++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else {
-                        err = "bad hex digit in \\u escape";
-                        return false;
-                    }
-                }
-                // jsonQuote only emits \u for control bytes; anything
-                // past one byte would need UTF-8 re-encoding we never
-                // produce.
-                if (code > 0xff) {
-                    err = "\\u escape past U+00FF is not supported";
-                    return false;
-                }
-                out += static_cast<char>(code);
-                break;
-              }
-              default:
-                err = std::string("unknown escape '\\") + esc + "'";
-                return false;
-            }
-        }
-    }
-
-    /** Consume a number/true/false/null token verbatim. */
-    bool
-    parseScalarToken(std::string &out)
-    {
-        skipWs();
-        const std::size_t start = i;
-        while (i < s.size() &&
-               (std::isalnum(static_cast<unsigned char>(s[i])) != 0 ||
-                s[i] == '+' || s[i] == '-' || s[i] == '.'))
-            ++i;
-        if (i == start) {
-            err = "expected a value at offset " + std::to_string(start);
-            return false;
-        }
-        out = s.substr(start, i - start);
-        return true;
-    }
-
-    /** Skip one value of any shape — string, scalar, or a (string-
-     *  aware) balanced array/object — so unknown keys stay forward-
-     *  compatible whatever a future writer puts in them. */
-    bool
-    skipValue()
-    {
-        skipWs();
-        if (i >= s.size()) {
-            err = "expected a value at offset " + std::to_string(i);
-            return false;
-        }
-        const char first = s[i];
-        if (first == '"') {
-            std::string sink;
-            return parseString(sink);
-        }
-        if (first != '[' && first != '{') {
-            std::string sink;
-            return parseScalarToken(sink);
-        }
-        std::string stack;
-        while (true) {
-            if (i >= s.size()) {
-                err = "unterminated composite value";
-                return false;
-            }
-            const char ch = s[i];
-            if (ch == '"') {
-                std::string sink;
-                if (!parseString(sink))
-                    return false;
-                continue;
-            }
-            ++i;
-            if (ch == '[' || ch == '{') {
-                stack += ch;
-            } else if (ch == ']' || ch == '}') {
-                if (stack.empty() ||
-                    stack.back() != (ch == ']' ? '[' : '{')) {
-                    err = "mismatched brackets in composite value";
-                    return false;
-                }
-                stack.pop_back();
-                if (stack.empty())
-                    return true;
-            }
-            // Everything else (scalars, commas, colons, whitespace)
-            // is structure we do not care about.
-        }
-    }
-};
-
-bool
-tokenToU64(const std::string &tok, std::uint64_t &out, std::string &err)
-{
-    if (!parseDecimal(tok, out)) {
-        err = "bad unsigned value '" + tok + "'";
-        return false;
-    }
-    return true;
-}
-
-bool
-tokenToU32(const std::string &tok, unsigned &out, std::string &err)
-{
-    std::uint64_t v = 0;
-    if (!tokenToU64(tok, v, err) || v > 0xffffffffull) {
-        err = "bad 32-bit value '" + tok + "'";
-        return false;
-    }
-    out = static_cast<unsigned>(v);
-    return true;
-}
-
-bool
-tokenToDouble(const std::string &tok, double &out, std::string &err)
-{
-    char *end = nullptr;
-    out = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0' || end == tok.c_str()) {
-        err = "bad number '" + tok + "'";
-        return false;
-    }
-    return true;
-}
-
-bool
-tokenToBool(const std::string &tok, bool &out, std::string &err)
-{
-    if (tok == "true") {
-        out = true;
-    } else if (tok == "false") {
-        out = false;
-    } else {
-        err = "bad boolean '" + tok + "'";
-        return false;
-    }
-    return true;
-}
-
-} // namespace
 
 bool
 parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
 {
     row = SweepRow{};
-    JsonCursor c{json_line, 0, err};
+    json::Cursor c{json_line, 0, err};
     if (!c.expect('{'))
         return false;
 
@@ -768,7 +518,8 @@ parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
             const bool known =
                 key == "workload" || key == "app" || key == "mode" ||
                 key == "error" || key == "cores" || key == "mem_hubs" ||
-                key == "size" || key == "seed" ||
+                key == "size" || key == "seed" || key == "l2_kib" ||
+                key == "l3_kib" ||
                 key == "runtime_ticks" || key == "speedup" ||
                 key == "area_mm2" || key == "adp_norm" ||
                 key == "correct";
@@ -824,36 +575,42 @@ parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
                 row.error = sval;
             } else if (key == "cores") {
                 ok = want_scalar("cores") &&
-                     tokenToU32(tok, row.cores, err);
+                     json::tokenToU32(tok, row.cores, err);
                 sawCores = true;
             } else if (key == "mem_hubs") {
                 ok = want_scalar("mem_hubs") &&
-                     tokenToU32(tok, row.memHubs, err);
+                     json::tokenToU32(tok, row.memHubs, err);
                 sawHubs = true;
             } else if (key == "size") {
                 ok = want_scalar("size") &&
-                     tokenToU32(tok, row.size, err);
+                     json::tokenToU32(tok, row.size, err);
                 sawSize = true;
             } else if (key == "seed") {
                 ok = want_scalar("seed") &&
-                     tokenToU64(tok, row.seed, err);
+                     json::tokenToU64(tok, row.seed, err);
                 sawSeed = true;
+            } else if (key == "l2_kib") {
+                ok = want_scalar("l2_kib") &&
+                     json::tokenToU32(tok, row.l2KiB, err);
+            } else if (key == "l3_kib") {
+                ok = want_scalar("l3_kib") &&
+                     json::tokenToU32(tok, row.l3KiB, err);
             } else if (key == "runtime_ticks") {
                 ok = want_scalar("runtime_ticks") &&
-                     tokenToU64(tok, row.runtime, err);
+                     json::tokenToU64(tok, row.runtime, err);
                 sawRuntime = true;
             } else if (key == "speedup") {
                 ok = want_scalar("speedup") &&
-                     tokenToDouble(tok, row.speedup, err);
+                     json::tokenToDouble(tok, row.speedup, err);
             } else if (key == "area_mm2") {
                 ok = want_scalar("area_mm2") &&
-                     tokenToDouble(tok, row.areaMm2, err);
+                     json::tokenToDouble(tok, row.areaMm2, err);
             } else if (key == "adp_norm") {
                 ok = want_scalar("adp_norm") &&
-                     tokenToDouble(tok, row.adpNorm, err);
+                     json::tokenToDouble(tok, row.adpNorm, err);
             } else if (key == "correct") {
                 ok = want_scalar("correct") &&
-                     tokenToBool(tok, row.correct, err);
+                     json::tokenToBool(tok, row.correct, err);
                 sawCorrect = true;
             }
             if (!ok)

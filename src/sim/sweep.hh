@@ -32,6 +32,10 @@ struct SweepSpec
     std::string cores;             ///< comma/range list; empty = default
     std::string sizes;             ///< comma/range list; empty = default
     std::string seeds;             ///< comma list; empty = default
+    /// Cache-ladder axes: comma/range lists of per-tile L2 / per-shard
+    /// L3 capacities in KiB; empty = the base geometry (one pass).
+    std::string l2KiB;
+    std::string l3KiB;
 };
 
 /** One expanded, validated scenario. */
@@ -39,7 +43,9 @@ struct SweepScenario
 {
     const Workload *workload = nullptr;
     SystemMode mode = SystemMode::Duet;
-    WorkloadParams params; ///< resolved
+    WorkloadParams params;  ///< resolved
+    unsigned l2KiB = 0;     ///< per-tile L2 override, KiB; 0 = base
+    unsigned l3KiB = 0;     ///< per-shard L3 override, KiB; 0 = base
 };
 
 /** One aggregated result row. The derived columns (speedup, silicon
@@ -54,6 +60,11 @@ struct SweepRow
     unsigned memHubs = 0;
     unsigned size = 0;
     std::uint64_t seed = 0;
+    /// Cache-ladder coordinates: 0 = the base geometry. Serialized in
+    /// JSON-lines (when non-zero) and in the optional CSV cache
+    /// columns; part of the derived-metric join key.
+    unsigned l2KiB = 0;
+    unsigned l3KiB = 0;
     Tick runtime = 0;
     bool correct = false;
     double speedup = 0.0; ///< cpu-row runtime / this runtime
@@ -92,35 +103,47 @@ bool expandSweep(const SweepSpec &spec, std::vector<SweepScenario> &out,
                  std::string &err);
 
 /**
- * Run one scenario in-process over @p base (the mode is taken from the
- * scenario). A SimFatal becomes a failed row (correct=false, zero
- * runtime, the message in SweepRow::error) instead of propagating. This
- * is the body every sweep worker process executes.
+ * Run one scenario in-process over @p base (the mode and any cache
+ * ladder coordinates are taken from the scenario). A SimFatal becomes a
+ * failed row (correct=false, zero runtime, the message in
+ * SweepRow::error) instead of propagating. This is the body every
+ * scenario-service worker process executes.
  */
 SweepRow runScenario(const SweepScenario &sc, const SystemConfig &base);
 
-/** Batch-runner knobs (sim/executor.hh does the actual scheduling). */
+/** The scenario-to-row identity mapping: every row — completed,
+ *  SimFatal, crashed or timed out — derives from this, so the join key
+ *  addDerivedMetrics() uses always matches across outcomes. */
+SweepRow scenarioIdentityRow(const SweepScenario &sc);
+
+/** Batch-runner knobs (the scenario service does the scheduling). */
 struct SweepRunOptions
 {
     unsigned jobs = 1;           ///< worker processes; 0 = hardware conc.
     unsigned timeoutSeconds = 0; ///< per-scenario wall clock; 0 = none
+    /// Progress rendering: false = one line per completed scenario,
+    /// true = carriage-return updates in place (interactive stderr).
+    bool ttyProgress = false;
 };
 
 /**
  * Run every scenario over @p base (cache geometry, clocks, watchdog; the
- * mode is set per scenario), in forked worker processes scheduled by the
- * executor (sim/executor.hh) — `opts.jobs` at a time. Rows come back
- * over the executor's wire format and are reassembled **in scenario
- * order**, so the returned vector (and any output rendered from it) is
- * byte-identical whatever the job count. A scenario that dies with
- * SimFatal, crashes its worker (abort/SIGSEGV) or exceeds the
- * per-scenario timeout is recorded as a failed row with a diagnostic in
- * SweepRow::error rather than aborting the batch.
+ * mode is set per scenario) through the scenario service
+ * (service/scenario_service.hh) — `opts.jobs` forked workers at a time.
+ * Rows come back over the service's wire format and are reassembled
+ * **in scenario order**, so the returned vector (and any output
+ * rendered from it) is byte-identical whatever the job count. A
+ * scenario that dies with SimFatal, crashes its worker (abort/SIGSEGV)
+ * or exceeds the per-scenario timeout is recorded as a failed row with
+ * a diagnostic in SweepRow::error rather than aborting the batch.
  *
  * @p progress, when non-null, receives one line per *completed*
  * scenario (completion order) with a live running/done/failed counter;
  * @p on_row, when set, receives each row as it completes (so callers
  * can stream output and an interrupted sweep keeps its finished rows).
+ *
+ * (Declared here next to the sweep primitives it schedules; defined in
+ * the service layer, which owns all scenario scheduling.)
  */
 std::vector<SweepRow>
 runSweep(const std::vector<SweepScenario> &scenarios,
@@ -139,14 +162,28 @@ runSweep(const std::vector<SweepScenario> &scenarios,
  */
 void addDerivedMetrics(std::vector<SweepRow> &rows);
 
-/** Write the CSV header line. */
-void writeCsvHeader(std::ostream &os);
+/** Write the CSV header line. @p cacheCols adds the cache-ladder
+ *  `l2_kib,l3_kib` columns (after `seed`); the default layout is
+ *  byte-identical to the pre-ladder format. */
+void writeCsvHeader(std::ostream &os, bool cacheCols = false);
 
-/** Write one row as CSV. */
-void writeCsvRow(std::ostream &os, const SweepRow &row);
+/** Write one row as CSV (layout per writeCsvHeader). */
+void writeCsvRow(std::ostream &os, const SweepRow &row,
+                 bool cacheCols = false);
 
-/** Write rows as CSV with a header line. */
+/** True when any row carries a cache-ladder coordinate — the condition
+ *  under which writeCsv() adds the `l2_kib,l3_kib` columns. */
+bool rowsHaveCacheColumns(const std::vector<SweepRow> &rows);
+
+/** Write rows as CSV with a header line; the cache columns appear
+ *  exactly when rowsHaveCacheColumns(rows). */
 void writeCsv(std::ostream &os, const std::vector<SweepRow> &rows);
+
+/** Write the row's key/value fields without the enclosing braces or
+ *  newline — the shared body of writeJsonLine() and the scenario
+ *  service's response objects, so the row wire format has exactly one
+ *  definition. */
+void writeJsonRowFields(std::ostream &os, const SweepRow &row);
 
 /** Write one row as a JSON-lines object. */
 void writeJsonLine(std::ostream &os, const SweepRow &row);

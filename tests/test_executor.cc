@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -18,6 +19,8 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+
+#include <poll.h>
 
 #include "sim/config.hh"
 #include "sim/executor.hh"
@@ -296,6 +299,12 @@ TEST(RowWire, RoundTripFuzzIsByteStable)
         row.memHubs = static_cast<unsigned>(next() % 64);
         row.size = static_cast<unsigned>(next());
         row.seed = next();
+        // Cache-ladder coordinates are optional keys: half the rows
+        // carry them (0 = absent by construction).
+        row.l2KiB = next() % 2 == 0 ? 0
+                                    : static_cast<unsigned>(next() % 4096);
+        row.l3KiB = next() % 2 == 0 ? 0
+                                    : static_cast<unsigned>(next() % 4096);
         row.runtime = next();
         row.correct = next() % 2 == 0;
         // Moderate magnitudes: the wire format is fixed 4-decimal
@@ -404,6 +413,122 @@ TEST(SweepParallel, TwelveRowSweepIsByteIdenticalAcrossJobCounts)
     // Sanity: real rows, not an empty-vs-empty match.
     EXPECT_NE(j1.find("popcount"), std::string::npos);
     EXPECT_NE(j1.find("tangent"), std::string::npos);
+}
+
+// ------------------------- persistent pool ----------------------------
+
+TEST(Pool, SubmitAsYouGoDeliversEveryCompletion)
+{
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    ProcessPool pool(cfg);
+    std::vector<std::string> got(5);
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        pool.submit(
+            [i] { return "job" + std::to_string(i); },
+            [&, i](JobResult &&res) {
+                ASSERT_EQ(res.status, JobStatus::Ok);
+                got[i] = res.payload;
+                ++delivered;
+            });
+        // Interleave scheduling with submission, as a server would.
+        pool.pump(0);
+    }
+    pool.drain();
+    EXPECT_EQ(delivered, got.size());
+    EXPECT_EQ(pool.inFlight(), 0u);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], "job" + std::to_string(i));
+}
+
+TEST(Pool, InFlightCapBoundsTheBacklog)
+{
+    ExecutorConfig cfg;
+    cfg.jobs = 1;
+    cfg.maxInFlight = 2;
+    ProcessPool pool(cfg);
+    std::size_t delivered = 0;
+    for (int i = 0; i < 6; ++i) {
+        pool.submit([] { return std::string("x"); },
+                    [&](JobResult &&) { ++delivered; });
+        // submit() blocks (delivering completions) until the backlog
+        // is back under the cap before queueing the new job.
+        EXPECT_LE(pool.inFlight(), 2u) << "after submit " << i;
+    }
+    pool.drain();
+    EXPECT_EQ(delivered, 6u);
+}
+
+TEST(Pool, SurvivesACrashedWorkerAndKeepsServing)
+{
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    ProcessPool pool(cfg);
+    JobResult crash, after;
+    pool.submit([]() -> std::string { std::raise(SIGSEGV); return ""; },
+                [&](JobResult &&res) { crash = std::move(res); });
+    pool.drain();
+    // The pool object outlives the crash: later submissions still run.
+    pool.submit([] { return std::string("alive"); },
+                [&](JobResult &&res) { after = std::move(res); });
+    pool.drain();
+    EXPECT_EQ(crash.status, JobStatus::Crashed);
+    EXPECT_NE(crash.diagnostic.find("SIGSEGV"), std::string::npos)
+        << crash.diagnostic;
+    EXPECT_EQ(after.status, JobStatus::Ok);
+    EXPECT_EQ(after.payload, "alive");
+}
+
+TEST(Pool, ExternalEventLoopViaAddReadFds)
+{
+    // Drive the pool the way the scenario server does: poll its fds
+    // alongside (here: instead of) the input stream, then pump(0).
+    ExecutorConfig cfg;
+    cfg.jobs = 2;
+    ProcessPool pool(cfg);
+    std::vector<std::string> got;
+    for (int i = 0; i < 3; ++i) {
+        pool.submit(
+            [i] {
+                std::this_thread::sleep_for(20ms);
+                return std::to_string(i);
+            },
+            [&](JobResult &&res) { got.push_back(res.payload); });
+    }
+    const auto deadline = std::chrono::steady_clock::now() + 30s;
+    while (pool.inFlight() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::vector<pollfd> fds;
+        pool.addReadFds(fds);
+        ASSERT_FALSE(fds.empty());
+        int hint = pool.timeoutHintMs();
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               hint < 0 ? 1000 : hint);
+        pool.pump(0);
+    }
+    EXPECT_EQ(pool.inFlight(), 0u);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<std::string>{"0", "1", "2"}));
+}
+
+TEST(Pool, PerJobTimeoutFiresInsidePump)
+{
+    ExecutorConfig cfg;
+    cfg.jobs = 1;
+    cfg.timeoutSeconds = 1;
+    ProcessPool pool(cfg);
+    JobResult res;
+    pool.submit(
+        []() -> std::string {
+            std::this_thread::sleep_for(60s);
+            return "never";
+        },
+        [&](JobResult &&r) { res = std::move(r); });
+    const auto start = std::chrono::steady_clock::now();
+    pool.drain();
+    EXPECT_EQ(res.status, JobStatus::TimedOut);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 30s);
 }
 
 } // namespace

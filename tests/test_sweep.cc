@@ -594,5 +594,150 @@ TEST(SweepRun, ResultsStayCorrectAcrossSeeds)
         runApp("tangent", SystemMode::Fpsoc, {.size = 2048}).correct);
 }
 
+// ------------------------- cache ladders ------------------------------
+
+TEST(CacheLadder, AxesExpandInnermostAndRideOnTheScenario)
+{
+    SweepSpec spec;
+    spec.workloads = "popcount";
+    spec.modes = "duet";
+    spec.l2KiB = "8,32";
+    spec.l3KiB = "64,256";
+    std::vector<SweepScenario> out;
+    std::string err;
+    ASSERT_TRUE(expandSweep(spec, out, err)) << err;
+    ASSERT_EQ(out.size(), 4u);
+    // l2-major over l3: (8,64) (8,256) (32,64) (32,256).
+    EXPECT_EQ(out[0].l2KiB, 8u);
+    EXPECT_EQ(out[0].l3KiB, 64u);
+    EXPECT_EQ(out[1].l2KiB, 8u);
+    EXPECT_EQ(out[1].l3KiB, 256u);
+    EXPECT_EQ(out[2].l2KiB, 32u);
+    EXPECT_EQ(out[3].l3KiB, 256u);
+    // No axis given -> base geometry (0 sentinel).
+    SweepSpec plain;
+    plain.workloads = "popcount";
+    out.clear();
+    ASSERT_TRUE(expandSweep(plain, out, err)) << err;
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].l2KiB, 0u);
+    EXPECT_EQ(out[0].l3KiB, 0u);
+}
+
+TEST(CacheLadder, RejectsZeroAndOversizedEntries)
+{
+    SweepSpec spec;
+    spec.workloads = "popcount";
+    spec.l3KiB = "0,64";
+    std::vector<SweepScenario> out;
+    std::string err;
+    EXPECT_FALSE(expandSweep(spec, out, err));
+    EXPECT_NE(err.find("--l3-kib"), std::string::npos) << err;
+    EXPECT_NE(err.find("reserved"), std::string::npos) << err;
+
+    spec.l3KiB = "2097152"; // 2 GiB > the 1 GiB ceiling
+    EXPECT_FALSE(expandSweep(spec, out, err));
+    EXPECT_NE(err.find("too large"), std::string::npos) << err;
+}
+
+TEST(CacheLadder, CsvGrowsCacheColumnsExactlyWhenPresent)
+{
+    SweepRow plain;
+    plain.workload = "popcount";
+    plain.app = "popcount";
+    plain.mode = "duet";
+    plain.cores = 1;
+    plain.correct = true;
+    SweepRow laddered = plain;
+    laddered.l3KiB = 4096;
+
+    std::ostringstream without, with;
+    writeCsv(without, {plain});
+    writeCsv(with, {plain, laddered});
+    EXPECT_EQ(without.str().find("l2_kib"), std::string::npos);
+    EXPECT_NE(with.str().find(",l2_kib,l3_kib,"), std::string::npos);
+    // Every data row carries the columns once any row has them.
+    EXPECT_NE(with.str().find(",0,0,"), std::string::npos);
+    EXPECT_NE(with.str().find(",0,4096,"), std::string::npos);
+}
+
+TEST(CacheLadder, JsonlKeysAppearOnlyWhenPinnedAndRoundTrip)
+{
+    SweepRow row;
+    row.workload = "bfs";
+    row.app = "bfs/4";
+    row.mode = "duet";
+    row.cores = 4;
+    row.size = 256;
+    row.seed = 777;
+    row.runtime = 10 * kTicksPerNs;
+    row.correct = true;
+
+    std::ostringstream plain;
+    writeJsonLine(plain, row);
+    EXPECT_EQ(plain.str().find("l2_kib"), std::string::npos);
+
+    row.l2KiB = 32;
+    row.l3KiB = 1024;
+    std::ostringstream pinned;
+    writeJsonLine(pinned, row);
+    EXPECT_NE(pinned.str().find("\"l2_kib\": 32"), std::string::npos);
+    SweepRow back;
+    std::string err;
+    ASSERT_TRUE(parseSweepRow(pinned.str(), back, err)) << err;
+    EXPECT_EQ(back.l2KiB, 32u);
+    EXPECT_EQ(back.l3KiB, 1024u);
+}
+
+TEST(CacheLadder, DerivedJoinMatchesCpuPartnerAtTheSameGeometry)
+{
+    // Two geometries, each with a duet row and a cpu partner whose
+    // runtimes differ per geometry: the join must stay within the
+    // geometry, never across it.
+    auto mk = [](const char *mode, unsigned l3, Tick runtime) {
+        SweepRow r;
+        r.workload = "bfs";
+        r.app = "bfs/4";
+        r.mode = mode;
+        r.cores = 4;
+        r.size = 256;
+        r.seed = 777;
+        r.l3KiB = l3;
+        r.runtime = runtime;
+        r.correct = true;
+        return r;
+    };
+    std::vector<SweepRow> rows{
+        mk("duet", 64, 100), mk("cpu", 64, 1000),
+        mk("duet", 4096, 100), mk("cpu", 4096, 300)};
+    addDerivedMetrics(rows);
+    EXPECT_DOUBLE_EQ(rows[0].speedup, 10.0);
+    EXPECT_DOUBLE_EQ(rows[2].speedup, 3.0);
+    EXPECT_DOUBLE_EQ(rows[1].speedup, 1.0);
+}
+
+TEST(CacheLadder, LadderScenariosActuallyChangeTheCacheGeometry)
+{
+    // End to end through runScenario: a bfs working set that spills a
+    // tiny L3 must run slower there than with a big one.
+    SweepSpec spec;
+    spec.workloads = "bfs";
+    spec.modes = "cpu";
+    spec.sizes = "2048";
+    spec.l3KiB = "16,4096";
+    std::vector<SweepScenario> out;
+    std::string err;
+    ASSERT_TRUE(expandSweep(spec, out, err)) << err;
+    ASSERT_EQ(out.size(), 2u);
+    SystemConfig base;
+    const SweepRow small = runScenario(out[0], base);
+    const SweepRow big = runScenario(out[1], base);
+    ASSERT_TRUE(small.correct) << small.error;
+    ASSERT_TRUE(big.correct) << big.error;
+    EXPECT_EQ(small.l3KiB, 16u);
+    EXPECT_EQ(big.l3KiB, 4096u);
+    EXPECT_GT(small.runtime, big.runtime);
+}
+
 } // namespace
 } // namespace duet
