@@ -83,3 +83,43 @@ if(NOT saw_bad OR NOT saw_watchdog)
 endif()
 
 message(STATUS "serve smoke OK: 10 requests, 8 ok / 1 invalid / 1 failed")
+
+# --listen path hygiene: a path that cannot fit sun_path (108 bytes on
+# Linux) must be rejected up front with exit 2 and a diagnostic naming
+# the limit — not truncated into binding some other path.
+string(REPEAT "x" 200 LONG_NAME)
+execute_process(
+  COMMAND ${DUET_SIM} --serve --listen ${WORK_DIR}/${LONG_NAME}.sock
+  INPUT_FILE /dev/null
+  OUTPUT_QUIET
+  ERROR_VARIABLE long_err
+  RESULT_VARIABLE long_rv)
+if(NOT long_rv EQUAL 2)
+  message(FATAL_ERROR
+          "--listen with an oversized path should exit 2, got '${long_rv}' "
+          "(stderr: ${long_err})")
+endif()
+if(NOT long_err MATCHES "--listen path must be 1\\.\\.")
+  message(FATAL_ERROR "oversized --listen path diagnostic missing the "
+          "limit: ${long_err}")
+endif()
+
+# An empty path is a parse error (it would silently fall back to
+# stdin/stdout serving); duet_sim exits 2 on bad usage.
+execute_process(
+  COMMAND ${DUET_SIM} --serve --listen ""
+  INPUT_FILE /dev/null
+  OUTPUT_QUIET
+  ERROR_VARIABLE empty_err
+  RESULT_VARIABLE empty_rv)
+if(NOT empty_rv EQUAL 2)
+  message(FATAL_ERROR
+          "--listen '' should exit 2, got '${empty_rv}' "
+          "(stderr: ${empty_err})")
+endif()
+if(NOT empty_err MATCHES "non-empty socket PATH")
+  message(FATAL_ERROR "empty --listen diagnostic unexpected: ${empty_err}")
+endif()
+
+message(STATUS "serve smoke OK: oversized and empty --listen paths "
+        "rejected with exit 2")

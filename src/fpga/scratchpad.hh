@@ -29,7 +29,12 @@ class Scratchpad
     std::uint64_t
     read(std::size_t offset, unsigned size = 8) const
     {
-        if (offset + size > data_.size()) [[unlikely]]
+        // Overflow-safe bound: `offset + size` could wrap for a
+        // corrupted offset near SIZE_MAX and sneak past a naive sum.
+        // The size<=8 half is unconditional because the value buffer
+        // below is 8 bytes — that bound is memory safety, not paranoia.
+        if (size < 1 || size > 8 || size > data_.size() ||
+            offset > data_.size() - size) [[unlikely]]
             oob("read", offset, size);
         std::uint64_t v = 0;
         std::memcpy(&v, data_.data() + offset, size);
@@ -40,7 +45,8 @@ class Scratchpad
     void
     write(std::size_t offset, std::uint64_t v, unsigned size = 8)
     {
-        if (offset + size > data_.size()) [[unlikely]]
+        if (size < 1 || size > 8 || size > data_.size() ||
+            offset > data_.size() - size) [[unlikely]]
             oob("write", offset, size);
         std::memcpy(data_.data() + offset, &v, size);
         writes.inc();

@@ -36,6 +36,7 @@
 
 #include "service/scenario_service.hh"
 #include "service/serve.hh"
+#include "sim/check.hh"
 #include "sim/config.hh"
 #include "sim/sweep.hh"
 #include "workload/apps.hh"
@@ -393,6 +394,11 @@ main(int argc, char **argv)
         std::cerr << "duet_sim: " << err << "\n\n" << simUsage();
         return 2;
     }
+
+    // Before any scenario runs or worker forks: children inherit the
+    // flag, so sweep/serve workers check with the same paranoia.
+    if (opts.paranoid)
+        setParanoidChecks(true);
 
     if (opts.serve)
         return runServe(opts);

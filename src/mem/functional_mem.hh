@@ -18,7 +18,7 @@
 #include <unordered_map>
 
 #include "mem/addr.hh"
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duet
 {
@@ -69,6 +69,8 @@ class FunctionalMemory
     void
     readBytes(Addr a, void *dst, std::size_t len) const
     {
+        DUET_DCHECK(len == 0 || a + len > a,
+                    "byte-range read wraps the address space");
         auto *out = static_cast<std::uint8_t *>(dst);
         while (len > 0) {
             std::size_t chunk =
@@ -88,6 +90,8 @@ class FunctionalMemory
     void
     writeBytes(Addr a, const void *src, std::size_t len)
     {
+        DUET_DCHECK(len == 0 || a + len > a,
+                    "byte-range write wraps the address space");
         auto *in = static_cast<const std::uint8_t *>(src);
         while (len > 0) {
             std::size_t chunk =
@@ -147,10 +151,12 @@ class FunctionalMemory
     static void
     checkAccess(Addr a, unsigned size)
     {
-        simAssert(size >= 1 && size <= 8, "access size must be 1-8 bytes");
-        simAssert(pageOffset(a) + size <= kPageBytes,
-                  "access must not cross a page boundary");
-        simAssert((a & (size - 1)) == 0, "access must be naturally aligned");
+        DUET_ASSERT(size >= 1 && size <= 8,
+                    "access size must be 1-8 bytes");
+        DUET_ASSERT(pageOffset(a) + size <= kPageBytes,
+                    "access must not cross a page boundary");
+        DUET_ASSERT((a & (size - 1)) == 0,
+                    "access must be naturally aligned");
     }
 
     const Page *

@@ -13,6 +13,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "sim/check.hh"
 #include "sim/config.hh"
 
 namespace duet
@@ -178,9 +179,15 @@ serveListen(const std::string &path, const SystemConfig &base,
             const ScenarioService::Options &opts, ServeSummary &sum)
 {
     sockaddr_un addr{};
-    if (path.size() >= sizeof(addr.sun_path)) {
-        std::cerr << "duet_sim: --listen path is too long (max "
-                  << sizeof(addr.sun_path) - 1 << " bytes)\n";
+    // sun_path is a fixed char array; the copy below writes
+    // path.size() + 1 bytes (the terminator included), so the longest
+    // representable path is sizeof(sun_path) - 1. An empty path is
+    // rejected too: on Linux, binding a zero-length sun_path silently
+    // switches to an autobound abstract socket nobody can find by name.
+    if (path.empty() || path.size() > sizeof(addr.sun_path) - 1) {
+        std::cerr << "duet_sim: --listen path must be 1.."
+                  << sizeof(addr.sun_path) - 1 << " bytes, got "
+                  << path.size() << "\n";
         return false;
     }
     const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -189,6 +196,8 @@ serveListen(const std::string &path, const SystemConfig &base,
         return false;
     }
     addr.sun_family = AF_UNIX;
+    DUET_ASSERT(path.size() + 1 <= sizeof(addr.sun_path),
+                "--listen path re-checked before the sun_path copy");
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::bind(lfd, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) != 0) {

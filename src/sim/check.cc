@@ -1,0 +1,29 @@
+#include "sim/check.hh"
+
+namespace duet
+{
+
+namespace detail
+{
+#ifdef DUET_PARANOID_CHECKS
+bool paranoidEnabled = true;
+#else
+bool paranoidEnabled = false;
+#endif
+} // namespace detail
+
+void
+setParanoidChecks(bool on)
+{
+    detail::paranoidEnabled = on;
+}
+
+void
+checkFailed(const char *kind, const char *expr, const char *file, int line,
+            const std::string &msg)
+{
+    panic(std::string(kind) + " failed: " + msg + " [" + expr + " at " +
+          file + ":" + std::to_string(line) + "]");
+}
+
+} // namespace duet

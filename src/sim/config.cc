@@ -122,7 +122,14 @@ simUsage()
         "  --json            dump scenario result + stats registry as JSON\n"
         "  --stats           dump the stats registry as text\n"
         "  --list            list available workloads and exit\n"
-        "  --help            this text\n";
+        "  --help            this text\n"
+        "\n"
+        "debugging:\n"
+        "  --paranoid        enable the DUET_DCHECK invariant layer\n"
+        "                    (per-access bounds, coroutine state, event\n"
+        "                    monotonicity); on by default in sanitizer\n"
+        "                    builds (DUET_SANITIZE). Violations panic\n"
+        "                    with the failed expression and location\n";
 }
 
 bool
@@ -210,8 +217,16 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         } else if (flag == "--listen") {
             if (!value(opts.listenPath))
                 return ParseStatus::Error;
+            // An empty path would silently fall back to stdin/stdout
+            // serving (and a zero-length sun_path means Linux autobind).
+            if (opts.listenPath.empty()) {
+                err = "--listen needs a non-empty socket PATH";
+                return ParseStatus::Error;
+            }
         } else if (flag == "--quiet") {
             opts.quiet = true;
+        } else if (flag == "--paranoid") {
+            opts.paranoid = true;
         } else if (flag == "--preset") {
             if (!value(opts.preset))
                 return ParseStatus::Error;

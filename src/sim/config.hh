@@ -61,6 +61,8 @@ struct SimOptions
     std::string jsonlPath;        ///< --sweep JSON-lines output
     bool json = false;            ///< machine-readable stats dump
     bool stats = false;           ///< human-readable stats dump
+    bool paranoid = false;        ///< enable the DUET_DCHECK layer
+
     bool list = false;            ///< print the workload table and exit
     bool help = false;
 };

@@ -1,6 +1,8 @@
 #include "sim/event_queue.hh"
 
-#include "sim/logging.hh"
+#include <algorithm>
+
+#include "sim/check.hh"
 
 namespace duet
 {
@@ -8,27 +10,34 @@ namespace duet
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
-    if (when < now_)
-        panic("event scheduled in the past");
-    heap_.push(Entry{when, seq_++, std::move(cb)});
+    DUET_ASSERT(when >= now_,
+                "event scheduled in the past (tick " +
+                    std::to_string(when) + " < now " +
+                    std::to_string(now_) + ")");
+    DUET_DCHECK(cb != nullptr, "null event callback scheduled");
+    heap_.push_back(Entry{when, seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool
 EventQueue::run(Tick limit)
 {
     while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (top.when > limit) {
+        if (heap_.front().when > limit) {
             now_ = limit;
             return false;
         }
-        // Move the callback out before popping so the callback may schedule
-        // new events (which mutates the heap).
-        Callback cb = std::move(const_cast<Entry &>(top).cb);
-        now_ = top.when;
-        heap_.pop();
+        // Detach the earliest entry before invoking it: pop_heap parks
+        // the winner at the back, where it can be moved out, so the
+        // callback is free to schedule new events (mutating the heap).
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry e = std::move(heap_.back());
+        heap_.pop_back();
+        DUET_DCHECK(e.when >= now_,
+                    "event queue lost time monotonicity");
+        now_ = e.when;
         ++executed_;
-        cb();
+        e.cb();
     }
     return true;
 }

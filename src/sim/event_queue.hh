@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -84,7 +83,14 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    // A plain vector managed with std::push_heap/std::pop_heap — the
+    // exact algorithm std::priority_queue runs underneath, so the pop
+    // order (a strict total order on (when, seq)) is unchanged. Owning
+    // the container lets run() *move* the winning entry out after
+    // pop_heap parks it at the back; priority_queue::top() only offers
+    // a const reference, which forced a const_cast to steal the
+    // callback.
+    std::vector<Entry> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -14,6 +14,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "sim/check.hh"
+
 namespace duet
 {
 namespace
@@ -60,6 +62,10 @@ workerMain(const Job &job, int fd)
     }
     if (payload.size() > kMaxPayloadBytes)
         _exit(kUncaughtExitCode);
+    // The header below truncates to 32 bits; the cap above is the proof
+    // it fits, and this pins that if the cap ever moves past 4 GiB.
+    static_assert(kMaxPayloadBytes <= ~std::uint32_t{0},
+                  "frame header is 32 bits");
     const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
     const bool ok = writeAll(fd, &len, sizeof(len)) &&
                     writeAll(fd, payload.data(), payload.size());
@@ -135,6 +141,8 @@ struct Worker
 void
 finishWorker(Worker &w)
 {
+    DUET_ASSERT(!w.done, "worker finalized twice");
+    DUET_DCHECK(w.fd >= 0, "finishWorker on a closed pipe");
     ::close(w.fd);
     w.fd = -1;
     int st = 0;
@@ -275,6 +283,8 @@ struct ProcessPool::Impl
                 ::close(fds[0]);
                 workerMain(next.job, fds[1]); // _exits, never returns
             }
+            DUET_DCHECK(active.size() < slots,
+                        "worker spawned past the slot budget");
             ::close(fds[1]);
             // Nonblocking reads: one chatty worker must not stall the
             // drain loop (and with it, other workers' deadlines).

@@ -21,7 +21,9 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "sim/check.hh"
 #include "sim/clock.hh"
 #include "sim/logging.hh"
 
@@ -79,16 +81,27 @@ class [[nodiscard]] CoTask
     bool await_ready() const noexcept { return false; }
 
     std::coroutine_handle<>
-    await_suspend(std::coroutine_handle<> cont) noexcept
+    await_suspend(std::coroutine_handle<> cont)
     {
+        DUET_ASSERT(h_ != nullptr, "awaiting a moved-from CoTask");
+        DUET_ASSERT(!h_.promise().continuation, "CoTask awaited twice");
         h_.promise().continuation = cont;
         return h_;
     }
 
-    T await_resume() { return std::move(*h_.promise().value); }
+    T
+    await_resume()
+    {
+        DUET_DCHECK(h_.promise().value.has_value(),
+                    "CoTask resumed without a return value");
+        return std::move(*h_.promise().value);
+    }
 
   private:
     explicit CoTask(Handle h) : h_(h) {}
+
+    /// Owning handle; null only after a move-out, so the destructor
+    /// destroys each coroutine frame exactly once.
     Handle h_;
 };
 
@@ -138,8 +151,10 @@ class [[nodiscard]] CoTask<void>
     bool await_ready() const noexcept { return false; }
 
     std::coroutine_handle<>
-    await_suspend(std::coroutine_handle<> cont) noexcept
+    await_suspend(std::coroutine_handle<> cont)
     {
+        DUET_ASSERT(h_ != nullptr, "awaiting a moved-from CoTask");
+        DUET_ASSERT(!h_.promise().continuation, "CoTask awaited twice");
         h_.promise().continuation = cont;
         return h_;
     }
@@ -148,20 +163,86 @@ class [[nodiscard]] CoTask<void>
 
   private:
     explicit CoTask(Handle h) : h_(h) {}
+
+    /// Owning handle; null only after a move-out, so the destructor
+    /// destroys each coroutine frame exactly once.
     Handle h_;
 };
 
 namespace detail
 {
 
+/**
+ * Registry of live detached (spawned) top-level frames. A frame that
+ * runs to completion removes itself; drain() destroys the leftovers —
+ * typically accelerator threads parked forever in a while(true) FIFO
+ * loop. Without the drain every installAccel() would leak its parked
+ * coroutine chain (each frame transitively owns its subtask frames).
+ */
+class DetachedPool
+{
+  public:
+    static DetachedPool &
+    instance()
+    {
+        static DetachedPool pool;
+        return pool;
+    }
+
+    void add(std::coroutine_handle<> h) { live_.push_back(h); }
+
+    void remove(std::coroutine_handle<> h) { std::erase(live_, h); }
+
+    /** Destroy every still-suspended detached frame. Only safe once
+     *  nothing will resume them again — i.e. after the simulation that
+     *  spawned them has finished running its event queue. */
+    void
+    drain()
+    {
+        auto live = std::move(live_);
+        live_.clear();
+        for (auto h : live)
+            h.destroy();
+    }
+
+  private:
+    std::vector<std::coroutine_handle<>> live_;
+};
+
 /** Self-destroying top-level coroutine used by spawn(). */
 struct Detached
 {
     struct promise_type
     {
-        Detached get_return_object() { return {}; }
+        Detached
+        get_return_object()
+        {
+            DetachedPool::instance().add(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+            return {};
+        }
+
         std::suspend_never initial_suspend() noexcept { return {}; }
-        std::suspend_never final_suspend() noexcept { return {}; }
+
+        /** Unregister, then destroy the frame — completion is the one
+         *  place a detached frame may destroy itself (drain() owns the
+         *  suspended ones). */
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<promise_type> h)
+                const noexcept
+            {
+                DetachedPool::instance().remove(h);
+                h.destroy();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
         void return_void() {}
         void unhandled_exception() { std::terminate(); }
     };
@@ -178,12 +259,25 @@ spawnImpl(CoTask<void> task)
 /**
  * Detach @p task as an independent simulated thread. The task starts
  * executing immediately (in the caller's event context) until its first
- * suspension point.
+ * suspension point. Frames still suspended when the simulation ends are
+ * reclaimed by drainDetachedTasks() (System's destructor calls it).
  */
 inline void
 spawn(CoTask<void> task)
 {
     detail::spawnImpl(std::move(task));
+}
+
+/**
+ * Destroy every spawn()ed frame that never ran to completion. Call only
+ * after the event loop that could resume them has stopped for good;
+ * System's destructor does, so accelerator threads parked in their
+ * request loops don't outlive (and leak past) the simulated machine.
+ */
+inline void
+drainDetachedTasks()
+{
+    detail::DetachedPool::instance().drain();
 }
 
 /**
@@ -237,7 +331,13 @@ class Future
         st_->waiter = h;
     }
 
-    T await_resume() const { return std::move(*st_->value); }
+    T
+    await_resume() const
+    {
+        DUET_DCHECK(st_->value.has_value(),
+                    "Future resumed before its value was set");
+        return std::move(*st_->value);
+    }
 
   private:
     std::shared_ptr<State> st_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/task.hh"
 
 namespace duet
 {
@@ -144,7 +145,15 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         l3->registerStats(stats_);
 }
 
-System::~System() = default;
+System::~System()
+{
+    // Reclaim simulated threads (accelerator request loops, workload
+    // coroutines) still parked at a suspension point. The event queue
+    // that could resume them dies with this object, so destroying the
+    // frames here — before the members they reference go away — is the
+    // single point where it is safe.
+    drainDetachedTasks();
+}
 
 bool
 System::installAccel(const AccelImage &img)

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The invariant layer: DUET_ASSERT/DUET_DCHECK semantics, the
+ * --paranoid runtime switch, and the traps the macros pin across the
+ * simulator — past-event scheduling, scratchpad/functional-memory
+ * bounds, coroutine double-await, and the serve/executor wire checks.
+ */
+
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fpga/scratchpad.hh"
+#include "mem/functional_mem.hh"
+#include "sim/check.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace duet
+{
+namespace
+{
+
+/** Pin the paranoid flag for one test and restore it after, so suites
+ *  behave identically in plain and DUET_SANITIZE builds (where the
+ *  flag defaults on). */
+class ParanoidScope
+{
+  public:
+    explicit ParanoidScope(bool on) : prev_(paranoidChecks())
+    {
+        setParanoidChecks(on);
+    }
+    ~ParanoidScope() { setParanoidChecks(prev_); }
+    ParanoidScope(const ParanoidScope &) = delete;
+    ParanoidScope &operator=(const ParanoidScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+TEST(Check, AssertPassesQuietly)
+{
+    EXPECT_NO_THROW(DUET_ASSERT(1 + 1 == 2, "arithmetic holds"));
+}
+
+TEST(Check, AssertViolationThrowsSimPanicWithContext)
+{
+    try {
+        DUET_ASSERT(2 + 2 == 5, "arithmetic broke");
+        FAIL() << "DUET_ASSERT did not throw";
+    } catch (const SimPanic &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("DUET_ASSERT"), std::string::npos) << what;
+        EXPECT_NE(what.find("arithmetic broke"), std::string::npos) << what;
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_check.cc"), std::string::npos) << what;
+    }
+}
+
+TEST(Check, AssertAlwaysEvaluatesItsCondition)
+{
+    ParanoidScope scope(false);
+    int evaluated = 0;
+    DUET_ASSERT((++evaluated, true), "condition must run");
+    EXPECT_EQ(evaluated, 1);
+}
+
+TEST(Check, DcheckIsSkippedWhenParanoidOff)
+{
+    ParanoidScope scope(false);
+    int evaluated = 0;
+    EXPECT_NO_THROW(
+        DUET_DCHECK((++evaluated, false), "must not even evaluate"));
+    EXPECT_EQ(evaluated, 0);
+}
+
+TEST(Check, DcheckTrapsWhenParanoidOn)
+{
+    ParanoidScope scope(true);
+    EXPECT_THROW(DUET_DCHECK(false, "paranoid trap"), SimPanic);
+}
+
+TEST(Check, ParanoidFlagRoundTrips)
+{
+    ParanoidScope scope(true);
+    EXPECT_TRUE(paranoidChecks());
+    setParanoidChecks(false);
+    EXPECT_FALSE(paranoidChecks());
+}
+
+TEST(Check, ParanoidCliFlagParses)
+{
+    char arg0[] = "duet_sim";
+    char arg1[] = "--paranoid";
+    char *argv[] = {arg0, arg1};
+    SimOptions opts;
+    std::string err;
+    ASSERT_EQ(parseSimOptions(2, argv, opts, err), ParseStatus::Ok) << err;
+    EXPECT_TRUE(opts.paranoid);
+}
+
+// An invariant violation that nobody catches must kill the process
+// (SimPanic escaping a noexcept boundary -> std::terminate), not limp
+// on. The noexcept lambda models main()'s crash path; without it gtest
+// itself would catch the exception.
+TEST(CheckDeathTest, UncaughtAssertViolationDies)
+{
+    EXPECT_DEATH(
+        []() noexcept { DUET_ASSERT(false, "unrecoverable invariant"); }(),
+        "unrecoverable invariant");
+}
+
+// ---------------------------------------------------------------------
+// Event-queue monotonicity
+// ---------------------------------------------------------------------
+
+TEST(CheckEventQueue, SchedulingInPastTrapsWithBothTicks)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    try {
+        eq.schedule(50, [] {});
+        FAIL() << "past-event schedule did not throw";
+    } catch (const SimPanic &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("scheduled in the past"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("50"), std::string::npos) << what;
+        EXPECT_NE(what.find("100"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckEventQueueDeathTest, UncaughtPastEventDies)
+{
+    EXPECT_DEATH(
+        []() noexcept {
+            EventQueue eq;
+            eq.schedule(10, [] {});
+            eq.run();
+            eq.schedule(1, [] {});
+        }(),
+        "scheduled in the past");
+}
+
+TEST(CheckEventQueue, NullCallbackTrapsUnderParanoid)
+{
+    ParanoidScope scope(true);
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1, EventQueue::Callback{}), SimPanic);
+}
+
+// ---------------------------------------------------------------------
+// Scratchpad / functional-memory bounds
+// ---------------------------------------------------------------------
+
+TEST(CheckScratchpad, InBoundsAccessesStillWork)
+{
+    ParanoidScope scope(true);
+    Scratchpad spm(64);
+    spm.write(8, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(spm.read(8), 0xdeadbeefcafef00dull);
+}
+
+TEST(CheckScratchpad, OutOfBoundsTraps)
+{
+    Scratchpad spm(64);
+    EXPECT_THROW(spm.read(64, 8), SimPanic);
+    EXPECT_THROW(spm.write(57, 0, 8), SimPanic);
+}
+
+// `offset + size` on a corrupted offset near SIZE_MAX wraps a naive
+// sum; the overflow-safe bound must still trap it.
+TEST(CheckScratchpad, WrappingOffsetTraps)
+{
+    Scratchpad spm(64);
+    const std::size_t wrap = std::numeric_limits<std::size_t>::max() - 4;
+    EXPECT_THROW(spm.read(wrap, 8), SimPanic);
+    EXPECT_THROW(spm.write(wrap, 0, 8), SimPanic);
+}
+
+// A 9-byte access passes the capacity bound but would overrun the
+// 8-byte value buffer; the size bound is unconditional because it is
+// memory safety, not paranoia.
+TEST(CheckScratchpad, OversizedAccessTraps)
+{
+    ParanoidScope scope(false);
+    Scratchpad spm(64);
+    EXPECT_THROW(spm.read(0, 9), SimPanic);
+    EXPECT_THROW(spm.write(0, 0, 9), SimPanic);
+    EXPECT_THROW(spm.read(0, 0), SimPanic);
+}
+
+TEST(CheckFunctionalMemory, MisalignedAndCrossPageAccessesTrap)
+{
+    FunctionalMemory mem;
+    EXPECT_THROW(mem.read(3, 8), SimPanic);      // misaligned
+    EXPECT_THROW(mem.read(0, 9), SimPanic);      // size out of range
+    EXPECT_THROW(mem.write(kPageBytes - 4, 8, 1), SimPanic); // page cross
+}
+
+TEST(CheckFunctionalMemory, WrappingByteRangeTrapsUnderParanoid)
+{
+    ParanoidScope scope(true);
+    FunctionalMemory mem;
+    std::uint8_t buf[16] = {};
+    const Addr wrap = std::numeric_limits<Addr>::max() - 4;
+    EXPECT_THROW(mem.readBytes(wrap, buf, sizeof(buf)), SimPanic);
+    EXPECT_THROW(mem.writeBytes(wrap, buf, sizeof(buf)), SimPanic);
+}
+
+// ---------------------------------------------------------------------
+// Coroutine-handle invariants (sim/task.hh)
+// ---------------------------------------------------------------------
+
+CoTask<void>
+nop()
+{
+    co_return;
+}
+
+TEST(CheckCoTask, AwaitingMovedFromTaskTraps)
+{
+    CoTask<void> a = nop();
+    CoTask<void> b = std::move(a);
+    EXPECT_THROW(a.await_suspend(std::noop_coroutine()), SimPanic);
+    // b still owns the frame and is destroyed exactly once.
+}
+
+TEST(CheckCoTask, DoubleAwaitTraps)
+{
+    CoTask<void> t = nop();
+    std::coroutine_handle<> h = t.await_suspend(std::noop_coroutine());
+    EXPECT_THROW(t.await_suspend(std::noop_coroutine()), SimPanic);
+    h.resume(); // run to completion; ~CoTask destroys the frame once
+}
+
+TEST(CheckFuture, ResumeBeforeSetTrapsUnderParanoid)
+{
+    ParanoidScope scope(true);
+    Future<int> f;
+    EXPECT_THROW(f.await_resume(), SimPanic);
+}
+
+TEST(CheckFuture, SetTwiceTraps)
+{
+    Future<int> f;
+    auto s = f.setter();
+    s.set(1);
+    EXPECT_THROW(s.set(2), SimPanic);
+}
+
+} // namespace
+} // namespace duet

@@ -44,6 +44,17 @@ awaitFile(const fs::path &path)
         std::this_thread::sleep_for(5ms);
 }
 
+/** Die by @p sig for real: restore the default disposition first, so a
+ *  sanitizer's crash handler (which would turn the signal into exit 1
+ *  and break the pool's signal classification) cannot intercept it. */
+[[noreturn]] void
+dieBySignal(int sig)
+{
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    std::_Exit(99); // unreachable; keeps [[noreturn]] honest
+}
+
 // ------------------------- scheduling ---------------------------------
 
 TEST(Executor, DefaultJobCountIsPositive)
@@ -58,9 +69,12 @@ TEST(Executor, EmptyBatchIsANoOp)
 
 TEST(Executor, ResultsComeBackInSubmissionOrder)
 {
-    // Adversarial completion order, deterministically: job 0 waits for
-    // a file job 1 creates, so job 1 *must* finish first — yet the
-    // result vector must still be in submission order.
+    // Adversarial completion order, deterministically: job 0 blocks
+    // until the *parent* has delivered job 1's completion (the callback
+    // below writes the flag), so completion order is provably {1, 0} —
+    // yet the result vector must still be in submission order. Having
+    // job 1 itself write the flag would race: both result frames could
+    // land in one parent poll window and be drained in slot order.
     const fs::path flag =
         fs::path(::testing::TempDir()) / "duet_executor_order_flag";
     fs::remove(flag);
@@ -69,10 +83,7 @@ TEST(Executor, ResultsComeBackInSubmissionOrder)
         awaitFile(flag);
         return std::string("first-submitted");
     });
-    jobs.push_back([&flag] {
-        std::ofstream(flag) << "go";
-        return std::string("second-submitted");
-    });
+    jobs.push_back([] { return std::string("second-submitted"); });
 
     std::vector<std::size_t> completion;
     ExecutorConfig cfg;
@@ -80,6 +91,8 @@ TEST(Executor, ResultsComeBackInSubmissionOrder)
     std::vector<JobResult> results =
         runJobs(jobs, cfg, [&](std::size_t idx, const JobResult &) {
             completion.push_back(idx);
+            if (idx == 1)
+                std::ofstream(flag) << "go";
         });
     fs::remove(flag);
 
@@ -129,7 +142,7 @@ TEST(Executor, AbortingWorkerBecomesFailedResultBatchContinues)
 TEST(Executor, SegfaultSignalIsNamedInTheDiagnostic)
 {
     std::vector<Job> jobs{[]() -> std::string {
-        std::raise(SIGSEGV);
+        dieBySignal(SIGSEGV);
         return "unreachable";
     }};
     std::vector<JobResult> results = runJobs(jobs, ExecutorConfig{});
@@ -466,7 +479,7 @@ TEST(Pool, SurvivesACrashedWorkerAndKeepsServing)
     cfg.jobs = 2;
     ProcessPool pool(cfg);
     JobResult crash, after;
-    pool.submit([]() -> std::string { std::raise(SIGSEGV); return ""; },
+    pool.submit([]() -> std::string { dieBySignal(SIGSEGV); return ""; },
                 [&](JobResult &&res) { crash = std::move(res); });
     pool.drain();
     // The pool object outlives the crash: later submissions still run.

@@ -252,8 +252,13 @@ TEST(Validate, DefaultsResolveAndOverridesLayer)
 SweepRow
 faultInjectingRunner(const SweepScenario &sc, const SystemConfig &cfg)
 {
-    if (sc.params.size == 13)
+    if (sc.params.size == 13) {
+        // Default disposition first: a sanitizer's SEGV handler would
+        // otherwise turn this into exit 1 and break the signal-death
+        // classification this seam exists to exercise.
+        std::signal(SIGSEGV, SIG_DFL);
         std::raise(SIGSEGV);
+    }
     if (sc.params.size == 14)
         std::this_thread::sleep_for(std::chrono::seconds(60));
     return runScenario(sc, cfg);

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Simulator-specific source lint: repo rules clang-tidy cannot express.
+
+Run over one or more source roots (default: src/ next to this script):
+
+    python3 tools/lint_sim.py src
+
+Rules (R1-R6):
+
+  R1 fork-outside-executor   `fork(` may appear only in the process-pool
+                             executor (src/sim/executor.cc). Everything
+                             else must submit jobs through ProcessPool so
+                             crash isolation, reaping and frame framing
+                             stay in one place.
+  R2 no-const-cast           `const_cast` is banned. Restructure the
+                             owner (see EventQueue's vector heap) instead
+                             of stealing mutability.
+  R3 naked-new-delete        `new`/`delete` expressions are banned
+                             outside the executor: simulator state is
+                             RAII-owned (make_unique/vector). `= delete;`
+                             declarations are fine.
+  R4 unchecked-memcpy        every `memcpy(` must be preceded (within
+                             {MEMCPY_WINDOW} code lines, same line
+                             included) by a visible size check: a
+                             DUET_ASSERT/DUET_DCHECK/simAssert, a
+                             checkAccess() helper, a std::min clamp, a
+                             static_assert, or an `if` on a
+                             size/len/chunk/byte/capacity expression.
+                             Append `// lint: checked-memcpy(<why>)` only
+                             when the bound is established further away.
+  R5 no-unbounded-cstring    strcpy/strcat/sprintf/vsprintf/gets are
+                             banned; use bounded std::string/snprintf.
+  R6 header-guard            every .hh must open with an include guard
+                             named `DUET_...` (pragma once is not used in
+                             this codebase).
+
+Comments and string/char literals are stripped before matching, so prose
+like "a new coroutine" never trips R3. Raw string literals are not
+handled (none exist in this repo; add handling before introducing one).
+
+Exit status: 0 = clean, 1 = findings (one `file:line: rule: message` per
+line), 2 = usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+MEMCPY_WINDOW = 8
+
+# Files allowed to fork()/new: the fork-per-job executor owns process
+# lifecycles (R1) and is the designated home for any future manual
+# allocation arena (R3).
+FORK_ALLOWLIST = {"src/sim/executor.cc"}
+NEW_ALLOWLIST = {"src/sim/executor.cc"}
+
+RE_FORK = re.compile(r"\bfork\s*\(")
+RE_CONST_CAST = re.compile(r"\bconst_cast\b")
+RE_NEW = re.compile(r"\bnew\b")
+RE_DELETE = re.compile(r"\bdelete\s*(\[\s*\]\s*)?[A-Za-z_:(*]")
+RE_MEMCPY = re.compile(r"\bmemcpy\s*\(")
+RE_CSTRING = re.compile(r"\b(strcpy|strcat|sprintf|vsprintf|gets)\s*\(")
+RE_MEMCPY_OK = re.compile(
+    r"DUET_ASSERT|DUET_DCHECK|simAssert|checkAccess\s*\(|std::min|"
+    r"static_assert|if\s*\(.*(size|len|chunk|byte|Byte|capacity|sizeof)"
+)
+RE_MEMCPY_ESCAPE = re.compile(r"lint:\s*checked-memcpy")
+RE_GUARD = re.compile(r"^\s*#\s*ifndef\s+DUET_\w+")
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, and return (code_lines, comment_lines)."""
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                cur_code.append("'")
+                i += 1
+                continue
+            cur_code.append(ch)
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == quote:
+                cur_code.append(quote)
+                state = "code"
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(ch)
+            i += 1
+        else:  # block_comment
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            cur_comment.append(ch)
+            i += 1
+    if cur_code or cur_comment:
+        code.append("".join(cur_code))
+        comments.append("".join(cur_comment))
+    return code, comments
+
+
+def lint_file(path, rel, findings):
+    text = path.read_text(encoding="utf-8")
+    code_lines, comment_lines = strip_code(text)
+    raw_lines = text.splitlines()
+
+    def report(lineno, rule, msg):
+        findings.append(f"{rel}:{lineno}: {rule}: {msg}")
+
+    for idx, line in enumerate(code_lines):
+        lineno = idx + 1
+        if RE_FORK.search(line) and rel not in FORK_ALLOWLIST:
+            report(lineno, "fork-outside-executor",
+                   "fork() is the executor's job; submit through "
+                   "ProcessPool instead")
+        if RE_CONST_CAST.search(line):
+            report(lineno, "no-const-cast",
+                   "const_cast is banned; restructure ownership instead")
+        if rel not in NEW_ALLOWLIST:
+            if RE_NEW.search(line):
+                report(lineno, "naked-new-delete",
+                       "naked new is banned; use make_unique/containers")
+            if RE_DELETE.search(line):
+                report(lineno, "naked-new-delete",
+                       "naked delete is banned; use RAII ownership")
+        if RE_CSTRING.search(line):
+            report(lineno, "no-unbounded-cstring",
+                   "unbounded C string call; use std::string/snprintf")
+        if RE_MEMCPY.search(line):
+            lo = max(0, idx - MEMCPY_WINDOW)
+            window = code_lines[lo:idx + 1]
+            escapes = [raw_lines[j] if j < len(raw_lines) else ""
+                       for j in range(lo, idx + 1)]
+            checked = any(RE_MEMCPY_OK.search(l) for l in window) or \
+                any(RE_MEMCPY_ESCAPE.search(comment_lines[j]) or
+                    RE_MEMCPY_ESCAPE.search(escapes[j - lo])
+                    for j in range(lo, idx + 1))
+            if not checked:
+                report(lineno, "unchecked-memcpy",
+                       f"no size check within {MEMCPY_WINDOW} lines "
+                       "before this memcpy (assert the bound, or mark "
+                       "`// lint: checked-memcpy(<why>)`)")
+
+    if path.suffix == ".hh":
+        if not any(RE_GUARD.match(l) for l in code_lines):
+            report(1, "header-guard",
+                   "missing `#ifndef DUET_...` include guard")
+
+
+def main(argv):
+    roots = [Path(a) for a in argv[1:] if not a.startswith("-")]
+    if any(a.startswith("-") for a in argv[1:]):
+        print(__doc__)
+        return 2
+    if not roots:
+        roots = [Path(__file__).resolve().parent.parent / "src"]
+    base = None
+    for root in roots:
+        if not root.exists():
+            print(f"lint_sim: no such path: {root}", file=sys.stderr)
+            return 2
+    findings = []
+    nfiles = 0
+    for root in roots:
+        root = root.resolve()
+        # Report paths relative to the repo root (the directory holding
+        # src/), so allowlists match however the script is invoked.
+        repo = root.parent if root.name == "src" else root
+        files = [root] if root.is_file() else sorted(
+            p for p in root.rglob("*") if p.suffix in (".cc", ".hh"))
+        for path in files:
+            rel = path.relative_to(repo).as_posix()
+            nfiles += 1
+            lint_file(path, rel, findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_sim: {len(findings)} finding(s) in {nfiles} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint_sim: OK ({nfiles} files clean)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
