@@ -8,10 +8,10 @@
 #define DUET_CACHE_COHERENCE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "mem/addr.hh"
 #include "mem/functional_mem.hh"
+#include "sim/inline_function.hh"
 #include "sim/latency_trace.hh"
 #include "sim/types.hh"
 
@@ -42,11 +42,18 @@ lineStateName(LineState s)
 
 /**
  * A processor-side (or eFPGA-side, for the Proxy Cache) request into a
- * private cache.
+ * private cache. Move-only: the completion callback's capture lives
+ * inline in the request, so a CacheReq travels through MSHR queues and
+ * event captures without touching the allocator.
  */
 struct CacheReq
 {
     enum class Kind : std::uint8_t { Load, Store, Amo };
+
+    /** Completion callback type: result is the load value / AMO old
+     *  value / 0 for stores. 40 inline bytes cover every capture in the
+     *  tree (core store/AMO continuations capture [this, addr, setter]). */
+    using DoneFn = InlineFunction<void(std::uint64_t), 40>;
 
     Kind kind = Kind::Load;
     Addr addr = 0;               ///< byte address (not line-aligned)
@@ -59,7 +66,7 @@ struct CacheReq
     LatencyTrace *trace = nullptr;
 
     /** Completion callback: load value / AMO old value / 0 for stores. */
-    std::function<void(std::uint64_t)> done;
+    DoneFn done;
 };
 
 /** Timing parameters of a private cache. */

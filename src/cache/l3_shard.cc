@@ -16,6 +16,70 @@ L3Shard::L3Shard(ClockDomain &clk, std::string name,
 {
 }
 
+L3Shard::DirMap::DirMap()
+    : slots_(1024, {kEmpty, 0}), mask_(slots_.size() - 1)
+{
+}
+
+std::size_t
+L3Shard::DirMap::slotOf(Addr la) const
+{
+    // Fibonacci multiply-shift over the line number; the high product
+    // bits spread the sequential line addresses workloads generate.
+    const std::uint64_t h = (la >> 6) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+}
+
+void
+L3Shard::DirMap::grow()
+{
+    std::vector<std::pair<Addr, std::uint32_t>> old(slots_.size() * 2,
+                                                    {kEmpty, 0});
+    old.swap(slots_);
+    mask_ = slots_.size() - 1;
+    for (const auto &[key, idx] : old) {
+        if (key == kEmpty)
+            continue;
+        std::size_t s = slotOf(key);
+        while (slots_[s].first != kEmpty)
+            s = (s + 1) & mask_;
+        slots_[s] = {key, idx};
+    }
+}
+
+L3Shard::DirEntry &
+L3Shard::DirMap::operator[](Addr la)
+{
+    std::size_t s = slotOf(la);
+    while (slots_[s].first != kEmpty) {
+        if (slots_[s].first == la)
+            return entries_[slots_[s].second];
+        s = (s + 1) & mask_;
+    }
+    // Miss: create. Grow first at 1/2 load so probe runs stay short
+    // (the insertion slot may move, so re-probe after).
+    if (entries_.size() * 2 >= slots_.size()) {
+        grow();
+        s = slotOf(la);
+        while (slots_[s].first != kEmpty)
+            s = (s + 1) & mask_;
+    }
+    slots_[s] = {la, static_cast<std::uint32_t>(entries_.size())};
+    return entries_.emplace_back();
+}
+
+const L3Shard::DirEntry *
+L3Shard::DirMap::find(Addr la) const
+{
+    std::size_t s = slotOf(la);
+    while (slots_[s].first != kEmpty) {
+        if (slots_[s].first == la)
+            return &entries_[slots_[s].second];
+        s = (s + 1) & mask_;
+    }
+    return nullptr;
+}
+
 void
 L3Shard::registerStats(StatRegistry &reg) const
 {
@@ -32,29 +96,26 @@ L3Shard::registerStats(StatRegistry &reg) const
 std::vector<std::uint16_t>
 L3Shard::holders(Addr line_addr) const
 {
-    auto it = dir_.find(lineAlign(line_addr));
-    if (it == dir_.end())
+    const DirEntry *e = dir_.find(lineAlign(line_addr));
+    if (!e || e->state == DirState::U)
         return {};
-    const DirEntry &e = it->second;
-    if (e.state == DirState::U)
-        return {};
-    if (e.state == DirState::EM)
-        return {e.owner};
-    return e.sharers;
+    if (e->state == DirState::EM)
+        return {e->owner};
+    return e->sharers;
 }
 
 bool
 L3Shard::isOwned(Addr line_addr) const
 {
-    auto it = dir_.find(lineAlign(line_addr));
-    return it != dir_.end() && it->second.state == DirState::EM;
+    const DirEntry *e = dir_.find(lineAlign(line_addr));
+    return e && e->state == DirState::EM;
 }
 
 bool
 L3Shard::isBusy(Addr line_addr) const
 {
-    auto it = dir_.find(lineAlign(line_addr));
-    return it != dir_.end() && it->second.busy;
+    const DirEntry *e = dir_.find(lineAlign(line_addr));
+    return e && e->busy;
 }
 
 Tick

@@ -15,10 +15,9 @@
 #ifndef DUET_CACHE_L3_SHARD_HH
 #define DUET_CACHE_L3_SHARD_HH
 
+#include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
@@ -41,7 +40,7 @@ struct L3Line
 class L3Shard
 {
   public:
-    using SendFn = std::function<void(Message)>;
+    using SendFn = InlineFunction<void(Message), 32>;
 
     L3Shard(ClockDomain &clk, std::string name, const L3ShardParams &params,
             FunctionalMemory &mem, NodeId self);
@@ -81,6 +80,39 @@ class L3Shard
         Message cur;              ///< request being served while busy
         unsigned acksNeeded = 0;  ///< outstanding InvAcks
         std::deque<Message> pending;
+    };
+
+    /**
+     * Directory index: line address -> DirEntry. Entries are created on
+     * first touch and never erased, and every receive() is one lookup, so
+     * this sits on the coherence hot path — std::unordered_map's
+     * prime-modulo hashing was the single largest cost in scenario
+     * profiles. A power-of-two open-addressing table (multiply-shift
+     * hash, linear probing) over pointer-stable deque storage replaces
+     * it: references handed out stay valid across table growth.
+     */
+    class DirMap
+    {
+      public:
+        DirMap();
+
+        /// Get-or-create the entry for line-aligned address @p la.
+        DirEntry &operator[](Addr la);
+
+        /// Probe without creating; null when @p la was never touched.
+        const DirEntry *find(Addr la) const;
+
+      private:
+        /// Occupied-slot marker: line-aligned keys can never equal it.
+        static constexpr Addr kEmpty = ~Addr{0};
+
+        std::size_t slotOf(Addr la) const;
+        void grow();
+
+        /// Open-addressing table of {key, index into entries_}.
+        std::vector<std::pair<Addr, std::uint32_t>> slots_;
+        std::deque<DirEntry> entries_;
+        std::size_t mask_;
     };
 
     /** Serialize on the shard pipeline; returns operation start tick. */
@@ -124,7 +156,7 @@ class L3Shard
     SendFn send_;
 
     CacheArray<L3Line> array_;
-    std::unordered_map<Addr, DirEntry> dir_;
+    DirMap dir_;
     Tick busyUntil_ = 0;
     Tick memBusyUntil_ = 0;
 };

@@ -8,7 +8,7 @@ namespace duet
 PrivateCache::PrivateCache(ClockDomain &clk, std::string name,
                            const PrivateCacheParams &params,
                            FunctionalMemory &mem, NodeId self,
-                           std::function<NodeId(Addr)> home_of,
+                           HomeFn home_of,
                            LatencyTrace::Cat domain_cat)
     : clk_(clk), name_(std::move(name)), params_(params), mem_(mem),
       self_(self), homeOf_(std::move(home_of)), domainCat_(domain_cat),
@@ -58,9 +58,10 @@ PrivateCache::request(CacheReq req)
     Tick arrival = clk_.eventQueue().now();
     Tick start = startOp();
     Tick done = start + clk_.cyclesToTicks(params_.hitLatency);
-    clk_.eventQueue().schedule(done, [this, req = std::move(req), arrival] {
-        process(req, arrival);
-    });
+    clk_.eventQueue().schedule(done,
+                               [this, req = std::move(req), arrival]() mutable {
+                                   process(std::move(req), arrival);
+                               });
 }
 
 void
@@ -94,7 +95,6 @@ PrivateCache::process(CacheReq req, Tick arrival)
     if (req.kind == CacheReq::Kind::Amo) {
         // Atomics execute at the home directory after global invalidation.
         std::uint32_t id = nextTxnId_++;
-        outstandingAmos_[id] = req;
         amosForwarded.inc();
         Message m;
         m.type = MsgType::Atomic;
@@ -107,6 +107,9 @@ PrivateCache::process(CacheReq req, Tick arrival)
         m.amoOp = req.amoOp;
         m.txnId = id;
         m.trace = req.trace;
+        // Park the request (it is move-only now — the message above was
+        // built from it first) until the AtomicResp comes back.
+        outstandingAmos_.emplace(id, std::move(req));
         send_(m);
         return;
     }

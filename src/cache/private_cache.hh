@@ -19,7 +19,6 @@
 #define DUET_CACHE_PRIVATE_CACHE_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,9 +46,11 @@ struct PrivateLine
 class PrivateCache
 {
   public:
-    using SendFn = std::function<void(Message)>;
+    using SendFn = InlineFunction<void(Message), 32>;
     /** Called whenever a line leaves the cache (Inv/RecallM/eviction). */
-    using InvalidateHook = std::function<void(Addr, std::uint64_t meta)>;
+    using InvalidateHook = InlineFunction<void(Addr, std::uint64_t meta), 32>;
+    /** Maps a line address to its home directory endpoint. */
+    using HomeFn = InlineFunction<NodeId(Addr), 16>;
 
     /**
      * @param clk        clock domain the cache logic runs in (fast for CPU
@@ -64,7 +65,7 @@ class PrivateCache
      */
     PrivateCache(ClockDomain &clk, std::string name,
                  const PrivateCacheParams &params, FunctionalMemory &mem,
-                 NodeId self, std::function<NodeId(Addr)> home_of,
+                 NodeId self, HomeFn home_of,
                  LatencyTrace::Cat domain_cat);
 
     /** Wire the network transmit path (mesh inject or a CDC wrapper). */
@@ -135,7 +136,7 @@ class PrivateCache
     PrivateCacheParams params_;
     FunctionalMemory &mem_;
     NodeId self_;
-    std::function<NodeId(Addr)> homeOf_;
+    HomeFn homeOf_;
     LatencyTrace::Cat domainCat_;
     SendFn send_;
     InvalidateHook invHook_;

@@ -6,8 +6,7 @@ namespace duet
 {
 
 Core::Core(ClockDomain &clk, std::string name, unsigned tile,
-           PrivateCache &l2, Mesh &mesh,
-           std::function<NodeId(Addr)> mmio_route)
+           PrivateCache &l2, Mesh &mesh, MmioRoute mmio_route)
     : clk_(clk), name_(std::move(name)), tile_(tile), l2_(l2), mesh_(mesh),
       mmioRoute_(std::move(mmio_route))
 {

@@ -38,9 +38,11 @@ class Core
      * @param mesh       the NoC, for MMIO traffic
      * @param mmio_route maps an MMIO address to the owning Control Hub
      */
+    /** Maps an MMIO address to the owning Control Hub endpoint. */
+    using MmioRoute = InlineFunction<NodeId(Addr), 16>;
+
     Core(ClockDomain &clk, std::string name, unsigned tile,
-         PrivateCache &l2, Mesh &mesh,
-         std::function<NodeId(Addr)> mmio_route);
+         PrivateCache &l2, Mesh &mesh, MmioRoute mmio_route);
 
     /** Begin executing @p main at tick 0 (first clock edge). */
     void start(std::function<CoTask<void>(Core &)> main);
@@ -110,7 +112,7 @@ class Core
     L1Cache l1_;
     PrivateCache &l2_;
     Mesh &mesh_;
-    std::function<NodeId(Addr)> mmioRoute_;
+    MmioRoute mmioRoute_;
     std::function<CoTask<void>(Core &, std::uint64_t)> irqHandler_;
     std::unordered_map<std::uint32_t, Future<std::uint64_t>::Setter>
         pendingMmio_;

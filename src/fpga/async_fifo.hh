@@ -17,11 +17,11 @@
 #define DUET_FPGA_ASYNC_FIFO_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 
 #include "sim/clock.hh"
+#include "sim/inline_function.hh"
 #include "sim/latency_trace.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -56,11 +56,10 @@ class AsyncFifo
         simAssert(capacity_ > 0, "FIFO needs capacity");
     }
 
+    using DrainFn = InlineFunction<void(T &&), 32>;
+
     /** The consumer side: invoked in the reader clock domain, in order. */
-    void setDrain(std::function<void(T &&)> drain)
-    {
-        drain_ = std::move(drain);
-    }
+    void setDrain(DrainFn drain) { drain_ = std::move(drain); }
 
     /** Occupancy from the producer's point of view. */
     bool full() const { return occupancy_ >= capacity_; }
@@ -119,7 +118,7 @@ class AsyncFifo
     unsigned occupancy_ = 0;
     Tick lastDeliver_ = 0;
     bool hasDelivered_ = false;
-    std::function<void(T &&)> drain_;
+    DrainFn drain_;
 };
 
 } // namespace duet

@@ -17,11 +17,16 @@
  *            --jobs 8 --csv out.csv
  *   duet_sim --derive out.jsonl --csv out.csv
  *
- * Sweep scenarios run in forked worker processes (sim/executor.hh),
- * `--jobs` at a time; results are reassembled in scenario order, so the
- * aggregated outputs are byte-identical whatever the job count, and a
+ * Sweep scenarios run on a resident worker-process pool
+ * (sim/executor.hh): `--jobs` workers are forked once and fed request
+ * lines over pipes, results are reassembled in scenario order — so the
+ * aggregated outputs are byte-identical whatever the job count — and a
  * crashing or hanging scenario becomes a failed row instead of killing
  * the batch.
+ *
+ * `--bench` runs the simulator's own performance benchmark (the fixed
+ * reference scenario set, in-process) and writes the duet-bench-sim/1
+ * JSON report; see sim/bench.hh.
  */
 
 #include <cstdio>
@@ -36,6 +41,7 @@
 
 #include "service/scenario_service.hh"
 #include "service/serve.hh"
+#include "sim/bench.hh"
 #include "sim/check.hh"
 #include "sim/config.hh"
 #include "sim/sweep.hh"
@@ -400,6 +406,8 @@ main(int argc, char **argv)
     if (opts.paranoid)
         setParanoidChecks(true);
 
+    if (opts.bench)
+        return runBenchMode(opts);
     if (opts.serve)
         return runServe(opts);
     if (!opts.derivePath.empty())

@@ -162,20 +162,38 @@ class FunctionalMemory
     const Page *
     findPage(Addr a) const
     {
-        auto it = pages_.find(pageNumber(a));
-        return it == pages_.end() ? nullptr : it->second.get();
+        const Addr pn = pageNumber(a);
+        if (lastPage_ && lastPageNum_ == pn)
+            return lastPage_;
+        auto it = pages_.find(pn);
+        if (it == pages_.end())
+            return nullptr;
+        lastPageNum_ = pn;
+        lastPage_ = it->second.get();
+        return lastPage_;
     }
 
     Page &
     touchPage(Addr a)
     {
-        auto &slot = pages_[pageNumber(a)];
+        const Addr pn = pageNumber(a);
+        if (lastPage_ && lastPageNum_ == pn)
+            return *lastPage_;
+        auto &slot = pages_[pn];
         if (!slot)
             slot = std::make_unique<Page>();
+        lastPageNum_ = pn;
+        lastPage_ = slot.get();
         return *slot;
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    // 1-entry MRU page cache: workload access streams are page-local, so
+    // this short-circuits most of the per-access hash lookups. Safe to
+    // keep across inserts because Page storage is heap-stable (the map
+    // rehashes unique_ptrs, not the pages). Never caches absence.
+    mutable Addr lastPageNum_ = 0;
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace duet

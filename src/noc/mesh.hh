@@ -16,11 +16,11 @@
 #define DUET_NOC_MESH_HH
 
 #include <array>
-#include <functional>
 #include <vector>
 
 #include "noc/message.hh"
 #include "sim/clock.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -43,7 +43,7 @@ struct MeshConfig
 class Mesh
 {
   public:
-    using Sink = std::function<void(const Message &)>;
+    using Sink = InlineFunction<void(const Message &), 32>;
 
     Mesh(ClockDomain &clk, const MeshConfig &cfg);
 

@@ -44,6 +44,34 @@ deriveSingleRow(SweepRow &row)
     row = std::move(one.front());
 }
 
+/**
+ * Resident-worker body: replay one serialized request line. The parent
+ * already validated the request against the same base configuration,
+ * so parse/validate failures here are unreachable short of a protocol
+ * bug — they still produce a row (with an error) rather than a crash,
+ * because a diagnosable row beats a dead worker.
+ */
+std::string
+runRequestLine(const std::string &line, const SystemConfig &base,
+               SweepRow (*runner)(const SweepScenario &,
+                                  const SystemConfig &))
+{
+    ScenarioRequest req;
+    SweepScenario sc;
+    SystemConfig cfg;
+    SweepRow row;
+    std::string err;
+    if (!parseScenarioRequest(line, req, err) ||
+        !validateRequest(req, base, sc, cfg, err)) {
+        row.error = "worker rejected request: " + err;
+    } else {
+        row = runner(sc, cfg);
+    }
+    std::ostringstream os;
+    writeJsonLine(os, row);
+    return os.str();
+}
+
 } // namespace
 
 const char *
@@ -351,7 +379,16 @@ ScenarioService::ScenarioService(const SystemConfig &base,
                                  ResponseHandler handler)
     : base_(base), opts_(opts), handler_(std::move(handler)),
       pool_(ExecutorConfig{opts.jobs, opts.timeoutSeconds,
-                           opts.maxInFlight})
+                           opts.maxInFlight},
+            // The service function is captured before any worker forks;
+            // workers inherit the base config and runner through their
+            // address-space snapshot.
+            [base,
+             runner = opts.runner != nullptr ? opts.runner
+                                             : &runScenario](
+                const std::string &line) {
+                return runRequestLine(line, base, runner);
+            })
 {
 }
 
@@ -384,17 +421,21 @@ ScenarioService::submit(const ScenarioRequest &req)
         return;
     }
 
-    auto runner = opts_.runner != nullptr ? opts_.runner : &runScenario;
-    // The scenario and per-request config are copied into the closure:
-    // the forked worker sees them through its address-space snapshot,
-    // and the parent's copies stay alive until the worker is reaped.
-    Job job = [sc, cfg, runner]() {
-        std::ostringstream os;
-        writeJsonLine(os, runner(sc, cfg));
-        return os.str();
-    };
+    // Ship the *resolved* scenario as one request line: the worker
+    // replays exactly what the parent validated (resolveParams() is
+    // idempotent on resolved values), and the id stays parent-side —
+    // the worker's answer is a plain SweepRow line either way.
+    ScenarioRequest wire = req;
+    wire.id.clear();
+    wire.cores = sc.params.cores;
+    wire.size = sc.params.size;
+    wire.seed = sc.params.seed;
+    std::ostringstream os;
+    writeScenarioRequest(os, wire);
+    std::string line = os.str();
+    line.pop_back(); // drop the newline; the wire frame is the delimiter
     pool_.submit(
-        std::move(job),
+        std::move(line),
         [this, id = req.id, sc](JobResult &&jr) mutable {
             ScenarioResponse resp;
             resp.id = std::move(id);

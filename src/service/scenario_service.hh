@@ -4,9 +4,13 @@
  * goes through. A ScenarioRequest names a workload configuration (plus
  * optional per-request system-shape overrides and a client-chosen
  * request id); the service validates it against the workload registry's
- * bounds and schedules it on the fork-per-job process pool
+ * bounds and schedules it on the resident worker pool
  * (sim/executor.hh), delivering a ScenarioResponse — a SweepRow plus a
- * status — through a callback as each scenario completes.
+ * status — through a callback as each scenario completes. Workers are
+ * forked once and fed serialized request lines over a pipe, so a sweep
+ * pays the fork/fault-in/teardown bill per *worker*, not per scenario,
+ * while a crash or timeout still fails only the one request the dead
+ * worker was holding.
  *
  * Front-ends are thin clients of this layer:
  *
@@ -125,11 +129,10 @@ bool validateRequest(const ScenarioRequest &req, const SystemConfig &base,
 
 /**
  * The long-lived scenario scheduler: validates requests, runs each one
- * in a forked worker on the process pool, and delivers a response per
- * request — in completion order — through the handler. Single-threaded
- * like the pool it wraps: responses are delivered inside submit(),
- * pump() and drain(), and the handler must not call back into the
- * service.
+ * on a resident worker process, and delivers a response per request —
+ * in completion order — through the handler. Single-threaded like the
+ * pool it wraps: responses are delivered inside submit(), pump() and
+ * drain(), and the handler must not call back into the service.
  */
 class ScenarioService
 {
@@ -199,7 +202,7 @@ class ScenarioService
     SystemConfig base_;
     Options opts_;
     ResponseHandler handler_;
-    ProcessPool pool_;
+    ResidentPool pool_;
     Summary summary_;
 };
 

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Size-bucketed frame arena for coroutine frames and Future states.
+ *
+ * Every simulated memory access spawns short-lived coroutine subtask
+ * frames and one-shot Future rendezvous states; with the default global
+ * allocator each of those is a malloc/free round trip, and together they
+ * dominate the scenario hot path. FrameArena recycles them instead:
+ *
+ *  - a System owns one FrameArena and makes it "current" for its
+ *    lifetime (ArenaScope); promise operator new/delete on the coroutine
+ *    types route through FrameArena::allocateRaw/deallocateRaw;
+ *  - blocks are rounded to 32-byte buckets; freed blocks go on a
+ *    per-bucket LIFO free list and are handed straight back on the next
+ *    same-bucket allocation — after warm-up, a steady-state scenario
+ *    allocates nothing;
+ *  - fresh storage is carved from bump-pointer slab chunks, so even the
+ *    warm-up path is one pointer bump, not a malloc;
+ *  - every block carries a 16-byte header naming its owning arena, so a
+ *    block allocated with no current arena (unit tests build bare
+ *    CoTasks/Futures) silently takes the global-new path, and a block is
+ *    always returned to the arena that carved it even if a different
+ *    arena is current at free time.
+ *
+ * Lifetime safety: the arena's state lives in a heap-allocated control
+ * block (Ctl) that is reference-held by its outstanding blocks. If a
+ * FrameArena is destroyed while blocks are still live (a coroutine frame
+ * that outlives its System), the Ctl is orphaned and self-deletes when
+ * the last block comes home — never a use-after-free, at worst a
+ * deferred release.
+ *
+ * Under --paranoid (and in sanitizer builds) each header carries a
+ * live/free magic so double-frees trip a DUET_DCHECK instead of
+ * corrupting a free list.
+ */
+
+#ifndef DUET_SIM_ARENA_HH
+#define DUET_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace duet
+{
+
+class ArenaScope;
+
+class FrameArena
+{
+  public:
+    /// Bucket granularity in bytes; also the minimum block payload.
+    static constexpr std::size_t kGranularity = 32;
+    /// Largest payload served from buckets; bigger goes to global new.
+    static constexpr std::size_t kMaxBlockBytes = 2048;
+    /// Slab chunk size carved into blocks by the bump pointer.
+    static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+    /// Opaque control block (defined in arena.cc); public only so the
+    /// implementation's block headers can name it.
+    struct Ctl;
+
+    FrameArena();
+    ~FrameArena();
+
+    FrameArena(const FrameArena &) = delete;
+    FrameArena &operator=(const FrameArena &) = delete;
+
+    /**
+     * Allocate @p n payload bytes from the current arena (free list,
+     * then slab bump), or from the global allocator when no arena is
+     * current / @p n exceeds kMaxBlockBytes. Never returns null.
+     */
+    static void *allocateRaw(std::size_t n);
+
+    /**
+     * Return a block from allocateRaw. Dispatches on the block header:
+     * global-new blocks are freed, arena blocks go back on their owning
+     * arena's free list (even if that arena is no longer current).
+     */
+    static void deallocateRaw(void *p);
+
+    /// @{ Introspection for tests and debugging.
+    std::size_t liveBlocks() const;
+    std::size_t slabBytes() const;
+    std::uint64_t freeListHits() const;
+    std::uint64_t slabCarves() const;
+    bool isCurrent() const;
+    /// @}
+
+  private:
+    friend class ArenaScope;
+
+    static thread_local Ctl *current_;
+
+    Ctl *ctl_;
+};
+
+/**
+ * RAII: make @p arena the thread's current frame arena, restoring the
+ * previous one on destruction. System holds one so every frame created
+ * during its lifetime pools in its arena.
+ */
+class ArenaScope
+{
+  public:
+    // Out of line: every access to the thread_local current_ stays in
+    // arena.cc. GCC 12's UBSan emits a bogus "store to null pointer"
+    // report when this store is inlined into other TUs at -O3 (the TLS
+    // address is never null — the program runs fine); scopes are
+    // created once per System, so nothing hot is lost.
+    explicit ArenaScope(FrameArena &arena);
+    ~ArenaScope();
+
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+  private:
+    FrameArena::Ctl *prev_;
+};
+
+/**
+ * Minimal intrusive refcounted pointer for single-threaded simulator
+ * state. S must expose a `std::uint32_t refs` field initialized to 1.
+ * Non-atomic on purpose: the simulator core is single-threaded per
+ * process (the sweep executor isolates via fork), and shared_ptr's
+ * atomic ops plus its separate control block were measurable on the
+ * Future hot path.
+ */
+template <typename S>
+class RcPtr
+{
+  public:
+    RcPtr() = default;
+
+    /// Adopt @p p (its refs must already count this reference).
+    explicit RcPtr(S *p) noexcept : p_(p) {}
+
+    RcPtr(const RcPtr &o) noexcept : p_(o.p_)
+    {
+        if (p_)
+            ++p_->refs;
+    }
+
+    RcPtr(RcPtr &&o) noexcept : p_(std::exchange(o.p_, nullptr)) {}
+
+    RcPtr &
+    operator=(const RcPtr &o) noexcept
+    {
+        RcPtr(o).swap(*this);
+        return *this;
+    }
+
+    RcPtr &
+    operator=(RcPtr &&o) noexcept
+    {
+        RcPtr(std::move(o)).swap(*this);
+        return *this;
+    }
+
+    ~RcPtr()
+    {
+        if (p_ && --p_->refs == 0)
+            delete p_;
+    }
+
+    void swap(RcPtr &o) noexcept { std::swap(p_, o.p_); }
+
+    S *operator->() const noexcept { return p_; }
+    S &operator*() const noexcept { return *p_; }
+    S *get() const noexcept { return p_; }
+    explicit operator bool() const noexcept { return p_ != nullptr; }
+    bool operator==(std::nullptr_t) const noexcept { return p_ == nullptr; }
+
+  private:
+    S *p_ = nullptr;
+};
+
+/** Construct an S (refs starts at 1) and wrap it in an RcPtr. */
+template <typename S, typename... Args>
+RcPtr<S>
+makeRc(Args &&...args)
+{
+    return RcPtr<S>(new S(std::forward<Args>(args)...));
+}
+
+} // namespace duet
+
+#endif // DUET_SIM_ARENA_HH

@@ -1,0 +1,217 @@
+#include "sim/bench.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "system/system.hh"
+#include "workload/registry.hh"
+
+namespace duet
+{
+namespace
+{
+
+constexpr unsigned kDefaultReps = 3;
+
+/** One reference scenario's measurements. */
+struct BenchRow
+{
+    std::string workload;
+    std::string app;   ///< Fig. 12 display name (e.g. "sort/64")
+    std::string mode;  ///< duet | cpu | fpsoc
+    unsigned cores = 0;
+    unsigned size = 0;
+    std::uint64_t seed = 0;
+    /// Functionally correct AND deterministic: every rep executed the
+    /// same event count and simulated the same ticks as the first.
+    bool correct = false;
+    std::uint64_t events = 0; ///< events executed by one rep
+    Tick ticks = 0;           ///< simulated ticks of one rep
+    double wallMsMin = 0.0;
+    double wallMsMean = 0.0;
+};
+
+double
+toMs(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+BenchRow
+benchScenario(const Workload &w, SystemMode mode, unsigned reps)
+{
+    BenchRow row;
+    row.workload = w.name;
+    row.mode = systemModeName(mode);
+
+    WorkloadParams p{};
+    std::string err;
+    if (!resolveParams(w, p, err)) {
+        // Registered defaults always resolve; if they ever stop doing
+        // so, report the row as broken rather than aborting the run.
+        row.app = "resolve failed: " + err;
+        return row;
+    }
+    row.cores = p.cores;
+    row.size = p.size;
+    row.seed = p.seed;
+
+    SystemConfig cfg;
+    cfg.mode = mode;
+    std::uint64_t events = 0;
+    Tick ticks = 0;
+    cfg.observer = [&](System &sys) {
+        // One System per run today; += keeps the count meaningful if a
+        // workload ever builds more than one.
+        events += sys.eventQueue().executed();
+        ticks = sys.eventQueue().now();
+    };
+
+    for (unsigned r = 0; r < reps; ++r) {
+        events = 0;
+        ticks = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        AppResult res = runWorkload(w, p, cfg);
+        double ms = toMs(std::chrono::steady_clock::now() - t0);
+        if (r == 0) {
+            row.app = res.name;
+            row.correct = res.correct;
+            row.events = events;
+            row.ticks = ticks;
+            row.wallMsMin = ms;
+            row.wallMsMean = ms;
+        } else {
+            // Reps replay a deterministic simulation; a drifting event
+            // or tick count means the bench measured two different runs.
+            row.correct = row.correct && res.correct &&
+                          events == row.events && ticks == row.ticks;
+            row.wallMsMin = std::min(row.wallMsMin, ms);
+            row.wallMsMean += ms;
+        }
+    }
+    row.wallMsMean /= reps;
+    return row;
+}
+
+/** events (or ticks) per wall-clock second at the min-wall rep. */
+double
+perSec(double count, double wall_ms)
+{
+    return wall_ms > 0.0 ? count * 1000.0 / wall_ms : 0.0;
+}
+
+void
+writeRow(std::ostream &os, const BenchRow &r)
+{
+    os << "    {\"workload\": " << jsonQuote(r.workload)
+       << ", \"app\": " << jsonQuote(r.app)
+       << ", \"mode\": " << jsonQuote(r.mode) << ", \"cores\": " << r.cores
+       << ", \"size\": " << r.size << ", \"seed\": " << r.seed
+       << ", \"correct\": " << (r.correct ? "true" : "false")
+       << ", \"events\": " << r.events << ", \"sim_ticks\": " << r.ticks
+       << std::fixed << std::setprecision(3)
+       << ", \"wall_ms_min\": " << r.wallMsMin
+       << ", \"wall_ms_mean\": " << r.wallMsMean << std::setprecision(0)
+       << ", \"events_per_sec\": "
+       << perSec(static_cast<double>(r.events), r.wallMsMin)
+       << ", \"ticks_per_sec\": "
+       << perSec(static_cast<double>(r.ticks), r.wallMsMin) << "}";
+    os.unsetf(std::ios_base::floatfield);
+}
+
+void
+writeBenchJson(std::ostream &os, const std::vector<BenchRow> &rows,
+               unsigned reps)
+{
+    std::uint64_t events = 0;
+    double ticks = 0.0;
+    double wallMin = 0.0;
+    bool allCorrect = true;
+    for (const BenchRow &r : rows) {
+        events += r.events;
+        ticks += static_cast<double>(r.ticks);
+        wallMin += r.wallMsMin;
+        allCorrect = allCorrect && r.correct;
+    }
+
+    os << "{\n"
+       << "  \"schema\": \"duet-bench-sim/1\",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        writeRow(os, rows[i]);
+        os << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n"
+       << "  \"totals\": {\"scenarios\": " << rows.size()
+       << ", \"events\": " << events << std::fixed << std::setprecision(0)
+       << ", \"sim_ticks\": " << ticks << std::setprecision(3)
+       << ", \"wall_ms_min\": " << wallMin << std::setprecision(0)
+       << ", \"events_per_sec\": " << perSec(static_cast<double>(events),
+                                             wallMin)
+       << ", \"ticks_per_sec\": " << perSec(ticks, wallMin)
+       << ", \"all_correct\": " << (allCorrect ? "true" : "false")
+       << "}\n"
+       << "}\n";
+    os.unsetf(std::ios_base::floatfield);
+}
+
+} // namespace
+
+int
+runBenchMode(const SimOptions &opts)
+{
+    const unsigned reps = opts.benchReps ? opts.benchReps : kDefaultReps;
+
+    // The reference set: every registered workload (Fig. 12 order) in
+    // all three modes at the registered defaults — the same 21 scenarios
+    // as the default Fig. 12 sweep, run in-process so the numbers track
+    // the simulator core, not the executor.
+    std::vector<BenchRow> rows;
+    for (const Workload &w : workloadRegistry()) {
+        for (SystemMode m :
+             {SystemMode::Duet, SystemMode::CpuOnly, SystemMode::Fpsoc}) {
+            rows.push_back(benchScenario(w, m, reps));
+        }
+    }
+    const bool allCorrect =
+        std::all_of(rows.begin(), rows.end(),
+                    [](const BenchRow &r) { return r.correct; });
+
+    std::ostringstream report;
+    writeBenchJson(report, rows, reps);
+
+    if (opts.benchOut.empty() || opts.benchOut == "-") {
+        std::cout << report.str();
+    } else {
+        // Atomic publication, like the sweep sinks: write PATH.tmp in
+        // full, then rename onto PATH, so a crashed or interrupted bench
+        // never leaves a truncated report.
+        const std::string tmp = opts.benchOut + ".tmp";
+        std::ofstream file(tmp);
+        if (!file) {
+            std::cerr << "duet_sim: cannot open " << tmp
+                      << " for writing\n";
+            return 1;
+        }
+        file << report.str();
+        file.close();
+        if (!file || std::rename(tmp.c_str(), opts.benchOut.c_str()) != 0) {
+            std::cerr << "duet_sim: failed to write " << opts.benchOut
+                      << "\n";
+            return 1;
+        }
+    }
+    return allCorrect ? 0 : 1;
+}
+
+} // namespace duet

@@ -45,8 +45,9 @@ simUsage()
         "usage: duet_sim [options]\n"
         "\n"
         "Runs one Duet benchmark scenario, a whole cross-product of\n"
-        "scenarios (--sweep), or a long-lived scenario server (--serve)\n"
-        "that schedules JSONL requests on the worker-process pool.\n"
+        "scenarios (--sweep), a long-lived scenario server (--serve)\n"
+        "that schedules JSONL requests on the worker-process pool, or\n"
+        "the simulator's own performance benchmark (--bench).\n"
         "\n"
         "scenario selection (with --sweep these take comma/range lists,\n"
         "e.g. `--cores 4,8` or `--cores 4:16:4`):\n"
@@ -96,6 +97,17 @@ simUsage()
         "                    (--jobs/--scenario-timeout-s apply; cache\n"
         "                    and clock flags set the base geometry that\n"
         "                    per-request overrides layer onto)\n"
+        "\n"
+        "bench mode:\n"
+        "  --bench           run the fixed reference scenario set (every\n"
+        "                    workload x duet/cpu/fpsoc at registered\n"
+        "                    defaults) in-process and report wall time,\n"
+        "                    events/sec and ticks/sec per scenario as one\n"
+        "                    JSON document (schema duet-bench-sim/1)\n"
+        "  --bench-reps N    repetitions per scenario; the report carries\n"
+        "                    the min and mean wall time (default: 3)\n"
+        "  --bench-out PATH  write the report to PATH (atomically, via\n"
+        "                    PATH.tmp + rename; `-` = stdout, the default)\n"
         "\n"
         "derive mode:\n"
         "  --derive PATH     recompute the derived columns (speedup,\n"
@@ -250,6 +262,22 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
                 err = "--scenario-timeout-s must be in [1, 86400]";
                 return ParseStatus::Error;
             }
+        } else if (flag == "--bench") {
+            opts.bench = true;
+        } else if (flag == "--bench-reps") {
+            if (!u32(opts.benchReps))
+                return ParseStatus::Error;
+            if (opts.benchReps == 0 || opts.benchReps > 1000) {
+                err = "--bench-reps must be in [1, 1000]";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--bench-out") {
+            if (!value(opts.benchOut))
+                return ParseStatus::Error;
+            if (opts.benchOut.empty()) {
+                err = "--bench-out needs a non-empty PATH (`-` = stdout)";
+                return ParseStatus::Error;
+            }
         } else if (flag == "--derive") {
             if (!value(opts.derivePath))
                 return ParseStatus::Error;
@@ -329,6 +357,30 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
 
     if (!opts.derivePath.empty() && opts.sweep) {
         err = "--derive and --sweep are mutually exclusive";
+        return ParseStatus::Error;
+    }
+    if (opts.bench) {
+        // The bench measures the fixed reference scenario set so the
+        // BENCH_sim.json trajectory stays comparable commit to commit; a
+        // selection or shape flag would silently change what the numbers
+        // mean.
+        if (opts.sweep || opts.serve || !opts.derivePath.empty()) {
+            err = "--bench is exclusive with --sweep/--serve/--derive";
+            return ParseStatus::Error;
+        }
+        if (selectionSeen || shapeSeen) {
+            err = "--bench runs the fixed reference scenario set; "
+                  "selection and shape flags do not apply";
+            return ParseStatus::Error;
+        }
+        if (opts.json || opts.stats || !opts.csvPath.empty() ||
+            !opts.jsonlPath.empty()) {
+            err = "--bench writes its own JSON report; use --bench-out";
+            return ParseStatus::Error;
+        }
+    }
+    if ((opts.benchReps != 0 || !opts.benchOut.empty()) && !opts.bench) {
+        err = "--bench-reps/--bench-out require --bench";
         return ParseStatus::Error;
     }
     if (opts.serve) {

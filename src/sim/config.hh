@@ -56,6 +56,9 @@ struct SimOptions
     bool quiet = false;          ///< force sweep progress off
     unsigned jobs = 0;            ///< worker processes (0 = hw conc.)
     unsigned scenarioTimeoutS = 0; ///< per-scenario wall clock, s
+    bool bench = false;           ///< run the reference perf-bench set
+    unsigned benchReps = 0;       ///< --bench repetitions (0 = default 3)
+    std::string benchOut;         ///< --bench JSON path ("-"/empty = stdout)
     std::string derivePath;       ///< --derive: JSONL to re-derive ("-" = stdin)
     std::string csvPath;          ///< --sweep CSV output ("-" = stdout)
     std::string jsonlPath;        ///< --sweep JSON-lines output

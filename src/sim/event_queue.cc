@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/check.hh"
 
@@ -8,15 +9,12 @@ namespace duet
 {
 
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::schedule(Tick when, Event cb)
 {
-    DUET_ASSERT(when >= now_,
-                "event scheduled in the past (tick " +
-                    std::to_string(when) + " < now " +
-                    std::to_string(now_) + ")");
     DUET_DCHECK(cb != nullptr, "null event callback scheduled");
-    heap_.push_back(Entry{when, seq_++, std::move(cb)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    const std::uint32_t slot = acquireSlot(when);
+    slotRef(slot) = std::move(cb);
+    commit(when, slot);
 }
 
 bool
@@ -27,17 +25,23 @@ EventQueue::run(Tick limit)
             now_ = limit;
             return false;
         }
-        // Detach the earliest entry before invoking it: pop_heap parks
-        // the winner at the back, where it can be moved out, so the
-        // callback is free to schedule new events (mutating the heap).
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        Entry e = std::move(heap_.back());
+        const Node n = heap_.front();
+        const Node last = heap_.back();
         heap_.pop_back();
-        DUET_DCHECK(e.when >= now_,
+        if (!heap_.empty())
+            siftDown(0, last);
+        DUET_DCHECK(n.when >= now_,
                     "event queue lost time monotonicity");
-        now_ = e.when;
+        now_ = n.when;
         ++executed_;
-        e.cb();
+        // Invoke in place: chunk storage is pointer-stable, so the
+        // callback may schedule new events (growing the slab) without
+        // invalidating its own captures, and its slot only joins the
+        // free-list after it returns.
+        Event &ev = slotRef(n.slot);
+        ev();
+        ev.reset();
+        free_.push_back(n.slot);
     }
     return true;
 }

@@ -5,15 +5,30 @@
  * Events are arbitrary callbacks scheduled at absolute ticks. Events
  * scheduled for the same tick execute in insertion order, which makes every
  * simulation bit-for-bit deterministic.
+ *
+ * Layout: the priority heap orders 24-byte Node records (when, seq, slot);
+ * the callbacks themselves sit in a chunked side slab indexed by slot and
+ * recycled through a LIFO free-list. Heap sift operations therefore move
+ * small PODs instead of type-erased callables; chunk storage is
+ * pointer-stable, so a due callback is invoked in place (no per-event
+ * move) even if it schedules further events; and — because Event stores
+ * its capture inline — steady-state scheduling touches malloc only when
+ * the slab itself grows. The pop order is a strict total order on
+ * (when, seq), identical to the previous single-vector implementation.
  */
 
 #ifndef DUET_SIM_EVENT_QUEUE_HH
 #define DUET_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
 #include <vector>
 
+#include "sim/check.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace duet
@@ -28,7 +43,14 @@ namespace duet
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * A scheduled callback. The inline budget covers the simulator's
+     * largest hot capture (a private-cache miss continuation carrying a
+     * CacheReq); bigger captures still work, they just heap-allocate.
+     */
+    using Event = InlineFunction<void(), 168>;
+    /// Historical name, kept for call sites that predate Event.
+    using Callback = Event;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -41,12 +63,32 @@ class EventQueue
      * Schedule @p cb to run at absolute tick @p when.
      * @pre when >= now()
      */
-    void schedule(Tick when, Callback cb);
+    void schedule(Tick when, Event cb);
+
+    /**
+     * Schedule a raw callable at absolute tick @p when, type-erasing it
+     * directly into its slab slot — the hot-path overload, skipping the
+     * intermediate Event move the by-value overload pays.
+     * @pre when >= now()
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, Event> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>>>
+    void
+    schedule(Tick when, F &&fn)
+    {
+        const std::uint32_t slot = acquireSlot(when);
+        slotRef(slot).emplace(std::forward<F>(fn));
+        commit(when, slot);
+    }
 
     /** Schedule @p cb to run @p delta ticks from now. */
-    void scheduleAfter(Tick delta, Callback cb)
+    template <typename F>
+    void
+    scheduleAfter(Tick delta, F &&fn)
     {
-        schedule(now_ + delta, std::move(cb));
+        schedule(now_ + delta, std::forward<F>(fn));
     }
 
     /**
@@ -64,33 +106,120 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /// @{ Slab introspection for tests: total slots ever created, and
+    /// how many are currently parked on the free-list.
+    std::size_t slabSlots() const { return slots_; }
+    std::size_t freeSlots() const { return free_.size(); }
+    /// @}
+
   private:
-    struct Entry
+    /** Heap record: the full (when, seq) ordering key plus the slab
+     *  slot holding the callback. Kept POD-small so sifts are cheap. */
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
 
-    struct Later
+    static bool
+    earlier(const Node &a, const Node &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    // A plain vector managed with std::push_heap/std::pop_heap — the
-    // exact algorithm std::priority_queue runs underneath, so the pop
-    // order (a strict total order on (when, seq)) is unchanged. Owning
-    // the container lets run() *move* the winning entry out after
-    // pop_heap parks it at the back; priority_queue::top() only offers
-    // a const reference, which forced a const_cast to steal the
-    // callback.
-    std::vector<Entry> heap_;
+    /** Restore the heap property after appending at index @p i. */
+    void
+    siftUp(std::size_t i)
+    {
+        const Node n = heap_[i];
+        while (i != 0) {
+            const std::size_t p = (i - 1) >> 2;
+            if (!earlier(n, heap_[p]))
+                break;
+            heap_[i] = heap_[p];
+            i = p;
+        }
+        heap_[i] = n;
+    }
+
+    /** Place @p n at index @p i and sink it to its heap position. */
+    void
+    siftDown(std::size_t i, Node n)
+    {
+        const std::size_t sz = heap_.size();
+        while (true) {
+            const std::size_t c0 = 4 * i + 1;
+            if (c0 >= sz)
+                break;
+            std::size_t best = c0;
+            const std::size_t end = std::min(c0 + 4, sz);
+            for (std::size_t c = c0 + 1; c < end; ++c)
+                if (earlier(heap_[c], heap_[best]))
+                    best = c;
+            if (!earlier(heap_[best], n))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = n;
+    }
+
+    /// Slab chunk geometry: 4096 events per chunk.
+    static constexpr std::uint32_t kChunkShift = 12;
+    static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+    Event &
+    slotRef(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & (kChunkSlots - 1)];
+    }
+
+    /** Claim an (empty) slab slot for an event due at @p when. */
+    std::uint32_t
+    acquireSlot(Tick when)
+    {
+        DUET_ASSERT(when >= now_,
+                    "event scheduled in the past (tick " +
+                        std::to_string(when) + " < now " +
+                        std::to_string(now_) + ")");
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            if (slots_ == chunks_.size() << kChunkShift)
+                chunks_.push_back(std::make_unique<Event[]>(kChunkSlots));
+            slot = slots_++;
+        }
+        return slot;
+    }
+
+    /** Publish the filled slot @p slot on the (when, seq) heap. */
+    void
+    commit(Tick when, std::uint32_t slot)
+    {
+        heap_.push_back(Node{when, seq_++, slot});
+        siftUp(heap_.size() - 1);
+    }
+
+    // A 4-ary implicit heap in a plain vector: half the depth of a
+    // binary heap, and the four children of a node share a cache line
+    // pair, so sifts touch fewer lines. (when, seq) keys are unique, so
+    // the pop sequence is a strict total order and independent of heap
+    // arity and intermediate layout: bit-identical to the seed
+    // implementation.
+    std::vector<Node> heap_;
+    /// Callback storage, indexed by Node::slot. Chunked so slots never
+    /// move: run() can invoke an event in place while the callback
+    /// grows the slab.
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    /// Slots handed out so far (all chunks before slots_ are constructed).
+    std::uint32_t slots_ = 0;
+    /// LIFO recycler of vacated slab slots.
+    std::vector<std::uint32_t> free_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

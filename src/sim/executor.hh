@@ -11,7 +11,7 @@
  * down. The pool is deliberately workload-agnostic — it schedules
  * closures returning serialized bytes, not sweep-specific types.
  *
- * Two layers:
+ * Three layers:
  *
  *  - ProcessPool: a long-lived, submit-as-you-go scheduler. Jobs are
  *    submitted over time (a scenario server feeding requests off a
@@ -20,11 +20,24 @@
  *    event loops can fold the pool's pipe fds into their own poll()
  *    via addReadFds()/timeoutHintMs().
  *
+ *  - ResidentPool: the same scheduling surface over *resident* workers.
+ *    Where ProcessPool forks one process per job (each child paying the
+ *    fork, copy-on-write fault-in and teardown bill — several
+ *    milliseconds per scenario on a warm tree), ResidentPool forks each
+ *    worker once and streams request frames to it; the worker runs a
+ *    service function per request and streams response frames back.
+ *    Jobs must therefore be *serializable* (a request string), not
+ *    closures. Each worker holds at most one request at a time, so a
+ *    crash or deadline overrun is still attributed to exactly one job,
+ *    classified with the same diagnostics as ProcessPool, and the dead
+ *    worker is replaced — per-job crash isolation survives, only the
+ *    per-job process cost is amortized away.
+ *
  *  - runJobs(): the fixed-batch convenience wrapper the `--sweep`
  *    runner was built on — submit everything, drain, return results
  *    **in submission order** regardless of completion order.
  *
- * Wire format (worker -> parent, one frame per job):
+ * Wire format (both directions, one frame per request/response):
  *
  *     [u32 payload length, host byte order][payload bytes]
  *
@@ -156,6 +169,66 @@ class ProcessPool
 
     /** True after an unrecoverable scheduler error (hard poll failure):
      *  every in-flight job has been failed and delivered. */
+    bool aborted() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The resident-worker pool. Same single-threaded scheduling contract as
+ * ProcessPool (completions run inside submit()/pump()/drain() and must
+ * not call back into the pool), but workers are forked once and reused:
+ * submit() takes an opaque request string, a free worker receives it as
+ * a length-prefixed frame, runs the service function over it, and ships
+ * one response frame back. The service function is captured at
+ * construction, *before* any worker forks, so workers inherit it
+ * through their address-space snapshot.
+ *
+ * Construction itself spawns nothing; workers fork lazily as requests
+ * need them, up to cfg.jobs. A worker that crashes, wedges past the
+ * per-job deadline, or exits early fails only the request it was
+ * holding; the pool forks a replacement for the next request.
+ */
+class ResidentPool
+{
+  public:
+    /** Worker body: request payload in, response payload out. Runs in
+     *  the forked worker; a thrown exception is reported to the parent
+     *  as a crashed job. */
+    using Service = std::function<std::string(const std::string &)>;
+    /** Called in the parent once the request's outcome is final. */
+    using Completion = std::function<void(JobResult &&result)>;
+
+    ResidentPool(const ExecutorConfig &cfg, Service service);
+    ~ResidentPool();
+    ResidentPool(const ResidentPool &) = delete;
+    ResidentPool &operator=(const ResidentPool &) = delete;
+
+    /**
+     * Schedule @p request. Dispatches to an idle worker immediately
+     * (forking one when all are busy and the worker budget allows),
+     * queues otherwise. Blocks pumping completions at the in-flight cap,
+     * exactly like ProcessPool::submit().
+     */
+    void submit(std::string request, Completion done);
+
+    /** See ProcessPool::pump(). */
+    std::size_t pump(int timeout_ms);
+
+    /** Block until every submitted request has completed. Workers stay
+     *  resident for future submissions. */
+    void drain();
+
+    /** Requests submitted but not yet completed (queued + running). */
+    std::size_t inFlight() const;
+
+    /** Event-loop integration; see ProcessPool. */
+    void addReadFds(std::vector<pollfd> &fds) const;
+    int timeoutHintMs() const;
+
+    /** True after an unrecoverable scheduler error. */
     bool aborted() const;
 
   private:

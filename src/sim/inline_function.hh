@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A move-only callable wrapper with inline (small-buffer) storage.
+ *
+ * The simulator schedules millions of short-lived callbacks per scenario:
+ * event-queue events, cache completion callbacks, NoC sinks. With
+ * std::function, every capture larger than the library's tiny SSO buffer
+ * (16 bytes on libstdc++) round-trips through malloc — one allocation and
+ * one free per simulated event. InlineFunction stores captures up to a
+ * caller-chosen byte budget inline (no allocation, trivially relocated by
+ * the owner's container) and falls back to the heap only for oversized or
+ * throwing-move captures, so the common simulator capture shapes
+ * ([this, msg], [this, req, arrival], [setter, value]) never allocate.
+ *
+ * Differences from std::function, on purpose:
+ *  - move-only (copying a capture would be a hidden cost; none of the
+ *    simulator's callback slots need copies),
+ *  - no target_type()/target() RTTI,
+ *  - invoking an empty InlineFunction is a DUET_ASSERT violation, not
+ *    std::bad_function_call.
+ *
+ * This header is on the event-queue include path: it must stay free of
+ * std::function (tools/lint_sim.py R7 bans it from the hot headers).
+ */
+
+#ifndef DUET_SIM_INLINE_FUNCTION_HH
+#define DUET_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace duet
+{
+
+template <typename Signature, std::size_t Bytes = 48>
+class InlineFunction;
+
+/**
+ * @tparam R/Args  the call signature, std::function style
+ * @tparam Bytes   inline capture budget; callables that fit (size and
+ *                 alignment) and are nothrow-move-constructible live in
+ *                 the inline buffer, everything else on the heap
+ */
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFunction<R(Args...), Bytes>
+{
+    /// Storage-management operation, dispatched through one manager
+    /// function pointer per concrete callable type.
+    enum class Op : std::uint8_t
+    {
+        MoveTo,  ///< move-construct into dst from src, destroy src
+        Destroy, ///< destroy src
+    };
+
+    using InvokeFn = R (*)(void *, Args...);
+    using ManageFn = void (*)(Op, void *src, void *dst) noexcept;
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Bytes && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+  public:
+    /// The inline capture budget, for tests probing the boundary.
+    static constexpr std::size_t kInlineBytes = Bytes;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    /** Wrap any callable with a matching signature. Implicit, so lambdas
+     *  convert at call sites exactly as they did with std::function. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::remove_cvref_t<F> &,
+                                        Args...>>>
+    InlineFunction(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** Drop the held callable (if any); leaves *this empty. */
+    void
+    reset() noexcept
+    {
+        if (manage_) {
+            manage_(Op::Destroy, &buf_, nullptr);
+            manage_ = nullptr;
+            invoke_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+    bool operator==(std::nullptr_t) const noexcept { return !invoke_; }
+
+    /** True when the held callable lives in the inline buffer (test
+     *  hook for the inline-vs-heap boundary). Empty counts as inline. */
+    bool storedInline() const noexcept { return !heap_; }
+
+    R
+    operator()(Args... args) const
+    {
+        DUET_ASSERT(invoke_ != nullptr, "invoking an empty InlineFunction");
+        return invoke_(bufPtr(), std::forward<Args>(args)...);
+    }
+
+    /** Replace the held callable with @p f, constructed directly in this
+     *  object's storage. Public so owners of callable slots (the event
+     *  queue's slab) can build the callable in place instead of moving a
+     *  temporary InlineFunction in. */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(&buf_)) Fn(std::forward<F>(f));
+            invoke_ = [](void *p, Args... args) -> R {
+                return (*static_cast<Fn *>(p))(std::forward<Args>(args)...);
+            };
+            manage_ = +[](Op op, void *src, void *dst) noexcept {
+                Fn *from = static_cast<Fn *>(src);
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn(std::move(*from));
+                from->~Fn();
+            };
+            heap_ = false;
+        } else {
+            // Oversized (or throwing-move) capture: one owning pointer in
+            // the buffer, callable on the heap. make_unique keeps the
+            // allocation exception-safe; the manager deletes through the
+            // same type.
+            auto owned = std::make_unique<Fn>(std::forward<F>(f));
+            ::new (static_cast<void *>(&buf_))(Fn *)(owned.release());
+            invoke_ = [](void *p, Args... args) -> R {
+                return (**static_cast<Fn **>(p))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = +[](Op op, void *src, void *dst) noexcept {
+                Fn **slot = static_cast<Fn **>(src);
+                if (op == Op::MoveTo)
+                    ::new (dst)(Fn *)(*slot);
+                else
+                    std::default_delete<Fn>{}(*slot);
+            };
+            heap_ = true;
+        }
+    }
+
+  private:
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (!other.manage_)
+            return;
+        other.manage_(Op::MoveTo, &other.buf_, &buf_);
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        heap_ = other.heap_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+        other.heap_ = false;
+    }
+
+    /// buf_ is mutable, so a const *this still yields a non-const
+    /// callable address (matching std::function's const operator()).
+    void *bufPtr() const noexcept { return static_cast<void *>(&buf_); }
+
+    alignas(std::max_align_t) mutable unsigned char buf_[Bytes];
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+    bool heap_ = false;
+};
+
+} // namespace duet
+
+#endif // DUET_SIM_INLINE_FUNCTION_HH

@@ -59,14 +59,20 @@ warn(const std::string &msg)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
-/** Assert a simulator invariant; panics with @p msg when @p cond is false. */
-inline void
-simAssert(bool cond, const std::string &msg)
-{
-    if (!cond)
-        panic(msg);
-}
-
 } // namespace duet
+
+/**
+ * Assert a simulator invariant; panics (throws SimPanic) with @p msg when
+ * @p cond is false. A macro rather than a function so the message
+ * expression — almost always a string concatenation like
+ * `name_ + ": ..."` — is only materialized on failure; hot paths assert
+ * millions of times per scenario and must not pay a string build each
+ * time.
+ */
+#define simAssert(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            ::duet::panic((msg));                                           \
+    } while (false)
 
 #endif // DUET_SIM_LOGGING_HH

@@ -9,10 +9,11 @@ namespace duet
 void
 StatRegistry::dump(std::ostream &os) const
 {
-    for (const auto &[name, c] : counters_)
-        os << name << " " << c->value() << "\n";
-    for (const auto &[name, s] : samples_) {
-        os << name << " count=" << s->count() << " mean=" << std::fixed
+    for (const auto *e : sortedView(counters_))
+        os << e->first << " " << e->second->value() << "\n";
+    for (const auto *e : sortedView(samples_)) {
+        const SampleStat *s = e->second;
+        os << e->first << " count=" << s->count() << " mean=" << std::fixed
            << std::setprecision(2) << s->mean() << " min=" << s->min()
            << " max=" << s->max() << "\n";
     }
@@ -51,14 +52,16 @@ StatRegistry::dumpJson(std::ostream &os) const
 {
     os << "{\"counters\": {";
     bool first = true;
-    for (const auto &[name, c] : counters_) {
-        os << (first ? "" : ", ") << jsonQuote(name) << ": " << c->value();
+    for (const auto *e : sortedView(counters_)) {
+        os << (first ? "" : ", ") << jsonQuote(e->first) << ": "
+           << e->second->value();
         first = false;
     }
     os << "}, \"samples\": {";
     first = true;
-    for (const auto &[name, s] : samples_) {
-        os << (first ? "" : ", ") << jsonQuote(name) << ": {\"count\": "
+    for (const auto *e : sortedView(samples_)) {
+        const SampleStat *s = e->second;
+        os << (first ? "" : ", ") << jsonQuote(e->first) << ": {\"count\": "
            << s->count() << ", \"sum\": " << s->sum()
            << ", \"min\": " << s->min() << ", \"max\": " << s->max()
            << ", \"mean\": " << s->mean() << "}";

@@ -11,9 +11,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace duet
@@ -22,11 +22,16 @@ namespace duet
 /** Quote @p s as a JSON string literal (escapes ", \\ and control chars). */
 std::string jsonQuote(const std::string &s);
 
-/** A monotonically increasing 64-bit counter. */
+/** A monotonically increasing 64-bit counter. Incrementing is a direct
+ *  u64 add — no registry, map, or string work on the access path; names
+ *  are attached once at registration time. */
 class Counter
 {
   public:
     void inc(std::uint64_t by = 1) { value_ += by; }
+    /** Bulk increment, for callers accumulating batches (flit counts,
+     *  burst sizes) — same cost as inc(), clearer intent. */
+    void add(std::uint64_t n) { value_ += n; }
     void reset() { value_ = 0; }
     std::uint64_t value() const { return value_; }
 
@@ -72,18 +77,24 @@ class SampleStat
 /**
  * Registry of named statistics. Components register pointers; the registry
  * does not own them, so register objects that outlive the registry's use.
+ *
+ * Registration appends to flat vectors (one per-System burst at
+ * construction); the sorted, deduplicated view the dumpers need is built
+ * once per dump, not maintained per registration in a std::map. Re-using
+ * a name replaces the earlier registration, matching the old map
+ * semantics (last registration wins, names unique in the output).
  */
 class StatRegistry
 {
   public:
     void registerCounter(const std::string &name, const Counter *c)
     {
-        counters_[name] = c;
+        counters_.emplace_back(name, c);
     }
 
     void registerSample(const std::string &name, const SampleStat *s)
     {
-        samples_[name] = s;
+        samples_.emplace_back(name, s);
     }
 
     /** Dump all registered stats, sorted by name. */
@@ -95,21 +106,63 @@ class StatRegistry
      */
     void dumpJson(std::ostream &os) const;
 
-    const Counter *findCounter(const std::string &name) const
+    const Counter *
+    findCounter(const std::string &name) const
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? nullptr : it->second;
+        return findIn(counters_, name);
     }
 
-    const SampleStat *findSample(const std::string &name) const
+    const SampleStat *
+    findSample(const std::string &name) const
     {
-        auto it = samples_.find(name);
-        return it == samples_.end() ? nullptr : it->second;
+        return findIn(samples_, name);
     }
 
   private:
-    std::map<std::string, const Counter *> counters_;
-    std::map<std::string, const SampleStat *> samples_;
+    template <typename S>
+    using Named = std::pair<std::string, const S *>;
+
+    /** Linear lookup, newest first (last registration wins, like the
+     *  old map's overwrite). Lookups are test/report-path only. */
+    template <typename S>
+    static const S *
+    findIn(const std::vector<Named<S>> &v, const std::string &name)
+    {
+        for (auto it = v.rbegin(); it != v.rend(); ++it)
+            if (it->first == name)
+                return it->second;
+        return nullptr;
+    }
+
+    /** Sorted-by-name view with duplicate names collapsed to the most
+     *  recent registration — byte-identical iteration order to the old
+     *  std::map storage. */
+    template <typename S>
+    static std::vector<const Named<S> *>
+    sortedView(const std::vector<Named<S>> &v)
+    {
+        std::vector<const Named<S> *> view;
+        view.reserve(v.size());
+        for (const auto &e : v)
+            view.push_back(&e);
+        std::stable_sort(view.begin(), view.end(),
+                         [](const Named<S> *a, const Named<S> *b) {
+                             return a->first < b->first;
+                         });
+        // Equal names are in registration order; keep the last of each
+        // run, writing the survivors in place.
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            if (i + 1 < view.size() && view[i + 1]->first == view[i]->first)
+                continue;
+            view[out++] = view[i];
+        }
+        view.resize(out);
+        return view;
+    }
+
+    std::vector<Named<Counter>> counters_;
+    std::vector<Named<SampleStat>> samples_;
 };
 
 } // namespace duet

@@ -18,17 +18,41 @@
 #define DUET_SIM_TASK_HH
 
 #include <coroutine>
-#include <memory>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/check.hh"
 #include "sim/clock.hh"
 #include "sim/logging.hh"
 
 namespace duet
 {
+
+/**
+ * Mixin giving a promise type (and through it, its coroutine frame) and
+ * other hot per-operation simulator state a size-bucketed allocation
+ * path through the current System's FrameArena. Outside any ArenaScope
+ * (bare unit tests) it degrades to the global allocator — the block
+ * header records which path was taken, so delete always matches.
+ */
+struct ArenaAllocated
+{
+    static void *
+    operator new(std::size_t n)
+    {
+        return FrameArena::allocateRaw(n);
+    }
+
+    static void
+    operator delete(void *p)
+    {
+        FrameArena::deallocateRaw(p);
+    }
+};
 
 /**
  * A lazy coroutine task returning T. Starts when awaited; resumes its
@@ -55,7 +79,7 @@ class [[nodiscard]] CoTask
         void await_resume() const noexcept {}
     };
 
-    struct promise_type
+    struct promise_type : ArenaAllocated
     {
         std::optional<T> value;
         std::coroutine_handle<> continuation;
@@ -127,7 +151,7 @@ class [[nodiscard]] CoTask<void>
         void await_resume() const noexcept {}
     };
 
-    struct promise_type
+    struct promise_type : ArenaAllocated
     {
         std::coroutine_handle<> continuation;
 
@@ -212,7 +236,7 @@ class DetachedPool
 /** Self-destroying top-level coroutine used by spawn(). */
 struct Detached
 {
-    struct promise_type
+    struct promise_type : ArenaAllocated
     {
         Detached
         get_return_object()
@@ -284,25 +308,31 @@ drainDetachedTasks()
  * One-shot rendezvous between a coroutine (the consumer) and an
  * event/callback (the producer). Copy the Setter into a completion
  * callback; co_await the Future.
+ *
+ * The shared state is an arena-pooled block behind a non-atomic RcPtr
+ * rather than a shared_ptr: a Future is created per simulated memory
+ * operation, and the shared_ptr control block + atomic refcounts were a
+ * measurable slice of the scenario hot path.
  */
 template <typename T>
 class Future
 {
-    struct State
+    struct State : ArenaAllocated
     {
+        std::uint32_t refs = 1;
         std::optional<T> value;
         std::coroutine_handle<> waiter;
     };
 
   public:
-    Future() : st_(std::make_shared<State>()) {}
+    Future() : st_(makeRc<State>()) {}
 
-    /** The producer half; copyable into std::function callbacks. */
+    /** The producer half; copyable into completion callbacks. */
     class Setter
     {
       public:
         Setter() = default;
-        explicit Setter(std::shared_ptr<State> st) : st_(std::move(st)) {}
+        explicit Setter(RcPtr<State> st) : st_(std::move(st)) {}
 
         void
         set(T v) const
@@ -317,7 +347,7 @@ class Future
         }
 
       private:
-        std::shared_ptr<State> st_;
+        RcPtr<State> st_;
     };
 
     Setter setter() const { return Setter(st_); }
@@ -340,27 +370,28 @@ class Future
     }
 
   private:
-    std::shared_ptr<State> st_;
+    RcPtr<State> st_;
 };
 
 /** Future specialization for completion-only (void) rendezvous. */
 template <>
 class Future<void>
 {
-    struct State
+    struct State : ArenaAllocated
     {
+        std::uint32_t refs = 1;
         bool done = false;
         std::coroutine_handle<> waiter;
     };
 
   public:
-    Future() : st_(std::make_shared<State>()) {}
+    Future() : st_(makeRc<State>()) {}
 
     class Setter
     {
       public:
         Setter() = default;
-        explicit Setter(std::shared_ptr<State> st) : st_(std::move(st)) {}
+        explicit Setter(RcPtr<State> st) : st_(std::move(st)) {}
 
         void
         set() const
@@ -375,7 +406,7 @@ class Future<void>
         }
 
       private:
-        std::shared_ptr<State> st_;
+        RcPtr<State> st_;
     };
 
     Setter setter() const { return Setter(st_); }
@@ -392,7 +423,7 @@ class Future<void>
     void await_resume() const {}
 
   private:
-    std::shared_ptr<State> st_;
+    RcPtr<State> st_;
 };
 
 /**

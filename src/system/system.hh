@@ -27,6 +27,7 @@
 #include "core/adapter.hh"
 #include "cache/l3_shard.hh"
 #include "cpu/core.hh"
+#include "sim/arena.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -123,7 +124,16 @@ class System
     /** Longest core finish time (the benchmark runtime). */
     Tick lastCoreFinish() const;
 
+    /** This system's coroutine-frame/Future-state arena (test probe). */
+    const FrameArena &frameArena() const { return arena_; }
+
   private:
+    // The arena and its scope are declared FIRST: members are destroyed
+    // in reverse order, so the arena outlives every component — including
+    // the detached coroutine frames drained in ~System's body — and is
+    // "current" for the whole construction and lifetime of the system.
+    FrameArena arena_;
+    ArenaScope arenaScope_{arena_};
     SystemConfig cfg_;
     unsigned numTiles_;
     EventQueue eq_;

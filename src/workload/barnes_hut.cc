@@ -273,10 +273,12 @@ check(System &sys, const BhMap &m, const std::vector<std::int64_t> &fx,
  * Shared tree walk. @p issue is called for every force evaluation:
  * (is_approx, source index). The walk itself (control flow, MAC) always
  * runs on the processor — the essence of fine-grained acceleration.
+ * @p issue is a reference: call sites co_await treeWalk inline, so the
+ * caller's callable outlives this frame and we skip a per-walk copy.
  */
 CoTask<void>
 treeWalk(Core &c, BhMap m, unsigned p,
-         std::function<CoTask<void>(bool, std::uint64_t)> issue)
+         const std::function<CoTask<void>(bool, std::uint64_t)> &issue)
 {
     Addr pa = m.particles + 32 * p;
     std::int64_t px = static_cast<std::int64_t>(co_await c.load(pa));

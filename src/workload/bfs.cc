@@ -167,10 +167,13 @@ check(System &sys, const std::vector<unsigned> &want, const BfsMap &m)
 }
 
 /** Scan node u's edges, claim unvisited neighbors at @p depth_plus_1;
- *  calls @p found for each claimed neighbor. */
+ *  calls @p found for each claimed neighbor. Taken by reference: every
+ *  call site co_awaits scanNode inline, so the caller's callable outlives
+ *  this frame, and copying a std::function per visited node was
+ *  measurable on the scenario profile. */
 CoTask<void>
 scanNode(Core &c, BfsMap m, std::uint64_t u, std::uint64_t depth_plus_1,
-         std::function<CoTask<void>(std::uint64_t)> found)
+         const std::function<CoTask<void>(std::uint64_t)> &found)
 {
     std::uint64_t beg = co_await c.load(m.offsets + 4 * u, 4);
     std::uint64_t end = co_await c.load(m.offsets + 4 * (u + 1), 4);

@@ -476,9 +476,13 @@ TEST(Serve, EofMidStreamDrainsInFlightWorkCleanly)
     // sees EOF while scenarios are still queued/running and must
     // answer every one of them before summarizing.
     std::string input;
+    // Fixed id table, not `"r" + std::to_string(i)`: GCC 12's
+    // -Wrestrict misfires on in-loop string building when TSan
+    // instrumentation is on (gcc bug 105651).
+    static const char *const kIds[6] = {"r0", "r1", "r2", "r3", "r4", "r5"};
     for (int i = 0; i < 6; ++i) {
         ScenarioRequest req;
-        req.id = "r" + std::to_string(i);
+        req.id = kIds[i];
         req.workload = i % 2 == 0 ? "popcount" : "tangent";
         req.size = 4 + static_cast<unsigned>(i);
         input += requestLine(req);

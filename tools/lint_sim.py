@@ -5,7 +5,7 @@ Run over one or more source roots (default: src/ next to this script):
 
     python3 tools/lint_sim.py src
 
-Rules (R1-R6):
+Rules (R1-R7):
 
   R1 fork-outside-executor   `fork(` may appear only in the process-pool
                              executor (src/sim/executor.cc). Everything
@@ -33,6 +33,13 @@ Rules (R1-R6):
   R6 header-guard            every .hh must open with an include guard
                              named `DUET_...` (pragma once is not used in
                              this codebase).
+  R7 no-std-function-hot     `std::function`/`<functional>` are banned in
+                             the hot-path headers (src/sim/event_queue.hh,
+                             src/sim/inline_function.hh, src/cache/*.hh):
+                             per-event type erasure there must go through
+                             InlineFunction so callbacks stay
+                             allocation-free. Cold configuration hooks in
+                             other headers may still use std::function.
 
 Comments and string/char literals are stripped before matching, so prose
 like "a new coroutine" never trips R3. Raw string literals are not
@@ -49,10 +56,26 @@ from pathlib import Path
 MEMCPY_WINDOW = 8
 
 # Files allowed to fork()/new: the fork-per-job executor owns process
-# lifecycles (R1) and is the designated home for any future manual
-# allocation arena (R3).
+# lifecycles (R1); the allocation layer itself — the frame arena, the
+# intrusive RcPtr, and InlineFunction's oversized-capture fallback — is
+# where manual new/delete lives by design (R3). Everything else stays
+# RAII-only and allocates *through* these files.
 FORK_ALLOWLIST = {"src/sim/executor.cc"}
-NEW_ALLOWLIST = {"src/sim/executor.cc"}
+NEW_ALLOWLIST = {
+    "src/sim/executor.cc",
+    "src/sim/arena.hh",
+    "src/sim/arena.cc",
+    "src/sim/inline_function.hh",
+    "src/sim/task.hh",
+}
+
+# Hot-path headers where std::function (and <functional>) are banned:
+# these types sit on the per-event schedule/dispatch path and must use
+# InlineFunction's inline storage instead (R7).
+HOT_HEADERS_RE = re.compile(
+    r"^(src/sim/event_queue\.hh|src/sim/inline_function\.hh|"
+    r"src/cache/[^/]+\.hh)$"
+)
 
 RE_FORK = re.compile(r"\bfork\s*\(")
 RE_CONST_CAST = re.compile(r"\bconst_cast\b")
@@ -66,6 +89,7 @@ RE_MEMCPY_OK = re.compile(
 )
 RE_MEMCPY_ESCAPE = re.compile(r"lint:\s*checked-memcpy")
 RE_GUARD = re.compile(r"^\s*#\s*ifndef\s+DUET_\w+")
+RE_STD_FUNCTION = re.compile(r"std::function\b|#\s*include\s*<functional>")
 
 
 def strip_code(text):
@@ -162,6 +186,10 @@ def lint_file(path, rel, findings):
         if RE_CSTRING.search(line):
             report(lineno, "no-unbounded-cstring",
                    "unbounded C string call; use std::string/snprintf")
+        if HOT_HEADERS_RE.match(rel) and RE_STD_FUNCTION.search(line):
+            report(lineno, "no-std-function-hot",
+                   "std::function is banned in hot-path headers; use "
+                   "InlineFunction (sim/inline_function.hh)")
         if RE_MEMCPY.search(line):
             lo = max(0, idx - MEMCPY_WINDOW)
             window = code_lines[lo:idx + 1]

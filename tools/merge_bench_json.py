@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON reports into one BENCH_micro.json.
+
+Usage: merge_bench_json.py OUT IN.json [IN.json ...]
+
+The merged document (schema duet-bench-micro/1) keeps one `context`
+object — from the first input, since every report in a batch comes from
+the same host and build — and concatenates the `benchmarks` arrays,
+tagging each entry with the source report's basename in `source` so a
+merged row still names the bench_* binary it came from. The output is
+written to OUT.tmp and renamed, so an interrupted merge never leaves a
+truncated report.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out, inputs = argv[1], argv[2:]
+    merged = {"schema": "duet-bench-micro/1", "context": None, "benchmarks": []}
+    for path in inputs:
+        with open(path) as f:
+            doc = json.load(f)
+        if merged["context"] is None:
+            merged["context"] = doc.get("context")
+        source = os.path.splitext(os.path.basename(path))[0]
+        for entry in doc.get("benchmarks", []):
+            entry = dict(entry)
+            entry["source"] = source
+            merged["benchmarks"].append(entry)
+    tmp = out + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    os.replace(tmp, out)
+    print(
+        f"merged {len(inputs)} reports, "
+        f"{len(merged['benchmarks'])} benchmarks -> {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
