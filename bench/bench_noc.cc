@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the mesh NoC's two delivery
+ * regimes. BM_MeshPing keeps exactly one message in flight, so every
+ * delivery rides the express path (one analytic walk + one arrival event)
+ * when `express` is on and the full per-hop step() chain when it is off —
+ * the spread between the two is the express path's win. BM_MeshStorm
+ * floods the mesh from every tile at once, measuring the contended
+ * hop-by-hop path (and the de-express unwind) under link queueing.
+ * These guard simulation speed, not modeled latency: the modeled ticks
+ * are identical in every configuration (see tests/test_noc.cc).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace duet;
+
+Message
+mkMsg(MsgType t, unsigned src_tile, unsigned dst_tile)
+{
+    Message m;
+    m.type = t;
+    m.src = {static_cast<std::uint16_t>(src_tile), TilePort::L2};
+    m.dst = {static_cast<std::uint16_t>(dst_tile), TilePort::L3};
+    return m;
+}
+
+/// One message in flight at a time, ping-ponged between opposite corners
+/// of a w x w mesh. Args: {mesh width, express on/off}.
+void
+BM_MeshPing(benchmark::State &state)
+{
+    const auto w = static_cast<unsigned>(state.range(0));
+    const bool express = state.range(1) != 0;
+    const unsigned far = w * w - 1;
+    constexpr unsigned kFlights = 256;
+    for (auto _ : state) {
+        EventQueue eq;
+        ClockDomain clk(eq, "sys", 1000);
+        Mesh mesh(clk, MeshConfig{w, w, 2, 1, 1, express});
+        unsigned remaining = kFlights;
+        mesh.registerEndpoint({static_cast<std::uint16_t>(far),
+                               TilePort::L3},
+                              [&](const Message &) {
+                                  if (--remaining > 0)
+                                      mesh.inject(mkMsg(MsgType::GetS,
+                                                        far, 0));
+                              });
+        mesh.registerEndpoint({0, TilePort::L3}, [&](const Message &) {
+            if (--remaining > 0)
+                mesh.inject(mkMsg(MsgType::GetS, 0, far));
+        });
+        mesh.inject(mkMsg(MsgType::GetS, 0, far));
+        eq.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * kFlights);
+}
+BENCHMARK(BM_MeshPing)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
+/// Every tile floods wide data messages at once: contended links,
+/// queueing delay, and the de-express unwind all on the clock.
+/// Arg: mesh width.
+void
+BM_MeshStorm(benchmark::State &state)
+{
+    const auto w = static_cast<unsigned>(state.range(0));
+    const unsigned tiles = w * w;
+    constexpr unsigned kMsgs = 512;
+    for (auto _ : state) {
+        EventQueue eq;
+        ClockDomain clk(eq, "sys", 1000);
+        Mesh mesh(clk, MeshConfig{w, w});
+        unsigned delivered = 0;
+        for (unsigned t = 0; t < tiles; ++t) {
+            mesh.registerEndpoint({static_cast<std::uint16_t>(t),
+                                   TilePort::L3},
+                                  [&](const Message &) { ++delivered; });
+        }
+        for (unsigned i = 0; i < kMsgs; ++i) {
+            mesh.inject(mkMsg(MsgType::DataM, i % tiles,
+                              (i * 7 + 3) % tiles));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kMsgs);
+}
+BENCHMARK(BM_MeshStorm)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace

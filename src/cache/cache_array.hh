@@ -4,6 +4,16 @@
  *
  * Data values are not stored (see DESIGN.md: functional memory is the
  * source of truth); lines carry coherence state and user metadata only.
+ *
+ * Lookups probe a contiguous tag mirror (`tags_`), not the LineT records:
+ * one set's tags are adjacent (8 ways x 8 B = one 64 B host cache line),
+ * an invalid way is the sentinel ~Addr{0} (never a line-aligned address),
+ * so a probe is a single u64 compare per way covering valid+match at
+ * once, and the common hit touches one host cache line instead of
+ * striding across sizeof(LineT) records. A per-set MRU way hint makes
+ * repeat hits branch-light: the hinted compare either hits immediately
+ * or falls back to the set scan, so a stale hint is a slow path, never a
+ * wrong answer.
  */
 
 #ifndef DUET_CACHE_CACHE_ARRAY_HH
@@ -23,6 +33,10 @@ namespace duet
  *   Addr addr;     // full line-aligned address
  *   bool valid;
  * Replacement is true LRU via a monotonic use counter.
+ *
+ * All valid-bit transitions must go through install()/erase()/
+ * invalidate()/clear() so the tag mirror stays coherent with the LineT
+ * records; callers must not flip `line->valid` directly.
  */
 template <typename LineT>
 class CacheArray
@@ -34,7 +48,9 @@ class CacheArray
                   "set count must be a power of two");
         simAssert(ways > 0, "need at least one way");
         lines_.resize(sets * ways);
+        tags_.resize(sets * ways, kInvalidTag);
         lastUse_.resize(sets * ways, 0);
+        mru_.resize(sets, 0);
     }
 
     unsigned sets() const { return sets_; }
@@ -44,27 +60,32 @@ class CacheArray
     LineT *
     find(Addr line_addr)
     {
-        unsigned base = setIndex(line_addr) * ways_;
-        for (unsigned w = 0; w < ways_; ++w) {
-            LineT &l = lines_[base + w];
-            if (l.valid && l.addr == line_addr) {
-                lastUse_[base + w] = ++clock_;
-                return &l;
-            }
+        const unsigned set = setIndex(line_addr);
+        const unsigned base = set * ways_;
+        const Addr *tags = tags_.data() + base;
+        // MRU fast path: one compare, no scan, for the repeat hit.
+        unsigned w = mru_[set];
+        if (tags[w] != line_addr) {
+            w = 0;
+            while (w < ways_ && tags[w] != line_addr)
+                ++w;
+            if (w == ways_)
+                return nullptr;
+            mru_[set] = static_cast<std::uint8_t>(w);
         }
-        return nullptr;
+        lastUse_[base + w] = ++clock_;
+        return &lines_[base + w];
     }
 
     /** Find without updating LRU state (for probes). */
     const LineT *
     peek(Addr line_addr) const
     {
-        unsigned base = setIndex(line_addr) * ways_;
-        for (unsigned w = 0; w < ways_; ++w) {
-            const LineT &l = lines_[base + w];
-            if (l.valid && l.addr == line_addr)
-                return &l;
-        }
+        const unsigned base = setIndex(line_addr) * ways_;
+        const Addr *tags = tags_.data() + base;
+        for (unsigned w = 0; w < ways_; ++w)
+            if (tags[w] == line_addr)
+                return &lines_[base + w];
         return nullptr;
     }
 
@@ -77,13 +98,13 @@ class CacheArray
     LineT &
     victimFor(Addr line_addr)
     {
-        unsigned base = setIndex(line_addr) * ways_;
+        const unsigned base = setIndex(line_addr) * ways_;
+        const Addr *tags = tags_.data() + base;
         unsigned best = 0;
         std::uint64_t best_use = ~0ull;
         for (unsigned w = 0; w < ways_; ++w) {
-            LineT &l = lines_[base + w];
-            if (!l.valid)
-                return l;
+            if (tags[w] == kInvalidTag)
+                return lines_[base + w];
             if (lastUse_[base + w] < best_use) {
                 best_use = lastUse_[base + w];
                 best = w;
@@ -102,21 +123,48 @@ class CacheArray
         slot = LineT{};
         slot.addr = line_addr;
         slot.valid = true;
-        lastUse_[indexOf(slot)] = ++clock_;
+        const std::size_t idx = indexOf(slot);
+        tags_[idx] = line_addr;
+        lastUse_[idx] = ++clock_;
+        mru_[idx / ways_] = static_cast<std::uint8_t>(idx % ways_);
     }
 
     /** Invalidate the line holding @p line_addr if present. */
     void
     erase(Addr line_addr)
     {
-        unsigned base = setIndex(line_addr) * ways_;
+        const unsigned base = setIndex(line_addr) * ways_;
         for (unsigned w = 0; w < ways_; ++w) {
-            LineT &l = lines_[base + w];
-            if (l.valid && l.addr == line_addr) {
-                l.valid = false;
+            if (tags_[base + w] == line_addr) {
+                lines_[base + w].valid = false;
+                tags_[base + w] = kInvalidTag;
                 return;
             }
         }
+    }
+
+    /**
+     * Invalidate @p line (a reference into this array, e.g. from find()).
+     * The only sanctioned way to drop a line the caller already holds:
+     * keeps the tag mirror in sync where `line.valid = false` would not.
+     */
+    void
+    invalidate(LineT &line)
+    {
+        line.valid = false;
+        tags_[indexOf(line)] = kInvalidTag;
+    }
+
+    /** Drop every line and all replacement state (warm-start reset). */
+    void
+    clear()
+    {
+        for (LineT &l : lines_)
+            l = LineT{};
+        std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+        std::fill(lastUse_.begin(), lastUse_.end(), 0);
+        std::fill(mru_.begin(), mru_.end(), 0);
+        clock_ = 0;
     }
 
     /** Count of valid lines (test/debug helper). */
@@ -124,13 +172,16 @@ class CacheArray
     countValid() const
     {
         unsigned n = 0;
-        for (const LineT &l : lines_)
-            if (l.valid)
+        for (Addr t : tags_)
+            if (t != kInvalidTag)
                 ++n;
         return n;
     }
 
   private:
+    /** Never a line-aligned address, so it doubles as the invalid mark. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
     unsigned
     setIndex(Addr line_addr) const
     {
@@ -146,7 +197,9 @@ class CacheArray
     unsigned sets_;
     unsigned ways_;
     std::vector<LineT> lines_;
+    std::vector<Addr> tags_;               ///< set-contiguous tag mirror
     std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> mru_;        ///< per-set MRU way hint
     std::uint64_t clock_ = 0;
 };
 

@@ -75,6 +75,15 @@ class L1Cache
     /** Drop everything (used on context resets in tests). */
     unsigned validLines() const { return array_.countValid(); }
 
+    /** Drop all lines and counters (scenario warm-start). */
+    void
+    reset()
+    {
+        array_.clear();
+        hits.reset();
+        misses.reset();
+    }
+
     Counter hits, misses;
 
   private:

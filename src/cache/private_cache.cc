@@ -28,6 +28,26 @@ PrivateCache::registerStats(StatRegistry &reg) const
     reg.registerCounter(name_ + ".amosForwarded", &amosForwarded);
 }
 
+void
+PrivateCache::reset()
+{
+    array_.clear();
+    mshrs_.clear();
+    evictBuf_.clear();
+    stalled_.clear();
+    outstandingAmos_.clear();
+    nextTxnId_ = 1;
+    busyUntil_ = 0;
+    hits.reset();
+    misses.reset();
+    evictions.reset();
+    invsReceived.reset();
+    recallsReceived.reset();
+    spuriousInvs.reset();
+    writebacks.reset();
+    amosForwarded.reset();
+}
+
 Tick
 PrivateCache::startOp()
 {
@@ -178,7 +198,7 @@ PrivateCache::evictLine(PrivateLine &line)
     } else {
         sendToHome(MsgType::PutS, line.addr, nullptr);
     }
-    line.valid = false;
+    array_.invalidate(line);
 }
 
 void
@@ -213,7 +233,7 @@ PrivateCache::handle(const Message &msg)
         if (line) {
             if (invHook_)
                 invHook_(la, line->meta);
-            line->valid = false;
+            array_.invalidate(*line);
         } else if (!evictBuf_.count(la)) {
             spuriousInvs.inc();
         }
@@ -241,7 +261,7 @@ PrivateCache::handle(const Message &msg)
             } else {
                 if (invHook_)
                     invHook_(la, line->meta);
-                line->valid = false;
+                array_.invalidate(*line);
             }
         } else {
             auto it = evictBuf_.find(la);

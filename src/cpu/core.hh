@@ -105,6 +105,26 @@ class Core
 
     void registerStats(StatRegistry &reg) const;
 
+    /** Rewind to construction state, dropping the workload-installed
+     *  interrupt handler (scenario warm-start). The owning L2 is reset
+     *  separately by the system. */
+    void
+    reset()
+    {
+        l1_.reset();
+        irqHandler_ = nullptr;
+        pendingMmio_.clear();
+        nextTxn_ = 1;
+        finished_ = false;
+        finishTick_ = 0;
+        loads.reset();
+        stores.reset();
+        amos.reset();
+        mmios.reset();
+        l1Hits.reset();
+        irqs.reset();
+    }
+
   private:
     ClockDomain &clk_;
     std::string name_;

@@ -323,7 +323,9 @@ runSingleMode(const SimOptions &opts)
     unsigned coresBuilt = 0;
     SystemConfig base;
     applySimOverrides(opts, base);
-    base.observer = [&](System &sys) {
+    // Named lvalue: the observer field is a non-owning FunctionRef and
+    // must outlive the run.
+    auto observe = [&](System &sys) {
         std::ostringstream text, json;
         sys.stats().dump(text);
         sys.stats().dumpJson(json);
@@ -331,6 +333,7 @@ runSingleMode(const SimOptions &opts)
         statsJson = json.str();
         coresBuilt = sys.numCores();
     };
+    base.observer = observe;
 
     SweepScenario sc;
     SystemConfig cfg;

@@ -33,10 +33,36 @@ msgTypeName(MsgType t)
 }
 
 Mesh::Mesh(ClockDomain &clk, const MeshConfig &cfg)
-    : clk_(clk), cfg_(cfg), routers_(cfg.width * cfg.height),
-      sinks_(cfg.width * cfg.height)
+    : clk_(clk), cfg_(cfg), numTiles_(cfg.width * cfg.height),
+      routers_(cfg.width * cfg.height), sinks_(cfg.width * cfg.height)
 {
     simAssert(cfg.width >= 1 && cfg.height >= 1, "mesh must be non-empty");
+    // Precompute the XY routing decision for every (tile, destination)
+    // pair; both step() and the express walk read the same table.
+    routes_.resize(static_cast<std::size_t>(numTiles_) * numTiles_);
+    for (unsigned tile = 0; tile < numTiles_; ++tile) {
+        const unsigned x = xOf(tile), y = yOf(tile);
+        for (unsigned dst = 0; dst < numTiles_; ++dst) {
+            const unsigned dx = xOf(dst), dy = yOf(dst);
+            RouteEntry &re = routes_[tile * numTiles_ + dst];
+            if (dx > x) {
+                re.dir = East;
+                re.next = static_cast<std::uint16_t>(tileAt(x + 1, y));
+            } else if (dx < x) {
+                re.dir = West;
+                re.next = static_cast<std::uint16_t>(tileAt(x - 1, y));
+            } else if (dy > y) {
+                re.dir = North;
+                re.next = static_cast<std::uint16_t>(tileAt(x, y + 1));
+            } else if (dy < y) {
+                re.dir = South;
+                re.next = static_cast<std::uint16_t>(tileAt(x, y - 1));
+            } else {
+                re.dir = Local;
+                re.next = static_cast<std::uint16_t>(tile);
+            }
+        }
+    }
 }
 
 void
@@ -54,6 +80,17 @@ Mesh::inject(Message msg)
     simAssert(msg.src.tile < numTiles(), "source tile out of range");
     simAssert(msg.dst.tile < numTiles(), "dest tile out of range");
     msg.injectTick = clk_.eventQueue().now();
+    // An outstanding express flight loses its idle-mesh precondition the
+    // moment anything else enters: put it back on the hop-by-hop path
+    // *before* this message schedules anything, so the resumed step event
+    // keeps the earlier queue position the original chain would have had.
+    if (flight_.active)
+        deExpress();
+    ++inFlight_;
+    if (cfg_.express && inFlight_ == 1 && msg.src.tile != msg.dst.tile) {
+        expressInject(msg);
+        return;
+    }
     // Enter the source router at the next clock edge.
     unsigned tile = msg.src.tile;
     clk_.scheduleAtEdge(0, [this, tile, msg] { step(tile, msg); });
@@ -65,24 +102,8 @@ Mesh::step(unsigned tile, Message msg)
     EventQueue &eq = clk_.eventQueue();
     const Tick now = eq.now();
 
-    // XY routing: X first, then Y, then local ejection.
-    unsigned x = xOf(tile), y = yOf(tile);
-    unsigned dx = xOf(msg.dst.tile), dy = yOf(msg.dst.tile);
-    Dir dir;
-    unsigned next;
-    if (dx > x) {
-        dir = East;
-        next = tileAt(x + 1, y);
-    } else if (dx < x) {
-        dir = West;
-        next = tileAt(x - 1, y);
-    } else if (dy > y) {
-        dir = North;
-        next = tileAt(x, y + 1);
-    } else if (dy < y) {
-        dir = South;
-        next = tileAt(x, y - 1);
-    } else {
+    const RouteEntry &re = route(tile, msg.dst.tile);
+    if (re.dir == Local) {
         // Arrived: eject to the local port.
         Tick when = clk_.edgeAtOrAfter(now) +
                     clk_.cyclesToTicks(cfg_.ejectCycles);
@@ -95,13 +116,104 @@ Mesh::step(unsigned tile, Message msg)
     const unsigned flits = flitsOf(msg.type);
     Tick ready = clk_.edgeAtOrAfter(now) +
                  clk_.cyclesToTicks(cfg_.routerCycles);
-    Tick depart = std::max(ready, r.linkFree[dir]);
+    Tick depart = std::max(ready, r.linkFree[re.dir]);
     Tick occupy = clk_.cyclesToTicks(flits);
-    r.linkFree[dir] = depart + occupy;
+    r.linkFree[re.dir] = depart + occupy;
     flitCycles_.inc(flits);
 
     Tick arrive = depart + occupy + clk_.cyclesToTicks(cfg_.linkCycles);
+    const unsigned next = re.next;
     eq.schedule(arrive, [this, next, msg] { step(next, msg); });
+}
+
+void
+Mesh::expressInject(const Message &msg)
+{
+    EventQueue &eq = clk_.eventQueue();
+    const unsigned flits = flitsOf(msg.type);
+    const Tick rc = clk_.cyclesToTicks(cfg_.routerCycles);
+    const Tick lc = clk_.cyclesToTicks(cfg_.linkCycles);
+    const Tick occupy = clk_.cyclesToTicks(flits);
+
+    // Walk the route with exactly step()'s arithmetic. Every tick in the
+    // walk is edge-aligned (the entry edge plus whole-cycle increments),
+    // so edgeAtOrAfter() at each virtual hop is the identity and the
+    // claims below equal what the per-hop events would have written.
+    flight_.hops.clear();
+    Tick s = clk_.edgeAtOrAfter(eq.now());
+    unsigned tile = msg.src.tile;
+    const unsigned dst = msg.dst.tile;
+    while (tile != dst) {
+        const RouteEntry &re = route(tile, dst);
+        Router &r = routers_[tile];
+        flight_.hops.push_back({tile, re.dir, r.linkFree[re.dir], s});
+        Tick depart = std::max(s + rc, r.linkFree[re.dir]);
+        r.linkFree[re.dir] = depart + occupy;
+        s = depart + occupy + lc;
+        tile = re.next;
+    }
+
+    flight_.active = true;
+    flight_.accountedHops = 0;
+    flight_.lastStepTick = s;
+    flight_.msg = msg;
+    const std::uint64_t epoch = ++flight_.epoch;
+    eq.schedule(s, [this, epoch] { expressArrive(epoch); });
+}
+
+void
+Mesh::expressArrive(std::uint64_t epoch)
+{
+    if (!flight_.active || flight_.epoch != epoch)
+        return; // the flight was de-expressed after this event was queued
+    flight_.active = false;
+    flitCycles_.inc((flight_.hops.size() - flight_.accountedHops) *
+                    flitsOf(flight_.msg.type));
+    // Stand-in for step() at the destination tile: eject locally. The
+    // delivery event's queue position is assigned here — at the tick the
+    // final hop-by-hop step would have run — so same-tick ordering
+    // against unrelated events is preserved, not just the tick value.
+    EventQueue &eq = clk_.eventQueue();
+    const Message msg = flight_.msg;
+    Tick when = clk_.edgeAtOrAfter(eq.now()) +
+                clk_.cyclesToTicks(cfg_.ejectCycles);
+    eq.schedule(when, [this, msg] { deliver(msg); });
+}
+
+void
+Mesh::deExpress()
+{
+    EventQueue &eq = clk_.eventQueue();
+    const Tick now = eq.now();
+    auto &hops = flight_.hops;
+
+    // Hops whose step tick has passed (or is this very tick) already
+    // "ran": their claims stand, exactly as the executed prefix of the
+    // original chain would have left them.
+    std::size_t k = 0;
+    while (k < hops.size() && hops[k].stepTick <= now)
+        ++k;
+    const unsigned flits = flitsOf(flight_.msg.type);
+    if (k > flight_.accountedHops) {
+        flitCycles_.inc((k - flight_.accountedHops) * flits);
+        flight_.accountedHops = k;
+    }
+    if (k == hops.size())
+        return; // nothing left to unwind; the pending arrival stays exact
+
+    // Unwind the future claims. An XY route crosses each link at most
+    // once, so restoring the saved pre-claim values is exact.
+    for (std::size_t i = hops.size(); i-- > k;)
+        routers_[hops[i].tile].linkFree[hops[i].dir] = hops[i].prevLinkFree;
+    flight_.active = false;
+    ++flight_.epoch; // strand the scheduled arrival event
+
+    // Resume the chain with the step() event the original execution
+    // would have had in flight: hop k's, at hop k's tick.
+    const unsigned tile = hops[k].tile;
+    const Tick when = hops[k].stepTick;
+    const Message msg = flight_.msg;
+    eq.schedule(when, [this, tile, msg] { step(tile, msg); });
 }
 
 void
@@ -114,7 +226,21 @@ Mesh::deliver(const Message &msg)
                        clk_.eventQueue().now() - msg.injectTick);
     }
     delivered_.inc();
+    --inFlight_; // before the sink: it may inject onto the now-idle mesh
     sink(msg);
+}
+
+void
+Mesh::reset()
+{
+    simAssert(inFlight_ == 0, "mesh reset with messages in flight");
+    for (Router &r : routers_)
+        r.linkFree.fill(0);
+    flight_.active = false;
+    ++flight_.epoch;
+    flight_.hops.clear();
+    delivered_.reset();
+    flitCycles_.reset();
 }
 
 } // namespace duet

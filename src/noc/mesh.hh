@@ -10,12 +10,24 @@
  * (source, destination) pair — a property the Duet Proxy Cache protocol
  * relies on (paper Sec. II-C: "the asynchronous FIFOs deliver messages in
  * order").
+ *
+ * Express path: when the mesh is otherwise empty at inject time, the
+ * per-hop step() event chain collapses into one analytic walk over the
+ * precomputed XY route — every link claim (`linkFree`) is applied
+ * immediately with the exact tick arithmetic step() would have used, and
+ * a single arrival event stands in for the whole chain. If anything else
+ * injects while the express flight is outstanding, the not-yet-executed
+ * claims are unwound and the flight resumes on the hop-by-hop path at
+ * the hop it had reached, so queueing delay, flit-cycle totals, ordering
+ * and final ticks are identical to the chain it replaced (the event
+ * *count* is smaller; the tracked bench reference carries that).
  */
 
 #ifndef DUET_NOC_MESH_HH
 #define DUET_NOC_MESH_HH
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "noc/message.hh"
@@ -34,6 +46,7 @@ struct MeshConfig
     Cycles routerCycles = 2;    ///< per-hop pipeline latency
     Cycles linkCycles = 1;      ///< per-hop wire latency
     Cycles ejectCycles = 1;     ///< local ejection latency
+    bool express = true;        ///< single-event delivery on an idle mesh
 };
 
 /**
@@ -56,13 +69,21 @@ class Mesh
      */
     void inject(Message msg);
 
-    unsigned numTiles() const { return cfg_.width * cfg_.height; }
+    unsigned numTiles() const { return numTiles_; }
     const MeshConfig &config() const { return cfg_; }
 
     /** Total messages delivered. */
     const Counter &delivered() const { return delivered_; }
     /** Total flit-cycles of link occupancy (for utilization stats). */
     const Counter &flitCycles() const { return flitCycles_; }
+
+    /** Messages injected but not yet delivered (test/debug helper). */
+    unsigned inFlight() const { return inFlight_; }
+
+    /** Drop link occupancy, flight state and counters (warm-start).
+     *  Requires an empty mesh: any in-flight message holds scheduled
+     *  events this reset cannot recall. */
+    void reset();
 
   private:
     /** Output directions from a router. */
@@ -75,11 +96,34 @@ class Mesh
         std::array<Tick, kNumDirs> linkFree{};
     };
 
+    /** One precomputed XY routing decision: from a tile toward a
+     *  destination, which output to take and where it lands. */
+    struct RouteEntry
+    {
+        std::uint16_t next; ///< downstream tile (self when dir == Local)
+        std::uint8_t dir;   ///< Dir; Local means eject here
+    };
+
+    /** One link claim made by an express walk, kept so an interrupted
+     *  flight can be unwound exactly. */
+    struct ExpressHop
+    {
+        std::uint32_t tile;
+        std::uint32_t dir;
+        Tick prevLinkFree; ///< linkFree[dir] before this claim
+        Tick stepTick;     ///< tick step() would have run at this tile
+    };
+
     unsigned xOf(unsigned tile) const { return tile % cfg_.width; }
     unsigned yOf(unsigned tile) const { return tile / cfg_.width; }
     unsigned tileAt(unsigned x, unsigned y) const
     {
         return y * cfg_.width + x;
+    }
+
+    const RouteEntry &route(unsigned tile, unsigned dst) const
+    {
+        return routes_[tile * numTiles_ + dst];
     }
 
     /** Process @p msg at router @p tile at the current tick. */
@@ -88,11 +132,39 @@ class Mesh
     /** Deliver @p msg to its registered local sink. */
     void deliver(const Message &msg);
 
+    /** Claim the whole route now and schedule the single arrival. */
+    void expressInject(const Message &msg);
+
+    /** The express flight's stand-in for the final-hop step(). */
+    void expressArrive(std::uint64_t epoch);
+
+    /** Unwind the outstanding express flight's future claims and resume
+     *  it hop-by-hop (called before a competing inject proceeds). */
+    void deExpress();
+
     ClockDomain &clk_;
     MeshConfig cfg_;
+    unsigned numTiles_;
     std::vector<Router> routers_;
+    std::vector<RouteEntry> routes_; ///< [tile * numTiles_ + dst]
     // sinks_[tile][port]
     std::vector<std::array<Sink, 4>> sinks_;
+    unsigned inFlight_ = 0;
+
+    // At most one express flight can exist: express requires an empty
+    // mesh, and any later inject either de-expresses it or rides the
+    // hop-by-hop path.
+    struct ExpressFlight
+    {
+        bool active = false;
+        std::uint64_t epoch = 0;   ///< stale-arrival guard
+        std::size_t accountedHops = 0; ///< hops whose flits are counted
+        Tick lastStepTick = 0;     ///< step tick at the destination tile
+        Message msg{};
+        std::vector<ExpressHop> hops;
+    };
+    ExpressFlight flight_;
+
     Counter delivered_;
     Counter flitCycles_;
 };

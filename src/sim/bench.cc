@@ -69,12 +69,15 @@ benchScenario(const Workload &w, SystemMode mode, unsigned reps)
     cfg.mode = mode;
     std::uint64_t events = 0;
     Tick ticks = 0;
-    cfg.observer = [&](System &sys) {
-        // One System per run today; += keeps the count meaningful if a
-        // workload ever builds more than one.
+    // Named lvalue: the observer field is a non-owning FunctionRef, and
+    // this lambda must outlive every rep below.
+    auto observe = [&](System &sys) {
+        // Workloads lease one (possibly warm) System per run; += keeps
+        // the count meaningful if one ever builds more than one.
         events += sys.eventQueue().executed();
         ticks = sys.eventQueue().now();
     };
+    cfg.observer = observe;
 
     for (unsigned r = 0; r < reps; ++r) {
         events = 0;

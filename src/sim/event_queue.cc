@@ -13,7 +13,10 @@ EventQueue::schedule(Tick when, Event cb)
 {
     DUET_DCHECK(cb != nullptr, "null event callback scheduled");
     const std::uint32_t slot = acquireSlot(when);
-    slotRef(slot) = std::move(cb);
+    // Cold path: a pre-built Event moves into the one-shot slot behind a
+    // small forwarding capture (hot call sites use the template overload,
+    // which emplaces the raw lambda directly).
+    slotRef(slot).emplace([cb = std::move(cb)] { cb(); });
     commit(when, slot);
 }
 
@@ -37,10 +40,9 @@ EventQueue::run(Tick limit)
         // Invoke in place: chunk storage is pointer-stable, so the
         // callback may schedule new events (growing the slab) without
         // invalidating its own captures, and its slot only joins the
-        // free-list after it returns.
-        Event &ev = slotRef(n.slot);
-        ev();
-        ev.reset();
+        // free-list after it returns. runDestroy() fuses the call and
+        // the capture teardown into one indirect call.
+        slotRef(n.slot).runDestroy();
         free_.push_back(n.slot);
     }
     return true;

@@ -44,13 +44,19 @@ class EventQueue
 {
   public:
     /**
-     * A scheduled callback. The inline budget covers the simulator's
-     * largest hot capture (a private-cache miss continuation carrying a
-     * CacheReq); bigger captures still work, they just heap-allocate.
+     * A scheduled callback as a value type, for call sites that build an
+     * event before picking its tick. The inline budget covers the
+     * simulator's largest hot capture (a private-cache miss continuation
+     * carrying a CacheReq); bigger captures still work, they just
+     * heap-allocate. Internally the slab stores one-shot slots
+     * (OneShotFunction) so dispatch costs a single indirect call; an
+     * Event passed by value is wrapped on its way in.
      */
     using Event = InlineFunction<void(), 168>;
     /// Historical name, kept for call sites that predate Event.
     using Callback = Event;
+    /// The slab slot type: run-and-destroy fused into one trampoline.
+    using Slot = OneShotFunction<168>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -112,6 +118,24 @@ class EventQueue
     std::size_t freeSlots() const { return free_.size(); }
     /// @}
 
+    /**
+     * Drop every pending event and rewind time to tick zero, keeping the
+     * slab chunks and free-list warm (scenario warm-start). Pending
+     * callbacks are destroyed without running.
+     */
+    void
+    reset()
+    {
+        for (const Node &n : heap_) {
+            slotRef(n.slot).reset(); // destroy without running
+            free_.push_back(n.slot);
+        }
+        heap_.clear();
+        now_ = 0;
+        seq_ = 0;
+        executed_ = 0;
+    }
+
   private:
     /** Heap record: the full (when, seq) ordering key plus the slab
      *  slot holding the callback. Kept POD-small so sifts are cheap. */
@@ -171,7 +195,7 @@ class EventQueue
     static constexpr std::uint32_t kChunkShift = 12;
     static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
 
-    Event &
+    Slot &
     slotRef(std::uint32_t slot)
     {
         return chunks_[slot >> kChunkShift][slot & (kChunkSlots - 1)];
@@ -191,7 +215,7 @@ class EventQueue
             free_.pop_back();
         } else {
             if (slots_ == chunks_.size() << kChunkShift)
-                chunks_.push_back(std::make_unique<Event[]>(kChunkSlots));
+                chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
             slot = slots_++;
         }
         return slot;
@@ -215,7 +239,7 @@ class EventQueue
     /// Callback storage, indexed by Node::slot. Chunked so slots never
     /// move: run() can invoke an event in place while the callback
     /// grows the slab.
-    std::vector<std::unique_ptr<Event[]>> chunks_;
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
     /// Slots handed out so far (all chunks before slots_ are constructed).
     std::uint32_t slots_ = 0;
     /// LIFO recycler of vacated slab slots.

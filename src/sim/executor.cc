@@ -611,6 +611,10 @@ struct RWorker
     bool timedOut = false; ///< parent sent SIGKILL at the deadline
     Clock::time_point deadline{};
     bool hasDeadline = false;
+    /// Dispatch-clock stamp of this worker's last completed request;
+    /// dispatch prefers the highest (most recently used) idle worker so
+    /// its warm-started in-process System cache stays hot.
+    std::uint64_t lastDone = 0;
     JobResult result; ///< prefilled diagnostic on timeout
     ProcessPool::Completion completion;
 };
@@ -650,6 +654,8 @@ struct ResidentPool::Impl
     std::size_t slots = 1;
     std::vector<RWorker> workers;
     std::deque<PendingReq> pending;
+    /// Monotonic completion stamp source for RWorker::lastDone.
+    std::uint64_t dispatchClock = 0;
     bool abortedFlag = false;
 
     std::size_t
@@ -754,11 +760,14 @@ struct ResidentPool::Impl
     {
         std::size_t delivered = 0;
         while (!pending.empty()) {
+            // Most-recently-used idle worker: the one that just finished
+            // holds the warmest leased System (and OS caches), so keep
+            // feeding it instead of round-robining the pool.
             RWorker *idle = nullptr;
             for (RWorker &w : workers) {
-                if (!w.busy && !w.eof) {
+                if (!w.busy && !w.eof &&
+                    (idle == nullptr || w.lastDone > idle->lastDone)) {
                     idle = &w;
-                    break;
                 }
             }
             if (idle == nullptr) {
@@ -1000,6 +1009,7 @@ struct ResidentPool::Impl
                                           std::move(res));
                     w.busy = false;
                     w.hasDeadline = false;
+                    w.lastDone = ++dispatchClock;
                     w.completion = nullptr;
                 } else if (fr < 0) {
                     // Protocol violation: retire the worker, fail the

@@ -196,6 +196,160 @@ class InlineFunction<R(Args...), Bytes>
     bool heap_ = false;
 };
 
+/**
+ * A one-shot callable slot for owners that invoke a callback exactly once
+ * and never move it (the event queue's slab). Where InlineFunction pays
+ * two indirect calls per dispatch (invoke, then the manager's destroy),
+ * OneShotFunction fuses run-and-destroy into a single trampoline: one
+ * indirect call per simulated event, and the capture's destructor code
+ * sits in the same function as its invocation. The slot itself is
+ * pinned — no move or copy support — which is exactly the slab contract.
+ *
+ * @tparam Bytes inline capture budget, as in InlineFunction; oversized
+ *               captures spill to the heap behind one owned pointer.
+ */
+template <std::size_t Bytes = 48>
+class OneShotFunction
+{
+    enum class Act : std::uint8_t
+    {
+        RunDestroy, ///< invoke the capture, then destroy it
+        Destroy,    ///< destroy the capture without running it
+    };
+
+    using Fn = void (*)(Act, void *);
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Bytes && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+  public:
+    /// The inline capture budget, for tests probing the boundary.
+    static constexpr std::size_t kInlineBytes = Bytes;
+
+    OneShotFunction() = default;
+    OneShotFunction(const OneShotFunction &) = delete;
+    OneShotFunction &operator=(const OneShotFunction &) = delete;
+    ~OneShotFunction() { reset(); }
+
+    bool empty() const noexcept { return fn_ == nullptr; }
+
+    /** True when the held callable lives in the inline buffer (test
+     *  hook for the inline-vs-heap boundary). Empty counts as inline. */
+    bool storedInline() const noexcept { return !heap_; }
+
+    /** Construct @p f directly in this slot. @pre empty() */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, OneShotFunction> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>>>
+    void
+    emplace(F &&f)
+    {
+        DUET_DCHECK(fn_ == nullptr, "emplace into an occupied one-shot slot");
+        using Fn_t = std::remove_cvref_t<F>;
+        if constexpr (fitsInline<Fn_t>) {
+            ::new (static_cast<void *>(&buf_)) Fn_t(std::forward<F>(f));
+            fn_ = [](Act act, void *p) {
+                Fn_t *obj = static_cast<Fn_t *>(p);
+                if (act == Act::RunDestroy)
+                    (*obj)();
+                obj->~Fn_t();
+            };
+            heap_ = false;
+        } else {
+            auto owned = std::make_unique<Fn_t>(std::forward<F>(f));
+            ::new (static_cast<void *>(&buf_))(Fn_t *)(owned.release());
+            fn_ = [](Act act, void *p) {
+                Fn_t *obj = *static_cast<Fn_t **>(p);
+                if (act == Act::RunDestroy)
+                    (*obj)();
+                std::default_delete<Fn_t>{}(obj);
+            };
+            heap_ = true;
+        }
+    }
+
+    /**
+     * Invoke the capture and destroy it: one indirect call. The slot is
+     * emptied after a successful run; if the capture throws, it stays
+     * occupied (still un-run per the trampoline) so reset()/~ can
+     * reclaim it.
+     * @pre !empty()
+     */
+    void
+    runDestroy()
+    {
+        DUET_ASSERT(fn_ != nullptr, "running an empty one-shot slot");
+        fn_(Act::RunDestroy, &buf_);
+        fn_ = nullptr;
+    }
+
+    /** Destroy the capture without running it (pending-event teardown);
+     *  no-op when empty. */
+    void
+    reset() noexcept
+    {
+        if (fn_ != nullptr) {
+            fn_(Act::Destroy, &buf_);
+            fn_ = nullptr;
+        }
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[Bytes];
+    Fn fn_ = nullptr;
+    bool heap_ = false;
+};
+
+template <typename Signature>
+class FunctionRef;
+
+/**
+ * A copyable, non-owning reference to a callable — for hooks carried
+ * inside copyable configuration structs, where the owning InlineFunction
+ * above cannot go and std::function may not (lint R7 bans it from hot
+ * headers). Two raw words: the callable's address and a trampoline.
+ *
+ * The referenced callable must outlive every call through the ref. Only
+ * non-const lvalue callables bind, so assigning a temporary lambda is
+ * rejected at compile time instead of dangling at run time.
+ */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = default;
+    FunctionRef(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  !std::is_const_v<F> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &f) noexcept // NOLINT(google-explicit-constructor)
+        : obj_(static_cast<void *>(std::addressof(f))),
+          invoke_([](void *o, Args... args) -> R {
+              return (*static_cast<F *>(o))(std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        DUET_ASSERT(invoke_ != nullptr, "invoking an empty FunctionRef");
+        return invoke_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_ = nullptr;
+    R (*invoke_)(void *, Args...) = nullptr;
+};
+
 } // namespace duet
 
 #endif // DUET_SIM_INLINE_FUNCTION_HH

@@ -171,6 +171,88 @@ System::run()
     return eq_.now();
 }
 
+bool
+System::geometryCompatible(const SystemConfig &cfg) const
+{
+    const SystemConfig &c = cfg_;
+    return cfg.numCores == c.numCores && cfg.numMemHubs == c.numMemHubs &&
+           cfg.mode == c.mode && cfg.cpuFreqMhz == c.cpuFreqMhz &&
+           cfg.fpgaFreqMhz == c.fpgaFreqMhz &&
+           cfg.l2.sizeBytes == c.l2.sizeBytes && cfg.l2.ways == c.l2.ways &&
+           cfg.l2.hitLatency == c.l2.hitLatency &&
+           cfg.l2.mshrs == c.l2.mshrs &&
+           cfg.l2.maxStoreBytes == c.l2.maxStoreBytes &&
+           cfg.l3.sizeBytes == c.l3.sizeBytes && cfg.l3.ways == c.l3.ways &&
+           cfg.l3.dirLatency == c.l3.dirLatency &&
+           cfg.l3.memLatencyCycles == c.l3.memLatencyCycles &&
+           cfg.l3.memBurstCycles == c.l3.memBurstCycles &&
+           cfg.meshTiming.width == c.meshTiming.width &&
+           cfg.meshTiming.height == c.meshTiming.height &&
+           cfg.meshTiming.routerCycles == c.meshTiming.routerCycles &&
+           cfg.meshTiming.linkCycles == c.meshTiming.linkCycles &&
+           cfg.meshTiming.ejectCycles == c.meshTiming.ejectCycles &&
+           cfg.meshTiming.express == c.meshTiming.express &&
+           cfg.hub.tlbEnabled == c.hub.tlbEnabled &&
+           cfg.hub.tlbEntries == c.hub.tlbEntries &&
+           cfg.hub.forwardInvs == c.hub.forwardInvs &&
+           cfg.hub.atomicsEnabled == c.hub.atomicsEnabled &&
+           cfg.hub.reqFifoDepth == c.hub.reqFifoDepth &&
+           cfg.hub.respFifoDepth == c.hub.respFifoDepth &&
+           cfg.hub.reqSyncStages == c.hub.reqSyncStages &&
+           cfg.hub.respSyncStages == c.hub.respSyncStages &&
+           cfg.hub.hubLatency == c.hub.hubLatency &&
+           cfg.ctrl.shadowEnabled == c.ctrl.shadowEnabled &&
+           cfg.ctrl.timeoutCycles == c.ctrl.timeoutCycles &&
+           cfg.ctrl.ctrlFifoDepth == c.ctrl.ctrlFifoDepth &&
+           cfg.ctrl.syncStages == c.ctrl.syncStages &&
+           cfg.ctrl.progBytesPerCycle == c.ctrl.progBytesPerCycle &&
+           cfg.fabric.clbColumns == c.fabric.clbColumns &&
+           cfg.fabric.clbRows == c.fabric.clbRows &&
+           cfg.fabric.lutsPerClb == c.fabric.lutsPerClb &&
+           cfg.fabric.ffsPerClb == c.fabric.ffsPerClb &&
+           cfg.fabric.bramTiles == c.fabric.bramTiles &&
+           cfg.fabric.bitsPerBram == c.fabric.bitsPerBram &&
+           cfg.fabric.multTiles == c.fabric.multTiles &&
+           cfg.fabric.configBitsPerTile == c.fabric.configBitsPerTile &&
+           cfg.scratchpadBytes == c.scratchpadBytes &&
+           cfg.scratchpadAuto == c.scratchpadAuto;
+}
+
+void
+System::reset(const SystemConfig &cfg)
+{
+    simAssert(geometryCompatible(cfg),
+              "System::reset with a different hardware geometry");
+
+    // Parked coroutine frames reference components; destroy them before
+    // rewinding the state they point at (same reasoning as ~System).
+    drainDetachedTasks();
+
+    // Time first: destroying pending events lets every component below
+    // treat in-flight work as simply gone.
+    eq_.reset();
+    clk_->reset(cfg.cpuFreqMhz);
+    fpgaClk_->reset(cfg.fpgaFreqMhz);
+
+    mem_.reset();
+    mesh_->reset();
+    for (auto &l2 : l2s_)
+        l2->reset();
+    for (auto &l3 : l3s_)
+        l3->reset();
+    for (auto &c : cores_)
+        c->reset();
+    for (auto &f : cdcLinks_)
+        f->reset();
+    if (adapter_)
+        adapter_->reset();
+
+    // Stats registrations hold raw Counter pointers into the components
+    // just reset, so the registry itself needs no rebuild. Only the run
+    // parameters (observer, watchdog) change.
+    cfg_ = cfg;
+}
+
 Tick
 System::lastCoreFinish() const
 {

@@ -19,7 +19,6 @@
 #ifndef DUET_SYSTEM_SYSTEM_HH
 #define DUET_SYSTEM_SYSTEM_HH
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "cache/l3_shard.hh"
 #include "cpu/core.hh"
 #include "sim/arena.hh"
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -70,8 +70,10 @@ struct SystemConfig
     Tick maxTicks = 500 * 1000 * kTicksPerUs; ///< watchdog (500 ms sim time)
     /// Post-run hook: benchmarks hand their System here (via reportRun)
     /// after the timed region completes but before teardown, so callers
-    /// can dump the stats registry.
-    std::function<void(System &)> observer;
+    /// can dump the stats registry. A non-owning ref (this header is in
+    /// lint R7's hot set, and the config must stay copyable): the
+    /// callable must be a named lvalue that outlives the run.
+    FunctionRef<void(System &)> observer;
 };
 
 /** A fully wired simulated system. */
@@ -123,6 +125,24 @@ class System
 
     /** Longest core finish time (the benchmark runtime). */
     Tick lastCoreFinish() const;
+
+    /**
+     * True when @p cfg describes the same hardware this system was built
+     * with (same tile count, cache/NoC/fabric geometry and timing) —
+     * i.e. reset() can rewind this instance into a system indistinguishable
+     * from `System(cfg)`. The observer hook and the watchdog limit are
+     * run parameters, not geometry, and are excluded.
+     */
+    bool geometryCompatible(const SystemConfig &cfg) const;
+
+    /**
+     * Rewind this system in place to the state `System(cfg)` would have
+     * constructed, keeping every allocation warm: event-queue slab,
+     * functional-memory pages, cache arrays, directory tables, the
+     * coroutine arena's blocks (scenario warm-start).
+     * @pre geometryCompatible(cfg)
+     */
+    void reset(const SystemConfig &cfg);
 
     /** This system's coroutine-frame/Future-state arena (test probe). */
     const FrameArena &frameArena() const { return arena_; }

@@ -17,6 +17,71 @@ reportRun(System &sys)
 namespace
 {
 
+/**
+ * The per-thread warm-System slot behind SystemLease. Thread-local on
+ * purpose: the coroutine arena's "current" pointer is thread-local, so a
+ * System must be reset and destroyed on the thread that built it.
+ */
+struct SystemCache
+{
+    std::unique_ptr<System> sys;
+    bool inUse = false;
+};
+
+SystemCache &
+systemCache()
+{
+    thread_local SystemCache cache;
+    return cache;
+}
+
+} // namespace
+
+SystemLease::SystemLease(const SystemConfig &cfg)
+{
+    SystemCache &cache = systemCache();
+    if (cache.sys && !cache.inUse) {
+        if (cache.sys->geometryCompatible(cfg)) {
+            cache.sys->reset(cfg);
+            cache.inUse = true;
+            sys_ = cache.sys.get();
+            warm_ = true;
+            return;
+        }
+        // Different geometry: rebuild the slot, but only when the cached
+        // System's arena scope is innermost — destroying it from under a
+        // later scope would leave the thread-local current-arena pointer
+        // dangling (ArenaScope restores its saved predecessor).
+        if (cache.sys->frameArena().isCurrent()) {
+            cache.sys.reset();
+            cache.sys = std::make_unique<System>(cfg);
+            cache.inUse = true;
+            sys_ = cache.sys.get();
+            return;
+        }
+    }
+    owned_ = std::make_unique<System>(cfg);
+    sys_ = owned_.get();
+}
+
+SystemLease::~SystemLease()
+{
+    SystemCache &cache = systemCache();
+    if (owned_) {
+        // Seed the cache when the slot is free so the next lease with
+        // this geometry starts warm; otherwise the System dies here (it
+        // is the innermost arena scope, so plain destruction is safe).
+        if (!cache.sys && owned_->frameArena().isCurrent())
+            cache.sys = std::move(owned_);
+        return;
+    }
+    if (sys_ != nullptr && sys_ == cache.sys.get())
+        cache.inUse = false;
+}
+
+namespace
+{
+
 // The application fabric's BRAM budget. The tile count grows with the
 // scratchpad requirement (so layout-driven problem sizes get the BRAM
 // they declare) between a floor that keeps default-size runs on the

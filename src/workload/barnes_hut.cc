@@ -435,7 +435,8 @@ runBarnesHut(const WorkloadParams &p, const SystemConfig &base)
     // node/leaf records per tree node in BRAM; size the scratchpad from
     // the actual tree.
     Layout spad = accel::barnesHutSpadLayout(particles, num_nodes);
-    System sys(appConfig(threads, p.memHubs, base, spad.totalBytes()));
+    SystemLease lease(appConfig(threads, p.memHubs, base, spad.totalBytes()));
+    System &sys = *lease;
     setup(sys, t, m);
     if (base.mode != SystemMode::CpuOnly) {
         AccelImage img = accel::barnesHutImage(threads, spad);

@@ -285,7 +285,8 @@ runBfs(const WorkloadParams &p, const SystemConfig &base)
     BfsMap m = mapFrom(layout);
     // The frontier widget double-buffers 8 B frontier entries in the
     // scratchpad; a level frontier can approach V.
-    System sys(appConfig(cores, p.memHubs, base, 2ull * 8 * p.size));
+    SystemLease lease(appConfig(cores, p.memHubs, base, 2ull * 8 * p.size));
+    System &sys = *lease;
     setup(sys, g, m);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::bfsQueueImage(cores));

@@ -280,7 +280,8 @@ runDijkstra(const WorkloadParams &p, const SystemConfig &base)
     Layout layout = dijkstraLayout(g.numNodes(), g.edges.size());
     DijkstraMap m{layout.base("offsets"), layout.base("edges"),
                   layout.base("dist"), layout.base("heap")};
-    System sys(appConfig(p.cores, p.memHubs, base));
+    SystemLease lease(appConfig(p.cores, p.memHubs, base));
+    System &sys = *lease;
     setup(sys, g, m);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::dijkstraImage());

@@ -254,7 +254,8 @@ runPdes(const WorkloadParams &p, const SystemConfig &base)
               layout.base("tickets"),   layout.base("qnodes")};
     // The scheduler widget keeps its event heap in the scratchpad: one
     // 8 B packed event per in-flight chain.
-    System sys(appConfig(cores, p.memHubs, base, 8ull * chains));
+    SystemLease lease(appConfig(cores, p.memHubs, base, 8ull * chains));
+    System &sys = *lease;
     if (base.mode != SystemMode::CpuOnly) {
         installOrDie(sys, accel::pdesSchedulerImage(cores, total_events));
     } else {

@@ -114,7 +114,8 @@ runPopcount(const WorkloadParams &p, const SystemConfig &base)
     Layout layout = popcountLayout(vectors);
     PopcountMap m{layout.base("data"), layout.base("results"),
                   layout.base("table")};
-    System sys(appConfig(p.cores, p.memHubs, base));
+    SystemLease lease(appConfig(p.cores, p.memHubs, base));
+    System &sys = *lease;
     setup(sys, m, vectors, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::popcountImage());

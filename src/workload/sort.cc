@@ -163,7 +163,8 @@ runSort(const WorkloadParams &p, const SystemConfig &base)
     Layout layout = sortLayout();
     SortMap m{layout.base("in"), layout.base("sliced"),
               layout.base("out")};
-    System sys(appConfig(p.cores, p.memHubs, base));
+    SystemLease lease(appConfig(p.cores, p.memHubs, base));
+    System &sys = *lease;
     setup(sys, m, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::sortImage(n));

@@ -109,7 +109,8 @@ runTangent(const WorkloadParams &p, const SystemConfig &base)
     const unsigned calls = p.size;
     Layout layout = tangentLayout(calls);
     TangentMap m{layout.base("args"), layout.base("results")};
-    System sys(appConfig(p.cores, p.memHubs, base));
+    SystemLease lease(appConfig(p.cores, p.memHubs, base));
+    System &sys = *lease;
     setup(sys, m, calls, p.seed);
     if (base.mode != SystemMode::CpuOnly)
         installOrDie(sys, accel::tangentImage());

@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
 #include "workload/apps.hh"
 
 namespace duet
@@ -135,6 +140,54 @@ TEST(Apps, BfsSuperlinearScalingFromBaselineContention)
     double s4 = double(c4.runtime) / d4.runtime;
     double s8 = double(c8.runtime) / d8.runtime;
     EXPECT_GT(s8, 1.5 * s4); // superlinear in core count
+}
+
+TEST(WarmStart, LeaseReusesCompatibleSystem)
+{
+    // Two leases with identical geometry, taken back to back: whatever
+    // the cache held before, the second lease must reuse (reset) the
+    // System the first one parked.
+    SystemConfig base;
+    base.mode = SystemMode::Duet;
+    const SystemConfig cfg = appConfig(1, 1, base);
+    {
+        SystemLease lease(cfg);
+        EXPECT_NE(&*lease, nullptr);
+    }
+    {
+        SystemLease lease(cfg);
+        EXPECT_TRUE(lease.warm());
+    }
+}
+
+TEST(WarmStart, ResetRunIsByteIdenticalToColdRun)
+{
+    // The warm-start contract: a run on a reset System is
+    // indistinguishable from a run on a fresh one. Run the same scenario
+    // twice on this thread — the second run rides the thread-local warm
+    // cache — and compare the final tick and the complete stats dump
+    // byte for byte.
+    std::vector<std::string> dumps;
+    auto observe = [&](System &sys) {
+        std::ostringstream os;
+        sys.stats().dump(os);
+        dumps.push_back(os.str());
+    };
+    SystemConfig base;
+    base.mode = SystemMode::Duet;
+    base.observer = observe;
+    const Workload *w = findWorkload("sort");
+    ASSERT_NE(w, nullptr);
+    WorkloadParams p{.size = 64};
+    std::string err;
+    ASSERT_TRUE(resolveParams(*w, p, err)) << err;
+    const AppResult cold = runWorkload(*w, p, base);
+    const AppResult warm = runWorkload(*w, p, base);
+    EXPECT_TRUE(cold.correct);
+    EXPECT_TRUE(warm.correct);
+    EXPECT_EQ(cold.runtime, warm.runtime);
+    ASSERT_EQ(dumps.size(), 2u);
+    EXPECT_EQ(dumps[0], dumps[1]);
 }
 
 TEST(Apps, ProblemSizeScalesRuntime)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Diff two `duet-bench-sim/1` reports (duet_sim --bench output).
+
+    python3 tools/bench_diff.py BASELINE.json NEW.json
+
+Scenarios are joined on (workload, mode, cores, size, seed). For every
+pair the wall-time delta is reported; event and tick counts are checked
+for *identity*, because the bench doubles as the determinism gate: the
+reference scenarios are fixed-seed simulations, so any drift in `events`
+or `sim_ticks` means the simulator's semantics changed, not its speed.
+
+Exit status:
+  0  same scenario set, identical events/sim_ticks everywhere
+  1  events or sim_ticks drifted, a scenario appeared/vanished, or a
+     side reports correct=false (wall-time changes alone never fail)
+  2  usage or parse error
+
+`--allow-semantic-drift` downgrades drift to a warning (exit 0) for the
+rare commit that intentionally changes event semantics and updates the
+committed reference in the same change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"bench_diff: {path}: {e}")
+    if doc.get("schema") != "duet-bench-sim/1":
+        raise SystemExit(
+            f"bench_diff: {path}: schema {doc.get('schema')!r} is not "
+            "duet-bench-sim/1")
+    return doc
+
+
+def key(row):
+    return (row["workload"], row["mode"], row["cores"], row["size"],
+            row["seed"])
+
+
+def fmt_key(k):
+    workload, mode, cores, size, seed = k
+    return f"{workload}/{mode} c{cores} s{size} seed{seed}"
+
+
+def pct(base, new):
+    if base == 0:
+        return "n/a"
+    return f"{(new - base) / base * 100.0:+.1f}%"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description="Diff two duet-bench-sim/1 reports.")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--allow-semantic-drift", action="store_true",
+                    help="report events/ticks drift but exit 0")
+    args = ap.parse_args(argv[1:])
+
+    base = load(args.baseline)
+    new = load(args.new)
+    brows = {key(r): r for r in base.get("scenarios", [])}
+    nrows = {key(r): r for r in new.get("scenarios", [])}
+
+    drift = []
+    print(f"{'scenario':<34} {'wall_ms_min':>22} {'delta':>8} "
+          f"{'events':>12} {'sim_ticks':>12}")
+    for k in sorted(brows):
+        if k not in nrows:
+            drift.append(f"{fmt_key(k)}: missing from {args.new}")
+            continue
+        b, n = brows[k], nrows[k]
+        ev = "same" if b["events"] == n["events"] else "DRIFT"
+        tk = "same" if b["sim_ticks"] == n["sim_ticks"] else "DRIFT"
+        print(f"{fmt_key(k):<34} "
+              f"{b['wall_ms_min']:>10.3f} {n['wall_ms_min']:>11.3f} "
+              f"{pct(b['wall_ms_min'], n['wall_ms_min']):>8} "
+              f"{ev:>12} {tk:>12}")
+        if b["events"] != n["events"]:
+            drift.append(f"{fmt_key(k)}: events {b['events']} -> "
+                         f"{n['events']}")
+        if b["sim_ticks"] != n["sim_ticks"]:
+            drift.append(f"{fmt_key(k)}: sim_ticks {b['sim_ticks']} -> "
+                         f"{n['sim_ticks']}")
+        for side, row in ((args.baseline, b), (args.new, n)):
+            if not row.get("correct", False):
+                drift.append(f"{fmt_key(k)}: correct=false in {side}")
+    for k in sorted(set(nrows) - set(brows)):
+        drift.append(f"{fmt_key(k)}: missing from {args.baseline}")
+
+    bw = base["totals"]["wall_ms_min"]
+    nw = new["totals"]["wall_ms_min"]
+    speed = bw / nw if nw > 0 else float("inf")
+    print(f"\ntotals: wall_ms_min {bw:.3f} -> {nw:.3f} "
+          f"({pct(bw, nw)}, {speed:.3f}x)")
+
+    if drift:
+        print(f"\nbench_diff: {len(drift)} semantic difference(s):",
+              file=sys.stderr)
+        for d in drift:
+            print(f"  {d}", file=sys.stderr)
+        if not args.allow_semantic_drift:
+            return 1
+        print("bench_diff: --allow-semantic-drift given; not failing",
+              file=sys.stderr)
+    else:
+        print("bench_diff: no semantic drift (wall-time-only changes)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,11 +35,16 @@ Rules (R1-R7):
                              this codebase).
   R7 no-std-function-hot     `std::function`/`<functional>` are banned in
                              the hot-path headers (src/sim/event_queue.hh,
-                             src/sim/inline_function.hh, src/cache/*.hh):
-                             per-event type erasure there must go through
-                             InlineFunction so callbacks stay
+                             src/sim/inline_function.hh, src/cache/*.hh,
+                             src/noc/*.hh, src/system/*.hh): per-event
+                             type erasure there must go through
+                             InlineFunction (or the non-owning
+                             FunctionRef) so callbacks stay
                              allocation-free. Cold configuration hooks in
                              other headers may still use std::function.
+
+Run `python3 tools/lint_sim.py --selftest` to exercise every rule against
+built-in positive/negative fixtures (wired into ctest as lint_selftest).
 
 Comments and string/char literals are stripped before matching, so prose
 like "a new coroutine" never trips R3. Raw string literals are not
@@ -71,10 +76,12 @@ NEW_ALLOWLIST = {
 
 # Hot-path headers where std::function (and <functional>) are banned:
 # these types sit on the per-event schedule/dispatch path and must use
-# InlineFunction's inline storage instead (R7).
+# InlineFunction's inline storage (or a non-owning FunctionRef) instead
+# (R7). src/noc and src/system joined the set when the express path and
+# warm-start put Mesh and System on the per-event dispatch path.
 HOT_HEADERS_RE = re.compile(
     r"^(src/sim/event_queue\.hh|src/sim/inline_function\.hh|"
-    r"src/cache/[^/]+\.hh)$"
+    r"src/cache/[^/]+\.hh|src/noc/[^/]+\.hh|src/system/[^/]+\.hh)$"
 )
 
 RE_FORK = re.compile(r"\bfork\s*\(")
@@ -211,7 +218,100 @@ def lint_file(path, rel, findings):
                    "missing `#ifndef DUET_...` include guard")
 
 
+# --selftest fixtures: (relative path, source text, expected rule names).
+# Each case is linted as if the file sat at that path in the repo, so the
+# allowlists and the hot-header set are exercised exactly as in a real
+# run. Expected rules are compared as a multiset.
+SELFTEST_CASES = [
+    ("src/workload/bad_fork.cc", "int main() { fork(); }\n",
+     ["fork-outside-executor"]),
+    ("src/sim/executor.cc", "static void spawn() { fork(); }\n", []),
+    ("src/cpu/bad_cast.cc",
+     "int f(const int *p) { return *const_cast<int *>(p); }\n",
+     ["no-const-cast"]),
+    ("src/cpu/bad_new.cc", "int *f() { return new int(3); }\n",
+     ["naked-new-delete"]),
+    ("src/cpu/deleted_fn.hh",
+     "#ifndef DUET_CPU_DELETED_FN_HH\n#define DUET_CPU_DELETED_FN_HH\n"
+     "struct S { S(const S &) = delete; };\n#endif\n",
+     []),
+    ("src/sim/arena.cc", "char *f() { return new char[8]; }\n", []),
+    ("src/mem/bad_copy.cc",
+     "void f(char *d, const char *s) { memcpy(d, s, 8); }\n",
+     ["unchecked-memcpy"]),
+    ("src/mem/checked_copy.cc",
+     "void f(char *d, const char *s, unsigned n) {\n"
+     "    DUET_ASSERT(n <= 8, \"bound\");\n"
+     "    memcpy(d, s, n);\n}\n",
+     []),
+    ("src/mem/escape_copy.cc",
+     "void f(char *d, const char *s, unsigned n) {\n"
+     "    memcpy(d, s, n); // lint: checked-memcpy(caller clamps n)\n}\n",
+     []),
+    ("src/cpu/bad_str.cc",
+     "void f(char *d, const char *s) { strcpy(d, s); }\n",
+     ["no-unbounded-cstring"]),
+    ("src/cpu/no_guard.hh", "struct S {};\n", ["header-guard"]),
+    # R7: the hot-header set, including the src/noc and src/system
+    # extensions, rejects std::function and <functional> alike.
+    ("src/noc/bad_hot.hh",
+     "#ifndef DUET_NOC_BAD_HOT_HH\n#define DUET_NOC_BAD_HOT_HH\n"
+     "#include <functional>\n"
+     "struct M { std::function<void()> cb; };\n#endif\n",
+     ["no-std-function-hot", "no-std-function-hot"]),
+    ("src/system/bad_hot.hh",
+     "#ifndef DUET_SYSTEM_BAD_HOT_HH\n#define DUET_SYSTEM_BAD_HOT_HH\n"
+     "struct S { std::function<void()> observer; };\n#endif\n",
+     ["no-std-function-hot"]),
+    ("src/cache/bad_hot.hh",
+     "#ifndef DUET_CACHE_BAD_HOT_HH\n#define DUET_CACHE_BAD_HOT_HH\n"
+     "#include <functional>\n#endif\n",
+     ["no-std-function-hot"]),
+    # Cold headers and .cc files may keep std::function.
+    ("src/workload/cold.hh",
+     "#ifndef DUET_WORKLOAD_COLD_HH\n#define DUET_WORKLOAD_COLD_HH\n"
+     "#include <functional>\n"
+     "struct W { std::function<void()> hook; };\n#endif\n",
+     []),
+    ("src/noc/mesh.cc", "#include <functional>\n", []),
+    # Comment/string stripping: prose never trips the code rules.
+    ("src/cpu/prose.cc",
+     "// a new coroutine is forked via const_cast-free magic\n"
+     "const char *s() { return \"new fork() const_cast\"; }\n",
+     []),
+]
+
+
+def selftest():
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as td:
+        for rel, text, expected in SELFTEST_CASES:
+            path = Path(td) / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            findings = []
+            lint_file(path, rel, findings)
+            got = sorted(f.split(": ")[1] for f in findings)
+            if got != sorted(expected):
+                failures.append(
+                    f"{rel}: expected {sorted(expected)}, got {got} "
+                    f"({findings})")
+    for f in failures:
+        print(f"selftest FAIL {f}", file=sys.stderr)
+    if failures:
+        print(f"lint_sim --selftest: {len(failures)}/"
+              f"{len(SELFTEST_CASES)} cases failed", file=sys.stderr)
+        return 1
+    print(f"lint_sim --selftest: OK ({len(SELFTEST_CASES)} cases)",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv):
+    if argv[1:] == ["--selftest"]:
+        return selftest()
     roots = [Path(a) for a in argv[1:] if not a.startswith("-")]
     if any(a.startswith("-") for a in argv[1:]):
         print(__doc__)
