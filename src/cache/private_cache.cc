@@ -1,6 +1,7 @@
 #include "cache/private_cache.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -105,6 +106,7 @@ PrivateCache::completeStore(const CacheReq &req, PrivateLine &line)
 void
 PrivateCache::process(CacheReq req, Tick arrival)
 {
+    obs::profClaim("cache");
     const Addr la = lineAlign(req.addr);
 
     // Attribute local pipeline time (queueing + hit latency) to this
@@ -164,6 +166,13 @@ PrivateCache::process(CacheReq req, Tick arrival)
     }
 
     misses.inc();
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Cache)) {
+            ts->instant(TraceCat::Cache, name_,
+                        is_store ? "miss-getm" : "miss-gets",
+                        clk_.eventQueue().now());
+        }
+    }
     Mshr &mshr = mshrs_[la];
     mshr.wantM = is_store;
     mshr.waiting.push_back(std::move(req));
@@ -208,6 +217,7 @@ PrivateCache::receive(const Message &msg)
     Tick done = start + clk_.cyclesToTicks(params_.hitLatency);
     Tick arrival = clk_.eventQueue().now();
     clk_.eventQueue().schedule(done, [this, msg, arrival] {
+        obs::profClaim("cache");
         if (msg.trace) {
             msg.trace->add(domainCat_,
                            clk_.eventQueue().now() - arrival);
@@ -304,6 +314,12 @@ PrivateCache::handle(const Message &msg)
 void
 PrivateCache::fill(const Message &msg)
 {
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Cache)) {
+            ts->instant(TraceCat::Cache, name_, "fill",
+                        clk_.eventQueue().now());
+        }
+    }
     const Addr la = lineAlign(msg.addr);
     auto it = mshrs_.find(la);
     simAssert(it != mshrs_.end(), name_ + ": fill without MSHR");

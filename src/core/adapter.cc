@@ -122,6 +122,7 @@ DuetAdapter::install(const AccelImage &img,
             auto sc = std::make_unique<SoftCache>(
                 fpgaClk_, name_ + ".softCache" + std::to_string(i), scp,
                 proxies_[i]->memoryRef());
+            sc->setDefaultTrace(defaultTrace_);
             sc->bindOut(&hubs_[i]->reqFifo());
             hubs_[i]->respFifo().setDrain(
                 [p = sc.get()](FpgaMemResp &&r) { p->receive(std::move(r)); });

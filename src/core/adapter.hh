@@ -118,6 +118,17 @@ class DuetAdapter
      *  parity error. */
     void injectParityError(unsigned i);
 
+    /** Fallback latency-attribution sink for soft caches
+     *  (`--latency-breakdown`). Soft caches are built per install(), so
+     *  the adapter remembers the sink and applies it to each new one. */
+    void
+    setDefaultTrace(LatencyTrace *t)
+    {
+        defaultTrace_ = t;
+        for (auto &sc : softCaches_)
+            sc->setDefaultTrace(t);
+    }
+
     void registerStats(StatRegistry &reg) const;
 
     /** Rewind to construction state (scenario warm-start): uninstalls
@@ -139,6 +150,7 @@ class DuetAdapter
     std::unique_ptr<FpgaRegFile> regFile_;
     std::vector<std::unique_ptr<SoftCache>> softCaches_;
     std::vector<PrivateCache *> proxies_;
+    LatencyTrace *defaultTrace_ = nullptr;
 };
 
 } // namespace duet

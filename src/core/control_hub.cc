@@ -1,6 +1,7 @@
 #include "core/control_hub.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -97,6 +98,15 @@ ControlHub::receive(const Message &msg)
 void
 ControlHub::respond(const MmioOp &op, std::uint64_t value)
 {
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Ctrl)) {
+            // One complete span per MMIO op: arrival at the hub through
+            // the response injection, on this hub's track.
+            ts->complete(TraceCat::Ctrl, name_,
+                         op.isRead ? "mmio-read" : "mmio-write",
+                         op.arrival, fastClk_.eventQueue().now());
+        }
+    }
     if (op.trace) {
         // Queue wait + hub processing in the fast domain.
         op.trace->add(LatencyTrace::Cat::FastCache,
@@ -116,6 +126,7 @@ ControlHub::respond(const MmioOp &op, std::uint64_t value)
 void
 ControlHub::pump()
 {
+    obs::profClaim("ctrl");
     if (headBlocked_ || queue_.empty()) {
         pumping_ = false;
         return;

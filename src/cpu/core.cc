@@ -43,12 +43,15 @@ Future<std::uint64_t>
 Core::load(Addr a, unsigned size, LatencyTrace *trace)
 {
     loads.inc();
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> fut;
     auto set = fut.setter();
     if (l1_.loadHit(a)) {
         l1Hits.inc();
         // 1-cycle L1 hit; the value still comes from functional memory.
         clk_.scheduleAtEdge(l1_.params().hitLatency, [this, a, size, set] {
+            obs::profClaim("cpu");
             set.set(l2_.memoryRef().read(a, size));
         });
         return fut;
@@ -70,6 +73,8 @@ Future<void>
 Core::store(Addr a, std::uint64_t v, unsigned size, LatencyTrace *trace)
 {
     stores.inc();
+    if (!trace)
+        trace = defaultTrace_;
     Future<void> fut;
     auto set = fut.setter();
     CacheReq r;
@@ -106,6 +111,8 @@ Future<std::uint64_t>
 Core::mmioRead(Addr a, LatencyTrace *trace)
 {
     mmios.inc();
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> fut;
     std::uint32_t id = nextTxn_++;
     pendingMmio_.emplace(id, fut.setter());
@@ -124,6 +131,8 @@ Future<void>
 Core::mmioWrite(Addr a, std::uint64_t v, LatencyTrace *trace)
 {
     mmios.inc();
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> raw;
     std::uint32_t id = nextTxn_++;
     pendingMmio_.emplace(id, raw.setter());

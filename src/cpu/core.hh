@@ -84,6 +84,15 @@ class Core
     /** Deliver an MMIO response from the NoC (wired by the system). */
     void receive(const Message &msg);
 
+    /**
+     * Fallback latency-attribution sink (`--latency-breakdown`): memory
+     * and MMIO ops whose callers pass no LatencyTrace attribute into
+     * this one instead, so the system can total Fig. 9-style
+     * noc/fast/slow/cdc tick counts without touching every workload.
+     * Attribution only — never affects timing.
+     */
+    void setDefaultTrace(LatencyTrace *t) { defaultTrace_ = t; }
+
     /** Register a software interrupt handler (e.g. the TLB-miss handler).
      *  The handler runs as a new coroutine on this core. */
     void
@@ -139,6 +148,7 @@ class Core
     std::uint32_t nextTxn_ = 1;
     bool finished_ = false;
     Tick finishTick_ = 0;
+    LatencyTrace *defaultTrace_ = nullptr;
 };
 
 } // namespace duet

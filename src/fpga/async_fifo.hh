@@ -25,6 +25,7 @@
 #include "sim/latency_trace.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -91,6 +92,13 @@ class AsyncFifo
 
         eq.schedule(deliver, [this, item = std::move(item),
                               push_tick]() mutable {
+            obs::profClaim("cdc");
+            if (TraceSink *ts = obs::trace()) {
+                if (ts->enabled(TraceCat::Cdc)) {
+                    ts->complete(TraceCat::Cdc, name_, "crossing",
+                                 push_tick, reader_.eventQueue().now());
+                }
+            }
             --occupancy_;
             if constexpr (HasTrace<T>) {
                 if (item.trace) {

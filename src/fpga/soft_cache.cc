@@ -1,6 +1,7 @@
 #include "fpga/soft_cache.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -17,6 +18,8 @@ SoftCache::SoftCache(ClockDomain &fpga_clk, std::string name,
 Future<std::uint64_t>
 SoftCache::load(Addr a, unsigned size, LatencyTrace *trace)
 {
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> fut;
     PendingOp op;
     op.op = FpgaMemOp::Load;
@@ -33,6 +36,8 @@ Future<void>
 SoftCache::store(Addr a, std::uint64_t v, unsigned size,
                  LatencyTrace *trace)
 {
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> raw;
     PendingOp op;
     op.op = FpgaMemOp::Store;
@@ -76,6 +81,8 @@ SoftCache::amo(AmoOp amo_op, Addr a, std::uint64_t operand,
 Future<void>
 SoftCache::prefetchLine(Addr line_va, LatencyTrace *trace)
 {
+    if (!trace)
+        trace = defaultTrace_;
     Future<std::uint64_t> raw;
     PendingOp op;
     op.op = FpgaMemOp::Load;
@@ -132,6 +139,7 @@ SoftCache::schedulePump()
 void
 SoftCache::pump()
 {
+    obs::profClaim("fpga");
     // Issue at most one operation per eFPGA cycle, in order.
     if (!queue_.empty() && issue(queue_.front()))
         queue_.pop_front();

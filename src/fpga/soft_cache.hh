@@ -91,6 +91,11 @@ class SoftCache
      *  by the Memory Hub (i.e. is globally visible). */
     Future<void> drainWrites();
 
+    /** Fallback latency-attribution sink (`--latency-breakdown`); ops
+     *  carrying no LatencyTrace attribute into it instead. See
+     *  Core::setDefaultTrace. */
+    void setDefaultTrace(LatencyTrace *t) { defaultTrace_ = t; }
+
     /** Probe (tests): is the line resident? */
     bool resident(Addr va) const
     {
@@ -149,6 +154,7 @@ class SoftCache
     std::vector<Future<void>::Setter> drainWaiters_;
     std::uint32_t nextId_ = 1;
     bool pumping_ = false;
+    LatencyTrace *defaultTrace_ = nullptr;
 
     void checkDrained();
 };

@@ -39,12 +39,15 @@
 
 #include <unistd.h>
 
+#include <memory>
+
 #include "service/scenario_service.hh"
 #include "service/serve.hh"
 #include "sim/bench.hh"
 #include "sim/check.hh"
 #include "sim/config.hh"
 #include "sim/sweep.hh"
+#include "sim/trace.hh"
 #include "workload/apps.hh"
 
 namespace
@@ -74,6 +77,38 @@ openSink(const std::string &path, std::ofstream &file)
         return nullptr;
     }
     return &file;
+}
+
+/** Write an observability artifact atomically (`<path>.tmp` + rename;
+ *  "-" = stdout). @return false on an I/O failure. */
+bool
+writeObsArtifact(const std::string &path, const char *what,
+                 const std::function<void(std::ostream &)> &write)
+{
+    if (path == "-") {
+        write(std::cout);
+        return true;
+    }
+    const std::string tmp = path + ".tmp";
+    std::ofstream file(tmp);
+    if (!file) {
+        std::cerr << "duet_sim: cannot open " << tmp << " for writing\n";
+        return false;
+    }
+    write(file);
+    file.flush();
+    if (!file) {
+        std::cerr << "duet_sim: writing " << what << " to " << tmp
+                  << " failed\n";
+        return false;
+    }
+    file.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "duet_sim: cannot rename " << tmp << " to " << path
+                  << "\n";
+        return false;
+    }
+    return true;
 }
 
 /**
@@ -321,17 +356,25 @@ runSingleMode(const SimOptions &opts)
     std::string statsText;
     std::string statsJson;
     unsigned coresBuilt = 0;
+    constexpr std::size_t kLatCats =
+        static_cast<std::size_t>(LatencyTrace::Cat::kNumCats);
+    Tick lat[kLatCats] = {};
     SystemConfig base;
     applySimOverrides(opts, base);
     // Named lvalue: the observer field is a non-owning FunctionRef and
     // must outlive the run.
     auto observe = [&](System &sys) {
         std::ostringstream text, json;
-        sys.stats().dump(text);
-        sys.stats().dumpJson(json);
+        sys.stats().dump(text, opts.statsFilter);
+        sys.stats().dumpJson(json, opts.statsFilter);
         statsText = text.str();
         statsJson = json.str();
         coresBuilt = sys.numCores();
+        if (opts.latencyBreakdown) {
+            const LatencyTrace &lt = sys.latencyTotals();
+            for (std::size_t c = 0; c < kLatCats; ++c)
+                lat[c] = lt.get(static_cast<LatencyTrace::Cat>(c));
+        }
     };
     base.observer = observe;
 
@@ -360,8 +403,14 @@ runSingleMode(const SimOptions &opts)
                   << ", \"seed\": " << params.seed
                   << ", \"runtime_ticks\": " << res.runtime
                   << ", \"runtime_ns\": " << res.runtime / kTicksPerNs
-                  << ", \"correct\": " << (res.correct ? "true" : "false")
-                  << ", \"stats\": " << statsJson << "}\n";
+                  << ", \"correct\": " << (res.correct ? "true" : "false");
+        if (opts.latencyBreakdown) {
+            std::cout << ", \"latency_breakdown\": {\"lat_noc\": " << lat[0]
+                      << ", \"lat_fast\": " << lat[1]
+                      << ", \"lat_slow\": " << lat[2]
+                      << ", \"lat_cdc\": " << lat[3] << "}";
+        }
+        std::cout << ", \"stats\": " << statsJson << "}\n";
     } else {
         std::printf("workload   %s\n", res.name.c_str());
         std::printf("mode       %s\n", systemModeName(res.mode));
@@ -375,6 +424,16 @@ runSingleMode(const SimOptions &opts)
                     static_cast<unsigned long>(res.runtime),
                     static_cast<unsigned long>(res.runtime / kTicksPerNs));
         std::printf("correct    %s\n", res.correct ? "yes" : "NO");
+        if (opts.latencyBreakdown) {
+            std::printf("lat_noc    %lu ticks\n",
+                        static_cast<unsigned long>(lat[0]));
+            std::printf("lat_fast   %lu ticks\n",
+                        static_cast<unsigned long>(lat[1]));
+            std::printf("lat_slow   %lu ticks\n",
+                        static_cast<unsigned long>(lat[2]));
+            std::printf("lat_cdc    %lu ticks\n",
+                        static_cast<unsigned long>(lat[3]));
+        }
         if (opts.stats) {
             std::printf("\n-- stats --\n");
             std::fputs(statsText.c_str(), stdout);
@@ -409,11 +468,56 @@ main(int argc, char **argv)
     if (opts.paranoid)
         setParanoidChecks(true);
 
+    // Observability session: install the trace sink / profiler before
+    // the mode dispatch and publish their artifacts after. Flag
+    // validation restricts --trace/--prof to the in-process modes
+    // (single run, --bench), so the instrumented simulation runs in
+    // this address space.
+    std::unique_ptr<TraceSink> traceSink;
+    std::unique_ptr<Profiler> profiler;
+    if (!opts.tracePath.empty()) {
+        std::uint32_t mask = TraceSink::kAllCats;
+        std::string ferr;
+        if (!TraceSink::parseFilter(opts.traceFilter, mask, ferr)) {
+            std::cerr << "duet_sim: " << ferr << "\n";
+            return 2;
+        }
+        traceSink = std::make_unique<TraceSink>(mask);
+        obs::setTraceSink(traceSink.get());
+    }
+    if (!opts.profPath.empty()) {
+        profiler = std::make_unique<Profiler>();
+        obs::setProfiler(profiler.get());
+    }
+
+    int rc;
     if (opts.bench)
-        return runBenchMode(opts);
-    if (opts.serve)
-        return runServe(opts);
-    if (!opts.derivePath.empty())
-        return runDeriveMode(opts);
-    return opts.sweep ? runSweepMode(opts) : runSingleMode(opts);
+        rc = runBenchMode(opts);
+    else if (opts.serve)
+        rc = runServe(opts);
+    else if (!opts.derivePath.empty())
+        rc = runDeriveMode(opts);
+    else
+        rc = opts.sweep ? runSweepMode(opts) : runSingleMode(opts);
+
+    if (traceSink) {
+        obs::setTraceSink(nullptr);
+        if (traceSink->truncated())
+            std::cerr << "duet_sim: trace hit the record cap; output is "
+                         "marked truncated\n";
+        if (!writeObsArtifact(opts.tracePath, "trace",
+                              [&](std::ostream &os) {
+                                  traceSink->write(os);
+                              }))
+            rc = rc == 0 ? 2 : rc;
+    }
+    if (profiler) {
+        obs::setProfiler(nullptr);
+        if (!writeObsArtifact(opts.profPath, "profile",
+                              [&](std::ostream &os) {
+                                  profiler->write(os);
+                              }))
+            rc = rc == 0 ? 2 : rc;
+    }
+    return rc;
 }

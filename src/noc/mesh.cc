@@ -1,6 +1,7 @@
 #include "noc/mesh.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -80,6 +81,13 @@ Mesh::inject(Message msg)
     simAssert(msg.src.tile < numTiles(), "source tile out of range");
     simAssert(msg.dst.tile < numTiles(), "dest tile out of range");
     msg.injectTick = clk_.eventQueue().now();
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Noc)) {
+            msg.traceId = ts->nextAsyncId();
+            ts->asyncBegin(TraceCat::Noc, msgTypeName(msg.type),
+                           msg.traceId, msg.injectTick);
+        }
+    }
     // An outstanding express flight loses its idle-mesh precondition the
     // moment anything else enters: put it back on the hop-by-hop path
     // *before* this message schedules anything, so the resumed step event
@@ -99,6 +107,7 @@ Mesh::inject(Message msg)
 void
 Mesh::step(unsigned tile, Message msg)
 {
+    obs::profClaim("noc");
     EventQueue &eq = clk_.eventQueue();
     const Tick now = eq.now();
 
@@ -157,6 +166,12 @@ Mesh::expressInject(const Message &msg)
     flight_.accountedHops = 0;
     flight_.lastStepTick = s;
     flight_.msg = msg;
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Noc)) {
+            ts->instant(TraceCat::Noc, "mesh", "express-collapse",
+                        eq.now());
+        }
+    }
     const std::uint64_t epoch = ++flight_.epoch;
     eq.schedule(s, [this, epoch] { expressArrive(epoch); });
 }
@@ -164,6 +179,7 @@ Mesh::expressInject(const Message &msg)
 void
 Mesh::expressArrive(std::uint64_t epoch)
 {
+    obs::profClaim("noc");
     if (!flight_.active || flight_.epoch != epoch)
         return; // the flight was de-expressed after this event was queued
     flight_.active = false;
@@ -201,6 +217,11 @@ Mesh::deExpress()
     if (k == hops.size())
         return; // nothing left to unwind; the pending arrival stays exact
 
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Noc))
+            ts->instant(TraceCat::Noc, "mesh", "de-express", now);
+    }
+
     // Unwind the future claims. An XY route crosses each link at most
     // once, so restoring the saved pre-claim values is exact.
     for (std::size_t i = hops.size(); i-- > k;)
@@ -219,8 +240,15 @@ Mesh::deExpress()
 void
 Mesh::deliver(const Message &msg)
 {
+    obs::profClaim("noc");
     const Sink &sink = sinks_[msg.dst.tile][static_cast<unsigned>(msg.dst.port)];
     simAssert(static_cast<bool>(sink), "message to unregistered endpoint");
+    if (msg.traceId != 0) {
+        if (TraceSink *ts = obs::trace()) {
+            ts->asyncEnd(TraceCat::Noc, msgTypeName(msg.type), msg.traceId,
+                         clk_.eventQueue().now());
+        }
+    }
     if (msg.trace) {
         msg.trace->add(LatencyTrace::Cat::NoC,
                        clk_.eventQueue().now() - msg.injectTick);

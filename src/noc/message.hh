@@ -99,6 +99,11 @@ struct Message
     std::uint32_t txnId = 0;   ///< requester-chosen id echoed in responses
     LatencyTrace *trace = nullptr; ///< optional latency attribution
     Tick injectTick = 0;       ///< set by the mesh at injection
+    /// Async trace-flight id pairing inject with deliver (0 = untraced);
+    /// set by the mesh only when a TraceSink is recording the noc
+    /// category, and carried unchanged across the express/de-express
+    /// paths so the pair survives path collapses.
+    std::uint64_t traceId = 0;
 };
 
 /** Virtual network a message type travels on. */

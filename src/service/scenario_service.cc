@@ -9,6 +9,7 @@
 #include "sim/config.hh"
 #include "sim/json.hh"
 #include "sim/stats.hh"
+#include "workload/apps.hh"
 
 namespace duet
 {
@@ -61,6 +62,7 @@ runRequestLine(const std::string &line, const SystemConfig &base,
     SystemConfig cfg;
     SweepRow row;
     std::string err;
+    const LeaseStats before = leaseStats();
     if (!parseScenarioRequest(line, req, err) ||
         !validateRequest(req, base, sc, cfg, err)) {
         row.error = "worker rejected request: " + err;
@@ -69,7 +71,19 @@ runRequestLine(const std::string &line, const SystemConfig &base,
     }
     std::ostringstream os;
     writeJsonLine(os, row);
-    return os.str();
+    std::string out = os.str();
+    // Piggyback the warm-start verdict for the parent's telemetry. The
+    // key rides inside the row object (before the closing "}\n"), is
+    // skipped by parseSweepRow() as unknown, and never reaches clients:
+    // responses re-serialize from the parsed row.
+    const LeaseStats after = leaseStats();
+    if (after.total > before.total) {
+        const char *verdict =
+            after.warm > before.warm ? "true" : "false";
+        out.insert(out.size() - 2,
+                   std::string(", \"warm_start\": ") + verdict);
+    }
+    return out;
 }
 
 } // namespace
@@ -437,6 +451,16 @@ ScenarioService::submit(const ScenarioRequest &req)
     pool_.submit(
         std::move(line),
         [this, id = req.id, sc](JobResult &&jr) mutable {
+            // Telemetry first, while the raw payload (with the
+            // worker's piggybacked warm_start key) is still at hand.
+            ++telemetry_.completed;
+            telemetry_.latencyUs.record(static_cast<std::uint64_t>(
+                (jr.queueMs + jr.runMs) * 1000.0));
+            telemetry_.queueUs.record(
+                static_cast<std::uint64_t>(jr.queueMs * 1000.0));
+            if (jr.payload.find("\"warm_start\": true") !=
+                std::string::npos)
+                ++telemetry_.warmStarts;
             ScenarioResponse resp;
             resp.id = std::move(id);
             std::string perr;

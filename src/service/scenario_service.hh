@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "sim/executor.hh"
+#include "sim/stats.hh"
 #include "sim/sweep.hh"
 
 namespace duet
@@ -160,6 +161,18 @@ class ScenarioService
         std::size_t failed = 0; ///< status Failed or Invalid
     };
 
+    /** Wall-clock service telemetry, accumulated as responses are
+     *  delivered. Histograms use the fixed power-of-two buckets of
+     *  sim/stats.hh, so p50/p95/p99 queries are O(buckets) with no
+     *  per-request allocation. */
+    struct Telemetry
+    {
+        Histogram latencyUs; ///< submit-to-response wall, microseconds
+        Histogram queueUs;   ///< submit-to-dispatch wait, microseconds
+        std::uint64_t completed = 0;  ///< pool-run requests answered
+        std::uint64_t warmStarts = 0; ///< answered by a warm System reset
+    };
+
     ScenarioService(const SystemConfig &base, const Options &opts,
                     ResponseHandler handler);
     ~ScenarioService();
@@ -196,6 +209,12 @@ class ScenarioService
 
     const Summary &summary() const { return summary_; }
 
+    const Telemetry &telemetry() const { return telemetry_; }
+
+    /** The underlying worker pool, for per-worker utilization views
+     *  (`--serve` stats requests render these). */
+    const ResidentPool &pool() const { return pool_; }
+
   private:
     void deliver(ScenarioResponse &&resp);
 
@@ -204,6 +223,7 @@ class ScenarioService
     ResponseHandler handler_;
     ResidentPool pool_;
     Summary summary_;
+    Telemetry telemetry_;
 };
 
 } // namespace duet

@@ -1,9 +1,11 @@
 #include "service/serve.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
@@ -58,6 +60,43 @@ writeAllFd(int fd, const char *data, std::size_t n)
     return true;
 }
 
+/** One `{"type": "stats"}` answer: queue depth, response totals, wall
+ *  latency percentiles (fixed-bucket histogram, microseconds), the
+ *  warm-start hit rate and per-worker utilization. Served by the
+ *  parent synchronously — it never touches the worker pool. */
+void
+writeServeStats(std::ostream &os, const ScenarioService &svc)
+{
+    const ScenarioService::Summary &sum = svc.summary();
+    const ScenarioService::Telemetry &t = svc.telemetry();
+    const Histogram &lat = t.latencyUs;
+    os << "{\"type\": \"stats\", \"queue_depth\": " << svc.inFlight()
+       << ", \"served\": " << sum.served
+       << ", \"failed\": " << sum.failed
+       << ", \"completed\": " << t.completed
+       << ", \"warm_starts\": " << t.warmStarts
+       << ", \"latency_us\": {\"count\": " << lat.count()
+       << ", \"p50\": " << lat.percentile(0.50)
+       << ", \"p95\": " << lat.percentile(0.95)
+       << ", \"p99\": " << lat.percentile(0.99)
+       << "}, \"queue_us\": {\"p50\": " << t.queueUs.percentile(0.50)
+       << ", \"p99\": " << t.queueUs.percentile(0.99)
+       << "}, \"workers\": [";
+    const double up = svc.pool().upMs();
+    const auto workers = svc.pool().workerStats();
+    os << std::fixed;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        const double util =
+            up > 0.0 ? std::min(workers[i].busyMs / up, 1.0) : 0.0;
+        os << (i == 0 ? "" : ", ") << "{\"requests\": "
+           << workers[i].requests << ", \"busy_ms\": "
+           << std::setprecision(3) << workers[i].busyMs
+           << ", \"utilization\": " << std::setprecision(4) << util
+           << "}";
+    }
+    os << "]}\n";
+}
+
 } // namespace
 
 ServeSummary
@@ -97,6 +136,25 @@ serveStream(int in_fd, int out_fd, const SystemConfig &base,
         ++lineno;
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             return; // blank keep-alive line
+        // Control requests carry a "type" key (scenario requests never
+        // do — parseScenarioRequest rejects it as unknown) and are
+        // answered by the parent synchronously, ahead of any queued
+        // scenario work.
+        if (line.find("\"type\"") != std::string::npos) {
+            if (line.find("\"stats\"") == std::string::npos) {
+                svc.reject(std::to_string(lineno),
+                           "unknown control request (only "
+                           "{\"type\": \"stats\"} is supported)");
+                return;
+            }
+            std::ostringstream os;
+            writeServeStats(os, svc);
+            const std::string sline = os.str();
+            if (!sum.ioError &&
+                !writeAllFd(out_fd, sline.data(), sline.size()))
+                sum.ioError = true;
+            return;
+        }
         ScenarioRequest req;
         std::string perr;
         if (!parseScenarioRequest(line, req, perr)) {

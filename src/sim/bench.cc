@@ -12,6 +12,7 @@
 
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "system/system.hh"
 #include "workload/registry.hh"
 
@@ -112,6 +113,17 @@ perSec(double count, double wall_ms)
     return wall_ms > 0.0 ? count * 1000.0 / wall_ms : 0.0;
 }
 
+/** What instrumentation the bench ran under. Anything but "off" makes
+ *  the wall numbers incomparable to a clean reference —
+ *  tools/bench_diff.py refuses such comparisons. */
+const char *
+observabilityMode()
+{
+    const bool t = obs::trace() != nullptr;
+    const bool p = obs::prof() != nullptr;
+    return t && p ? "trace+prof" : t ? "trace" : p ? "prof" : "off";
+}
+
 void
 writeRow(std::ostream &os, const BenchRow &r)
 {
@@ -119,6 +131,7 @@ writeRow(std::ostream &os, const BenchRow &r)
        << ", \"app\": " << jsonQuote(r.app)
        << ", \"mode\": " << jsonQuote(r.mode) << ", \"cores\": " << r.cores
        << ", \"size\": " << r.size << ", \"seed\": " << r.seed
+       << ", \"observability\": \"" << observabilityMode() << "\""
        << ", \"correct\": " << (r.correct ? "true" : "false")
        << ", \"events\": " << r.events << ", \"sim_ticks\": " << r.ticks
        << std::fixed << std::setprecision(3)

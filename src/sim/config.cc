@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "sim/trace.hh"
 #include "system/system.hh"
 
 namespace duet
@@ -133,8 +134,27 @@ simUsage()
         "output:\n"
         "  --json            dump scenario result + stats registry as JSON\n"
         "  --stats           dump the stats registry as text\n"
+        "  --stats-filter G  restrict --json/--stats registry output to\n"
+        "                    stat names matching shell glob G (`*`, `?`)\n"
         "  --list            list available workloads and exit\n"
         "  --help            this text\n"
+        "\n"
+        "observability (single-run and --bench only; attribution never\n"
+        "changes simulated timing):\n"
+        "  --trace PATH      record simulated-time events as Chrome\n"
+        "                    trace_event JSON at PATH; open in Perfetto\n"
+        "                    (ui.perfetto.dev) or chrome://tracing\n"
+        "  --trace-filter L  comma list of categories to record:\n"
+        "                    queue,noc,cache,ctrl,cdc,core (default: all)\n"
+        "  --prof PATH       sample wall-clock cost per event-target\n"
+        "                    component into a duet-prof/1 JSON table at\n"
+        "                    PATH (`-` = stdout); diff two tables with\n"
+        "                    tools/prof_diff.py\n"
+        "  --latency-breakdown\n"
+        "                    accumulate per-category transaction latency\n"
+        "                    (lat_noc/lat_fast/lat_slow/lat_cdc tick\n"
+        "                    totals, paper Fig. 9) and emit them in the\n"
+        "                    --json stats and as extra --sweep JSONL keys\n"
         "\n"
         "debugging:\n"
         "  --paranoid        enable the DUET_DCHECK invariant layer\n"
@@ -281,6 +301,32 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
         } else if (flag == "--derive") {
             if (!value(opts.derivePath))
                 return ParseStatus::Error;
+        } else if (flag == "--trace") {
+            if (!value(opts.tracePath))
+                return ParseStatus::Error;
+            if (opts.tracePath.empty()) {
+                err = "--trace needs a non-empty PATH";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--trace-filter") {
+            if (!value(opts.traceFilter))
+                return ParseStatus::Error;
+        } else if (flag == "--prof") {
+            if (!value(opts.profPath))
+                return ParseStatus::Error;
+            if (opts.profPath.empty()) {
+                err = "--prof needs a non-empty PATH (`-` = stdout)";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--stats-filter") {
+            if (!value(opts.statsFilter))
+                return ParseStatus::Error;
+            if (opts.statsFilter.empty()) {
+                err = "--stats-filter needs a non-empty glob";
+                return ParseStatus::Error;
+            }
+        } else if (flag == "--latency-breakdown") {
+            opts.latencyBreakdown = true;
         } else if (flag == "--workload") {
             selectionSeen = true;
             if (!value(opts.workload))
@@ -452,6 +498,38 @@ parseSimOptions(int argc, char **argv, SimOptions &opts, std::string &err)
             return ParseStatus::Error;
         }
     }
+    // Observability: the trace sink and profiler are in-process
+    // instruments; the sweep/serve workers simulate in forked processes
+    // where an installed sink would record nothing. Single runs and the
+    // in-process --bench are the meaningful hosts.
+    if (!opts.tracePath.empty() || !opts.profPath.empty()) {
+        if (opts.sweep || opts.serve || !opts.derivePath.empty()) {
+            err = "--trace/--prof apply to single runs and --bench only "
+                  "(sweep/serve simulate in worker processes)";
+            return ParseStatus::Error;
+        }
+    }
+    if (!opts.traceFilter.empty() && opts.tracePath.empty()) {
+        err = "--trace-filter requires --trace";
+        return ParseStatus::Error;
+    }
+    if (!opts.traceFilter.empty()) {
+        std::uint32_t mask = 0;
+        std::string ferr;
+        if (!TraceSink::parseFilter(opts.traceFilter, mask, ferr)) {
+            err = ferr;
+            return ParseStatus::Error;
+        }
+    }
+    if (!opts.statsFilter.empty() && !opts.json && !opts.stats) {
+        err = "--stats-filter requires --json or --stats";
+        return ParseStatus::Error;
+    }
+    if (opts.latencyBreakdown &&
+        (opts.serve || opts.bench || !opts.derivePath.empty())) {
+        err = "--latency-breakdown applies to single runs and --sweep";
+        return ParseStatus::Error;
+    }
     if ((!opts.csvPath.empty() || !opts.jsonlPath.empty()) &&
         !opts.sweep && opts.derivePath.empty()) {
         err = "--csv/--jsonl require --sweep or --derive";
@@ -575,6 +653,8 @@ applySimOverrides(const SimOptions &opts, SystemConfig &cfg)
         cfg.fpgaFreqMhz = opts.fpgaFreqMhz;
     if (opts.maxTicksUs)
         cfg.maxTicks = opts.maxTicksUs * kTicksPerUs;
+    if (opts.latencyBreakdown)
+        cfg.latencyBreakdown = true;
 }
 
 } // namespace duet

@@ -65,6 +65,11 @@ struct SimOptions
     bool json = false;            ///< machine-readable stats dump
     bool stats = false;           ///< human-readable stats dump
     bool paranoid = false;        ///< enable the DUET_DCHECK layer
+    std::string tracePath;        ///< --trace: Chrome trace JSON output
+    std::string traceFilter;      ///< --trace-filter: category comma list
+    std::string profPath;         ///< --prof: self-profiler JSON output
+    std::string statsFilter;      ///< --stats-filter: glob over stat names
+    bool latencyBreakdown = false; ///< --latency-breakdown: Fig. 9 totals
 
     bool list = false;            ///< print the workload table and exit
     bool help = false;

@@ -1,9 +1,11 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "sim/check.hh"
+#include "sim/trace.hh"
 
 namespace duet
 {
@@ -41,11 +43,42 @@ EventQueue::run(Tick limit)
         // callback may schedule new events (growing the slab) without
         // invalidating its own captures, and its slot only joins the
         // free-list after it returns. runDestroy() fuses the call and
-        // the capture teardown into one indirect call.
-        slotRef(n.slot).runDestroy();
+        // the capture teardown into one indirect call. Observability
+        // costs exactly this one predicted branch when disabled.
+        if (obs::g_active != 0) [[unlikely]]
+            dispatchObserved(n.slot);
+        else
+            slotRef(n.slot).runDestroy();
         free_.push_back(n.slot);
     }
     return true;
+}
+
+void
+EventQueue::dispatchObserved(std::uint32_t slot)
+{
+    if (TraceSink *ts = obs::trace()) {
+        if (ts->enabled(TraceCat::Queue)) {
+            ts->instant(TraceCat::Queue, "events", "dispatch", now_);
+            // Sample the pending depth sparsely — one counter record per
+            // 256 dispatches keeps the track readable and the buffer sane.
+            if ((executed_ & 0xffu) == 0) {
+                ts->counter(TraceCat::Queue, "events", "pending", now_,
+                            heap_.size());
+            }
+        }
+    }
+    if (Profiler *p = obs::prof()) {
+        p->beginEvent();
+        const auto t0 = std::chrono::steady_clock::now();
+        slotRef(slot).runDestroy();
+        const auto t1 = std::chrono::steady_clock::now();
+        p->endEvent(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+    } else {
+        slotRef(slot).runDestroy();
+    }
 }
 
 } // namespace duet

@@ -229,6 +229,11 @@ class EventQueue
         siftUp(heap_.size() - 1);
     }
 
+    /** run()'s slow path when a trace sink or profiler is installed:
+     *  emit the dispatch records and time the callback. Out of line so
+     *  the disabled hot loop stays branch-plus-call-free. */
+    void dispatchObserved(std::uint32_t slot);
+
     // A 4-ary implicit heap in a plain vector: half the depth of a
     // binary heap, and the four children of a node share a cache line
     // pair, so sifts touch fewer lines. (when, seq) keys are unique, so

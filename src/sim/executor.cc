@@ -611,6 +611,12 @@ struct RWorker
     bool timedOut = false; ///< parent sent SIGKILL at the deadline
     Clock::time_point deadline{};
     bool hasDeadline = false;
+    /// Telemetry for the request in flight (valid while busy) and the
+    /// worker's lifetime totals — attribution only, never scheduling.
+    Clock::time_point dispatchedAt{};
+    double queuedMs = 0;   ///< submit-to-dispatch wait of the held request
+    std::uint64_t served = 0;
+    double busyMsTotal = 0;
     /// Dispatch-clock stamp of this worker's last completed request;
     /// dispatch prefers the highest (most recently used) idle worker so
     /// its warm-started in-process System cache stays hot.
@@ -647,6 +653,7 @@ struct ResidentPool::Impl
     {
         std::string request;
         Completion done;
+        Clock::time_point queuedAt{};
     };
 
     ExecutorConfig cfg;
@@ -657,6 +664,14 @@ struct ResidentPool::Impl
     /// Monotonic completion stamp source for RWorker::lastDone.
     std::uint64_t dispatchClock = 0;
     bool abortedFlag = false;
+    const Clock::time_point createdAt = Clock::now();
+
+    static double
+    elapsedMs(Clock::time_point from, Clock::time_point to)
+    {
+        return std::chrono::duration<double, std::milli>(to - from)
+            .count();
+    }
 
     std::size_t
     busyCount() const
@@ -812,6 +827,8 @@ struct ResidentPool::Impl
             idle->timedOut = false;
             idle->result = JobResult{};
             idle->completion = std::move(next.done);
+            idle->dispatchedAt = Clock::now();
+            idle->queuedMs = elapsedMs(next.queuedAt, idle->dispatchedAt);
             if (cfg.timeoutSeconds > 0) {
                 idle->deadline =
                     Clock::now() +
@@ -894,6 +911,8 @@ struct ResidentPool::Impl
         if (!w.busy)
             return; // spontaneous idle death; nothing to answer
         JobResult &res = w.result;
+        res.queueMs = w.queuedMs;
+        res.runMs = elapsedMs(w.dispatchedAt, Clock::now());
         if (w.timedOut) {
             res.status = JobStatus::TimedOut;
         } else if (r >= 0 && WIFSIGNALED(st)) {
@@ -1005,6 +1024,10 @@ struct ResidentPool::Impl
                     JobResult res;
                     res.status = JobStatus::Ok;
                     res.payload = std::move(payload);
+                    res.queueMs = w.queuedMs;
+                    res.runMs = elapsedMs(w.dispatchedAt, after);
+                    ++w.served;
+                    w.busyMsTotal += res.runMs;
                     finished.emplace_back(std::move(w.completion),
                                           std::move(res));
                     w.busy = false;
@@ -1079,8 +1102,8 @@ ResidentPool::submit(std::string request, Completion done)
             done(std::move(res));
         return;
     }
-    impl_->pending.push_back(
-        Impl::PendingReq{std::move(request), std::move(done)});
+    impl_->pending.push_back(Impl::PendingReq{
+        std::move(request), std::move(done), Clock::now()});
     impl_->dispatchPending();
 }
 
@@ -1121,6 +1144,31 @@ bool
 ResidentPool::aborted() const
 {
     return impl_->abortedFlag;
+}
+
+std::vector<ResidentPool::WorkerStats>
+ResidentPool::workerStats() const
+{
+    std::vector<WorkerStats> out;
+    out.reserve(impl_->workers.size());
+    const auto now = Clock::now();
+    for (const RWorker &w : impl_->workers) {
+        WorkerStats ws;
+        ws.requests = w.served;
+        ws.busyMs = w.busyMsTotal;
+        // A request in flight counts toward busy time as it runs, so a
+        // snapshot under load reflects current occupancy.
+        if (w.busy)
+            ws.busyMs += Impl::elapsedMs(w.dispatchedAt, now);
+        out.push_back(ws);
+    }
+    return out;
+}
+
+double
+ResidentPool::upMs() const
+{
+    return Impl::elapsedMs(impl_->createdAt, Clock::now());
 }
 
 // ---------------------------------------------------------------------

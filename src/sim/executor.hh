@@ -49,6 +49,7 @@
 #define DUET_SIM_EXECUTOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +74,12 @@ struct JobResult
     JobStatus status = JobStatus::Crashed;
     std::string payload;    ///< the job closure's return value (Ok only)
     std::string diagnostic; ///< one-line failure description (non-Ok)
+    /// Wall-clock service telemetry (ResidentPool only; ProcessPool
+    /// leaves both 0): time the request spent queued before a worker
+    /// took it, and time the worker held it until the outcome was
+    /// final. Attribution only — scheduling never reads these.
+    double queueMs = 0;
+    double runMs = 0;
 };
 
 /** Process-pool knobs. */
@@ -230,6 +237,22 @@ class ResidentPool
 
     /** True after an unrecoverable scheduler error. */
     bool aborted() const;
+
+    /** Cumulative wall-clock activity of one resident worker. */
+    struct WorkerStats
+    {
+        std::uint64_t requests = 0; ///< requests this worker answered
+        double busyMs = 0;          ///< wall time spent holding requests
+    };
+
+    /** Per-worker telemetry for the currently live workers (a crashed
+     *  worker's totals retire with it). Index order is worker spawn
+     *  order among the survivors. */
+    std::vector<WorkerStats> workerStats() const;
+
+    /** Wall-clock ms since the pool was constructed — the denominator
+     *  for worker-utilization figures. */
+    double upMs() const;
 
   private:
     struct Impl;

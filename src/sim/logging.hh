@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -52,11 +53,42 @@ fatal(const std::string &msg)
     throw SimFatal("fatal: " + msg);
 }
 
-/** Print a non-fatal warning to stderr. */
+/**
+ * Print a non-fatal warning to stderr.
+ *
+ * Two constraints from the resident worker pool, whose forked workers
+ * share stderr with the parent and each other:
+ *
+ *  - The whole line is emitted as ONE fwrite of preformatted bytes.
+ *    stderr is unbuffered, so a single write reaches the fd in one
+ *    syscall on every mainstream libc and concurrent workers cannot
+ *    interleave mid-line (POSIX keeps writes up to PIPE_BUF atomic on
+ *    pipes).
+ *  - A message repeating beyond a small cap is dropped, with one
+ *    "[suppressing further ...]" notice. A warning inside a per-event
+ *    path would otherwise flood a pool of workers' shared stderr.
+ */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    // Dedup cap: distinct message texts each get kWarnRepeatCap prints.
+    // Thread-local so no lock sits on the warning path; workers are
+    // forked, not threaded, and fork snapshots the counts (workers
+    // then dedup independently, which is the useful behavior).
+    constexpr unsigned kWarnRepeatCap = 10;
+    thread_local std::map<std::string, unsigned> counts;
+    unsigned &n = counts[msg];
+    if (n >= kWarnRepeatCap)
+        return;
+    ++n;
+    std::string line;
+    line.reserve(msg.size() + 64);
+    line += "warn: ";
+    line += msg;
+    if (n == kWarnRepeatCap)
+        line += " [suppressing further repeats of this warning]";
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace duet

@@ -6,16 +6,105 @@
 namespace duet
 {
 
-void
-StatRegistry::dump(std::ostream &os) const
+// Iterative glob with single-star backtracking: on mismatch after a
+// `*`, re-anchor the star one character further. Linear in practice
+// for the short component-path patterns `--stats-filter` sees.
+bool
+globMatch(const std::string &pat, const std::string &name)
 {
-    for (const auto *e : sortedView(counters_))
+    if (pat.empty())
+        return true;
+    std::size_t p = 0, n = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (n < name.size()) {
+        if (p < pat.size() &&
+            (pat[p] == '?' || pat[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pat.size() && pat[p] == '*') {
+            star = p++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pat.size() && pat[p] == '*')
+        ++p;
+    return p == pat.size();
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0.0)
+        return min_;
+    if (p >= 1.0)
+        return max_;
+    // Target rank on [0, count-1]; interpolate linearly across the
+    // covering bucket's rank span so equal-rank steps give
+    // non-decreasing values (monotone in p).
+    const double rank = p * static_cast<double>(count_ - 1);
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        const std::uint64_t n = buckets_[i];
+        if (n == 0)
+            continue;
+        if (rank <= static_cast<double>(cum + n - 1)) {
+            const std::uint64_t lo_u =
+                i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+            const std::uint64_t hi_u =
+                i == 0 ? 0
+                       : (i == kBuckets - 1 ? max_
+                                            : (std::uint64_t{1} << i) - 1);
+            const double t =
+                n > 1 ? (rank - static_cast<double>(cum)) /
+                            static_cast<double>(n - 1)
+                      : 0.0;
+            const double lo = static_cast<double>(lo_u);
+            const double hi = static_cast<double>(hi_u);
+            double v = lo + t * (hi > lo ? hi - lo : 0.0);
+            std::uint64_t out = static_cast<std::uint64_t>(v + 0.5);
+            if (out < min_)
+                out = min_;
+            if (out > max_)
+                out = max_;
+            return out;
+        }
+        cum += n;
+    }
+    return max_;
+}
+
+void
+StatRegistry::dump(std::ostream &os, const std::string &filter) const
+{
+    for (const auto *e : sortedView(counters_)) {
+        if (!globMatch(filter, e->first))
+            continue;
         os << e->first << " " << e->second->value() << "\n";
+    }
     for (const auto *e : sortedView(samples_)) {
+        if (!globMatch(filter, e->first))
+            continue;
         const SampleStat *s = e->second;
         os << e->first << " count=" << s->count() << " mean=" << std::fixed
            << std::setprecision(2) << s->mean() << " min=" << s->min()
            << " max=" << s->max() << "\n";
+    }
+    for (const auto *e : sortedView(histograms_)) {
+        if (!globMatch(filter, e->first))
+            continue;
+        const Histogram *h = e->second;
+        os << e->first << " count=" << h->count() << " mean=" << std::fixed
+           << std::setprecision(2) << h->mean() << " min=" << h->min()
+           << " max=" << h->max() << " p50=" << h->percentile(0.50)
+           << " p95=" << h->percentile(0.95)
+           << " p99=" << h->percentile(0.99) << "\n";
     }
 }
 
@@ -48,11 +137,13 @@ jsonQuote(const std::string &s)
 }
 
 void
-StatRegistry::dumpJson(std::ostream &os) const
+StatRegistry::dumpJson(std::ostream &os, const std::string &filter) const
 {
     os << "{\"counters\": {";
     bool first = true;
     for (const auto *e : sortedView(counters_)) {
+        if (!globMatch(filter, e->first))
+            continue;
         os << (first ? "" : ", ") << jsonQuote(e->first) << ": "
            << e->second->value();
         first = false;
@@ -60,6 +151,8 @@ StatRegistry::dumpJson(std::ostream &os) const
     os << "}, \"samples\": {";
     first = true;
     for (const auto *e : sortedView(samples_)) {
+        if (!globMatch(filter, e->first))
+            continue;
         const SampleStat *s = e->second;
         os << (first ? "" : ", ") << jsonQuote(e->first) << ": {\"count\": "
            << s->count() << ", \"sum\": " << s->sum()
@@ -67,7 +160,30 @@ StatRegistry::dumpJson(std::ostream &os) const
            << ", \"mean\": " << s->mean() << "}";
         first = false;
     }
-    os << "}}";
+    os << "}";
+    // Only widen the schema once a histogram actually exists (and
+    // passes the filter): default dumps stay byte-identical.
+    bool anyHist = false;
+    for (const auto *e : sortedView(histograms_))
+        anyHist = anyHist || globMatch(filter, e->first);
+    if (anyHist) {
+        os << ", \"histograms\": {";
+        first = true;
+        for (const auto *e : sortedView(histograms_)) {
+            if (!globMatch(filter, e->first))
+                continue;
+            const Histogram *h = e->second;
+            os << (first ? "" : ", ") << jsonQuote(e->first)
+               << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+               << ", \"min\": " << h->min() << ", \"max\": " << h->max()
+               << ", \"p50\": " << h->percentile(0.50)
+               << ", \"p95\": " << h->percentile(0.95)
+               << ", \"p99\": " << h->percentile(0.99) << "}";
+            first = false;
+        }
+        os << "}";
+    }
+    os << "}";
 }
 
 } // namespace duet

@@ -10,6 +10,7 @@
 #define DUET_SIM_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -21,6 +22,10 @@ namespace duet
 
 /** Quote @p s as a JSON string literal (escapes ", \\ and control chars). */
 std::string jsonQuote(const std::string &s);
+
+/** Match @p name against a shell-style glob @p pat (`*` and `?`). An
+ *  empty pattern matches everything — the `--stats-filter` default. */
+bool globMatch(const std::string &pat, const std::string &name);
 
 /** A monotonically increasing 64-bit counter. Incrementing is a direct
  *  u64 add — no registry, map, or string work on the access path; names
@@ -75,6 +80,65 @@ class SampleStat
 };
 
 /**
+ * Fixed-bucket log2 histogram of u64 samples. Bucket i holds values
+ * whose bit width is i (bucket 0: the value 0; the top bucket
+ * saturates), so recording is a bit_width plus one increment — cheap
+ * enough for per-request service latency in the hot serve loop.
+ * percentile() interpolates linearly inside the covering bucket and is
+ * monotone in p by construction (cumulative walk + per-bucket linear
+ * ramp + clamp to [min,max]), so p50 <= p95 <= p99 always holds.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    void
+    record(std::uint64_t v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+        ++buckets_[bucketOf(v)];
+    }
+
+    void
+    reset()
+    {
+        count_ = sum_ = min_ = max_ = 0;
+        for (auto &b : buckets_)
+            b = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    /** Value at quantile @p p in [0,1]; 0 on an empty histogram. */
+    std::uint64_t percentile(double p) const;
+
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        unsigned w = static_cast<unsigned>(std::bit_width(v));
+        return w < kBuckets ? w : kBuckets - 1;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t buckets_[kBuckets] = {};
+};
+
+/**
  * Registry of named statistics. Components register pointers; the registry
  * does not own them, so register objects that outlive the registry's use.
  *
@@ -97,14 +161,25 @@ class StatRegistry
         samples_.emplace_back(name, s);
     }
 
-    /** Dump all registered stats, sorted by name. */
-    void dump(std::ostream &os) const;
+    void registerHistogram(const std::string &name, const Histogram *h)
+    {
+        histograms_.emplace_back(name, h);
+    }
+
+    /** Dump all registered stats, sorted by name; @p filter is a glob
+     *  over stat names (empty = all). */
+    void dump(std::ostream &os,
+              const std::string &filter = std::string()) const;
 
     /**
      * Dump all registered stats as one JSON object:
      * `{"counters": {name: value, ...}, "samples": {name: {...}, ...}}`.
+     * A `"histograms"` section follows only when at least one histogram
+     * passes @p filter, so existing consumers see byte-identical output
+     * until a component registers one.
      */
-    void dumpJson(std::ostream &os) const;
+    void dumpJson(std::ostream &os,
+                  const std::string &filter = std::string()) const;
 
     const Counter *
     findCounter(const std::string &name) const
@@ -116,6 +191,12 @@ class StatRegistry
     findSample(const std::string &name) const
     {
         return findIn(samples_, name);
+    }
+
+    const Histogram *
+    findHistogram(const std::string &name) const
+    {
+        return findIn(histograms_, name);
     }
 
   private:
@@ -163,6 +244,7 @@ class StatRegistry
 
     std::vector<Named<Counter>> counters_;
     std::vector<Named<SampleStat>> samples_;
+    std::vector<Named<Histogram>> histograms_;
 };
 
 } // namespace duet

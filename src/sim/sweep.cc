@@ -329,6 +329,22 @@ runScenario(const SweepScenario &sc, const SystemConfig &base)
         cfg.l2.sizeBytes = sc.l2KiB * 1024; // bounded at expansion time
     if (sc.l3KiB != 0)
         cfg.l3.sizeBytes = sc.l3KiB * 1024;
+    // With --latency-breakdown the post-run observer harvests the
+    // Fig. 9 attribution totals; any caller-supplied observer still
+    // runs first. Named lvalue: the config holds a non-owning ref.
+    FunctionRef<void(System &)> prev = cfg.observer;
+    auto observe = [&](System &sys) {
+        if (prev)
+            prev(sys);
+        const LatencyTrace &lt = sys.latencyTotals();
+        row.hasLat = true;
+        row.latNoc = lt.get(LatencyTrace::Cat::NoC);
+        row.latFast = lt.get(LatencyTrace::Cat::FastCache);
+        row.latSlow = lt.get(LatencyTrace::Cat::SlowCache);
+        row.latCdc = lt.get(LatencyTrace::Cat::Cdc);
+    };
+    if (cfg.latencyBreakdown)
+        cfg.observer = observe;
     try {
         AppResult res = runWorkload(*sc.workload, sc.params, cfg);
         row.app = res.name;
@@ -461,8 +477,15 @@ writeJsonRowFields(std::ostream &os, const SweepRow &r)
     if (r.l3KiB != 0)
         os << ", \"l3_kib\": " << r.l3KiB;
     os << ", \"runtime_ticks\": " << r.runtime
-       << ", \"runtime_ns\": " << r.runtime / kTicksPerNs
-       << ", \"speedup\": " << fmtMetric(r.speedup)
+       << ", \"runtime_ns\": " << r.runtime / kTicksPerNs;
+    // Fig. 9 attribution totals appear exactly when the scenario ran
+    // with --latency-breakdown (same rule as the ladder coordinates).
+    if (r.hasLat)
+        os << ", \"lat_noc\": " << r.latNoc
+           << ", \"lat_fast\": " << r.latFast
+           << ", \"lat_slow\": " << r.latSlow
+           << ", \"lat_cdc\": " << r.latCdc;
+    os << ", \"speedup\": " << fmtMetric(r.speedup)
        << ", \"area_mm2\": " << fmtMetric(r.areaMm2)
        << ", \"adp_norm\": " << fmtMetric(r.adpNorm)
        << ", \"correct\": " << (r.correct ? "true" : "false");
@@ -519,7 +542,9 @@ parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
                 key == "workload" || key == "app" || key == "mode" ||
                 key == "error" || key == "cores" || key == "mem_hubs" ||
                 key == "size" || key == "seed" || key == "l2_kib" ||
-                key == "l3_kib" ||
+                key == "l3_kib" || key == "lat_noc" ||
+                key == "lat_fast" || key == "lat_slow" ||
+                key == "lat_cdc" ||
                 key == "runtime_ticks" || key == "speedup" ||
                 key == "area_mm2" || key == "adp_norm" ||
                 key == "correct";
@@ -595,6 +620,22 @@ parseSweepRow(const std::string &json_line, SweepRow &row, std::string &err)
             } else if (key == "l3_kib") {
                 ok = want_scalar("l3_kib") &&
                      json::tokenToU32(tok, row.l3KiB, err);
+            } else if (key == "lat_noc") {
+                ok = want_scalar("lat_noc") &&
+                     json::tokenToU64(tok, row.latNoc, err);
+                row.hasLat = true;
+            } else if (key == "lat_fast") {
+                ok = want_scalar("lat_fast") &&
+                     json::tokenToU64(tok, row.latFast, err);
+                row.hasLat = true;
+            } else if (key == "lat_slow") {
+                ok = want_scalar("lat_slow") &&
+                     json::tokenToU64(tok, row.latSlow, err);
+                row.hasLat = true;
+            } else if (key == "lat_cdc") {
+                ok = want_scalar("lat_cdc") &&
+                     json::tokenToU64(tok, row.latCdc, err);
+                row.hasLat = true;
             } else if (key == "runtime_ticks") {
                 ok = want_scalar("runtime_ticks") &&
                      json::tokenToU64(tok, row.runtime, err);

@@ -67,6 +67,15 @@ struct SweepRow
     unsigned l3KiB = 0;
     Tick runtime = 0;
     bool correct = false;
+    /// Fig. 9 latency attribution totals (--latency-breakdown):
+    /// simulated ticks each category accounted for across the run.
+    /// Serialized in JSON-lines only when hasLat — default sweeps stay
+    /// byte-identical to the pre-breakdown wire format.
+    bool hasLat = false;
+    Tick latNoc = 0;
+    Tick latFast = 0;
+    Tick latSlow = 0;
+    Tick latCdc = 0;
     double speedup = 0.0; ///< cpu-row runtime / this runtime
     double areaMm2 = 0.0; ///< system silicon area (area_model, 45 nm)
     double adpNorm = 0.0; ///< (area x delay) / the cpu row's (area x delay)

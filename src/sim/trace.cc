@@ -1,0 +1,342 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <string_view>
+
+namespace duet
+{
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Queue: return "queue";
+      case TraceCat::Noc:   return "noc";
+      case TraceCat::Cache: return "cache";
+      case TraceCat::Ctrl:  return "ctrl";
+      case TraceCat::Cdc:   return "cdc";
+      case TraceCat::Core:  return "core";
+    }
+    return "?";
+}
+
+TraceSink::TraceSink(std::uint32_t cat_mask, std::size_t max_records)
+    : catMask_(cat_mask), cap_(max_records)
+{
+    // Track index 0 is the catch-all row for records with no component
+    // track (async flights, queue-level counters).
+    tracks_.push_back("sim");
+}
+
+bool
+TraceSink::parseFilter(const std::string &csv, std::uint32_t &mask,
+                       std::string &err)
+{
+    if (csv.empty() || csv == "all") {
+        mask = kAllCats;
+        return true;
+    }
+    mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string tok = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        bool found = false;
+        for (unsigned i = 0; i < kTraceCatCount; ++i) {
+            if (tok == traceCatName(static_cast<TraceCat>(i))) {
+                mask |= 1u << i;
+                found = true;
+                break;
+            }
+        }
+        if (tok == "all") {
+            mask = kAllCats;
+            found = true;
+        }
+        if (!found) {
+            err = "unknown trace category '" + tok +
+                  "' (expected: all,queue,noc,cache,ctrl,cdc,core)";
+            return false;
+        }
+    }
+    if (mask == 0)
+        mask = kAllCats;
+    return true;
+}
+
+std::uint32_t
+TraceSink::trackId(const std::string &track)
+{
+    // Linear scan: the track population is tiny (one per component,
+    // a few dozen at most) and interning happens per record only on
+    // traced runs.
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == track)
+            return static_cast<std::uint32_t>(i);
+    }
+    tracks_.push_back(track);
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+bool
+TraceSink::room()
+{
+    if (recs_.size() < cap_)
+        return true;
+    truncated_ = true;
+    return false;
+}
+
+// Emitters drop masked categories themselves: call sites are expected
+// to pre-check enabled() (it saves building the arguments), but the
+// --trace-filter contract must hold even for a site that does not.
+
+void
+TraceSink::instant(TraceCat c, const std::string &track, const char *name,
+                   Tick at)
+{
+    if (!enabled(c) || !room())
+        return;
+    recs_.push_back({Ph::Instant, c, trackId(track), name, at, 0, 0});
+}
+
+void
+TraceSink::complete(TraceCat c, const std::string &track, const char *name,
+                    Tick begin, Tick end)
+{
+    if (!enabled(c) || !room())
+        return;
+    Tick dur = end >= begin ? end - begin : 0;
+    recs_.push_back({Ph::Complete, c, trackId(track), name, begin, dur, 0});
+}
+
+void
+TraceSink::counter(TraceCat c, const std::string &track, const char *name,
+                   Tick at, std::uint64_t value)
+{
+    if (!enabled(c) || !room())
+        return;
+    recs_.push_back({Ph::Counter, c, trackId(track), name, at, 0, value});
+}
+
+void
+TraceSink::asyncBegin(TraceCat c, const char *name, std::uint64_t id,
+                      Tick at)
+{
+    if (!enabled(c) || !room())
+        return;
+    recs_.push_back({Ph::AsyncBegin, c, 0, name, at, 0, id});
+}
+
+void
+TraceSink::asyncEnd(TraceCat c, const char *name, std::uint64_t id, Tick at)
+{
+    if (!enabled(c) || !room())
+        return;
+    recs_.push_back({Ph::AsyncEnd, c, 0, name, at, 0, id});
+}
+
+namespace
+{
+
+// Track and event names land inside JSON string literals. Real call
+// sites use component paths and static identifiers, but the writer
+// must stay well-formed for any name, so escape the JSON specials and
+// control bytes.
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    for (unsigned char ch : s) {
+        if (ch == '"' || ch == '\\') {
+            os << '\\' << static_cast<char>(ch);
+        } else if (ch < 0x20) {
+            const char *hex = "0123456789abcdef";
+            os << "\\u00" << hex[ch >> 4] << hex[ch & 0xf];
+        } else {
+            os << static_cast<char>(ch);
+        }
+    }
+}
+
+// Trace timestamps are microseconds by convention; a Tick is a
+// picosecond. Emit ts as a fixed-point "<us>.<frac>" decimal so no
+// precision is lost and no floating-point formatting variance creeps
+// into the output.
+void
+writeTs(std::ostream &os, Tick ticks)
+{
+    const Tick us = ticks / kTicksPerUs;
+    const Tick frac = ticks % kTicksPerUs;
+    os << us;
+    if (frac != 0) {
+        char buf[8];
+        int n = 0;
+        Tick f = frac;
+        for (Tick div = kTicksPerUs / 10; div > 0; div /= 10) {
+            buf[n++] = static_cast<char>('0' + (f / div) % 10);
+        }
+        while (n > 0 && buf[n - 1] == '0')
+            --n;
+        os << '.';
+        os.write(buf, n);
+    }
+}
+
+} // namespace
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    // Thread-name metadata first, so viewers label the per-component
+    // rows before any event references them.
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        writeEscaped(os, tracks_[i]);
+        os << "\"}}";
+    }
+    for (const Rec &r : recs_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"pid\":1,\"tid\":" << r.track << ",\"cat\":\""
+           << traceCatName(r.cat) << "\",\"name\":\"";
+        writeEscaped(os, r.name);
+        os << "\",\"ts\":";
+        writeTs(os, r.ts);
+        switch (r.ph) {
+          case Ph::Instant:
+            os << ",\"ph\":\"i\",\"s\":\"t\"}";
+            break;
+          case Ph::Complete:
+            os << ",\"ph\":\"X\",\"dur\":";
+            writeTs(os, r.dur);
+            os << '}';
+            break;
+          case Ph::Counter:
+            os << ",\"ph\":\"C\",\"args\":{\"value\":" << r.id << "}}";
+            break;
+          case Ph::AsyncBegin:
+            os << ",\"ph\":\"b\",\"id\":\"0x" << std::hex << r.id
+               << std::dec << "\",\"args\":{}}";
+            break;
+          case Ph::AsyncEnd:
+            os << ",\"ph\":\"e\",\"id\":\"0x" << std::hex << r.id
+               << std::dec << "\",\"args\":{}}";
+            break;
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+       << "\"schema\":\"duet-trace/1\",\"records\":" << recs_.size()
+       << ",\"truncated\":" << (truncated_ ? "true" : "false") << "}}\n";
+}
+
+void
+Profiler::endEvent(std::uint64_t wall_ns)
+{
+    ++events_;
+    wallNs_ += wall_ns;
+    const char *name = current_ ? current_ : "other";
+    current_ = nullptr;
+    // The component population is a handful of string literals;
+    // pointer-first compare makes the common case one comparison.
+    for (Entry &e : table_) {
+        if (e.name == name ||
+            std::string_view(e.name) == std::string_view(name)) {
+            ++e.events;
+            e.wallNs += wall_ns;
+            return;
+        }
+    }
+    table_.push_back({name, 1, wall_ns});
+}
+
+void
+Profiler::write(std::ostream &os) const
+{
+    std::vector<Entry> sorted = table_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.wallNs != b.wallNs)
+                      return a.wallNs > b.wallNs;
+                  return std::string_view(a.name) < std::string_view(b.name);
+              });
+    os << "{\"schema\":\"duet-prof/1\",\"events\":" << events_
+       << ",\"wall_ms\":" << (wallNs_ / 1000000) << '.';
+    // Millisecond fraction, 3 digits.
+    std::uint64_t fr = (wallNs_ / 1000) % 1000;
+    os << static_cast<char>('0' + fr / 100)
+       << static_cast<char>('0' + (fr / 10) % 10)
+       << static_cast<char>('0' + fr % 10);
+    os << ",\"components\":[";
+    bool first = true;
+    for (const Entry &e : sorted) {
+        if (!first)
+            os << ',';
+        first = false;
+        double share =
+            wallNs_ ? static_cast<double>(e.wallNs) /
+                          static_cast<double>(wallNs_)
+                    : 0.0;
+        // share as a 4-digit fixed-point fraction (e.g. 0.5731)
+        std::uint64_t sh4 =
+            static_cast<std::uint64_t>(share * 10000.0 + 0.5);
+        if (sh4 > 10000)
+            sh4 = 10000;
+        os << "{\"name\":\"" << e.name << "\",\"events\":" << e.events
+           << ",\"wall_ns\":" << e.wallNs << ",\"share\":"
+           << (sh4 / 10000) << '.'
+           << static_cast<char>('0' + (sh4 / 1000) % 10)
+           << static_cast<char>('0' + (sh4 / 100) % 10)
+           << static_cast<char>('0' + (sh4 / 10) % 10)
+           << static_cast<char>('0' + sh4 % 10) << '}';
+    }
+    os << "]}\n";
+}
+
+namespace obs
+{
+
+TraceSink *g_trace = nullptr;
+Profiler *g_prof = nullptr;
+std::uint8_t g_active = 0;
+
+namespace
+{
+
+void
+refreshActive()
+{
+    g_active = (g_trace != nullptr || g_prof != nullptr) ? 1 : 0;
+}
+
+} // namespace
+
+void
+setTraceSink(TraceSink *sink)
+{
+    g_trace = sink;
+    refreshActive();
+}
+
+void
+setProfiler(Profiler *prof)
+{
+    g_prof = prof;
+    refreshActive();
+}
+
+} // namespace obs
+
+} // namespace duet

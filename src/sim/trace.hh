@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The unified observability layer: simulated-time event tracing
+ * (TraceSink, Chrome trace_event JSON loadable in Perfetto) and the
+ * wall-clock self-profiler (Profiler, `duet-prof/1` JSON).
+ *
+ * Both are compiled in unconditionally but OFF by default: the global
+ * sink/profiler pointers in duet::obs are null, and every hot-path
+ * emission site is a single branch on them. Installing a sink or a
+ * profiler (main.cc does, for `--trace` / `--prof`) flips the combined
+ * obs::g_active byte, and EventQueue::run routes dispatch through its
+ * observed slow path. Simulated semantics are never affected: traces
+ * and profiles attribute, they do not retime — a traced run's
+ * sim_ticks and stats are byte-identical to an untraced run.
+ *
+ * Hot-header discipline (lint rule R8): inside the hot headers the
+ * globals must never be dereferenced directly; bind through the null
+ * check first:
+ *
+ *     if (TraceSink *ts = obs::trace())
+ *         if (ts->enabled(TraceCat::Cdc))
+ *             ts->complete(...);
+ */
+
+#ifndef DUET_SIM_TRACE_HH
+#define DUET_SIM_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duet
+{
+
+/** Trace categories, selectable with `--trace-filter noc,cache,...`. */
+enum class TraceCat : std::uint8_t
+{
+    Queue = 0, ///< event-queue dispatch + pending-depth counter
+    Noc,       ///< mesh inject/deliver incl. express collapse
+    Cache,     ///< private-cache miss/fill
+    Ctrl,      ///< Control Hub MMIO processing
+    Cdc,       ///< AsyncFifo clock-domain crossings
+    Core,      ///< core-side markers
+};
+constexpr unsigned kTraceCatCount = 6;
+
+/** Lower-case category name ("noc", "cache", ...). */
+const char *traceCatName(TraceCat c);
+
+/**
+ * Collector for simulated-time trace records. Records are buffered
+ * in memory (compact PODs + one interned track-name table) and
+ * serialized once, as a single-line Chrome `trace_event` JSON object,
+ * by write(). A record cap (default 4M) guards against a long run
+ * flooding host memory: past it records are dropped and the trace is
+ * marked truncated — still valid JSON, still loads in Perfetto.
+ */
+class TraceSink
+{
+  public:
+    static constexpr std::uint32_t kAllCats = (1u << kTraceCatCount) - 1;
+    static constexpr std::size_t kDefaultCap = 4u << 20;
+
+    explicit TraceSink(std::uint32_t cat_mask = kAllCats,
+                       std::size_t max_records = kDefaultCap);
+
+    static std::uint32_t
+    maskBit(TraceCat c)
+    {
+        return 1u << static_cast<unsigned>(c);
+    }
+
+    /** Is category @p c recorded? Emission sites check this before
+     *  building record arguments. */
+    bool enabled(TraceCat c) const { return (catMask_ & maskBit(c)) != 0; }
+
+    /**
+     * Parse a `--trace-filter` comma list ("noc,cache") into a category
+     * mask. "all" (or an empty list) selects every category.
+     * @return false + @p err on an unknown category name.
+     */
+    static bool parseFilter(const std::string &csv, std::uint32_t &mask,
+                            std::string &err);
+
+    /// @{ Record emission. @p track names the timeline row (component
+    /// name, e.g. "tile0.l2"); @p name the event on it. Ticks are
+    /// simulated picoseconds.
+    void instant(TraceCat c, const std::string &track, const char *name,
+                 Tick at);
+    void complete(TraceCat c, const std::string &track, const char *name,
+                  Tick begin, Tick end);
+    void counter(TraceCat c, const std::string &track, const char *name,
+                 Tick at, std::uint64_t value);
+    /// Async begin/end pairs share an id and render as one duration on
+    /// the category's async track even when flights overlap.
+    void asyncBegin(TraceCat c, const char *name, std::uint64_t id,
+                    Tick at);
+    void asyncEnd(TraceCat c, const char *name, std::uint64_t id, Tick at);
+    /// @}
+
+    /** Fresh id for an asyncBegin/asyncEnd pair. */
+    std::uint64_t nextAsyncId() { return nextId_++; }
+
+    std::size_t records() const { return recs_.size(); }
+    bool truncated() const { return truncated_; }
+
+    /** Serialize as one-line Chrome trace JSON (traceEvents array plus
+     *  metadata). Loadable in Perfetto / chrome://tracing. */
+    void write(std::ostream &os) const;
+
+  private:
+    enum class Ph : std::uint8_t
+    {
+        Instant,
+        Complete,
+        Counter,
+        AsyncBegin,
+        AsyncEnd,
+    };
+
+    struct Rec
+    {
+        Ph ph;
+        TraceCat cat;
+        std::uint32_t track;    ///< index into tracks_ (0 = none)
+        const char *name;       ///< static string at every call site
+        Tick ts;
+        Tick dur;               ///< Complete only
+        std::uint64_t id;       ///< AsyncBegin/End: pair id; Counter: value
+    };
+
+    /** Intern @p track and return its index (tid). */
+    std::uint32_t trackId(const std::string &track);
+
+    bool room();
+
+    std::uint32_t catMask_;
+    std::size_t cap_;
+    bool truncated_ = false;
+    std::uint64_t nextId_ = 1;
+    std::vector<Rec> recs_;
+    std::vector<std::string> tracks_;
+};
+
+/**
+ * Wall-clock self-profiler: EventQueue::run times every event dispatch
+ * with the steady clock and attributes it to the component that claimed
+ * the event (first claim wins; components claim at their handler entry
+ * points — "noc", "cache", "cpu", ...). Unclaimed events fall into
+ * "other". The result is a `duet-prof/1` JSON table turning "pdes/cpu
+ * is 57% of wall" into a regression-trackable artifact
+ * (tools/prof_diff.py diffs two of them).
+ */
+class Profiler
+{
+  public:
+    /** Attribute the event being dispatched to @p component (a string
+     *  literal). Only the first claim of each event sticks. */
+    void
+    claim(const char *component)
+    {
+        if (current_ == nullptr)
+            current_ = component;
+    }
+
+    /// @{ EventQueue::run protocol around one dispatch.
+    void beginEvent() { current_ = nullptr; }
+    void endEvent(std::uint64_t wall_ns);
+    /// @}
+
+    std::uint64_t events() const { return events_; }
+
+    /** Serialize the attribution table as `duet-prof/1` JSON (one
+     *  line), components sorted by wall share, descending. */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        const char *name;
+        std::uint64_t events = 0;
+        std::uint64_t wallNs = 0;
+    };
+
+    const char *current_ = nullptr;
+    std::uint64_t events_ = 0;
+    std::uint64_t wallNs_ = 0;
+    std::vector<Entry> table_;
+};
+
+/**
+ * The global observability switchboard. All pointers are non-owning;
+ * main.cc (or a test) installs concrete instances for the duration of
+ * a run. Null means off — the hot paths pay one branch.
+ */
+namespace obs
+{
+
+extern TraceSink *g_trace;
+extern Profiler *g_prof;
+/// Nonzero iff a sink or profiler is installed: the one byte
+/// EventQueue::run branches on.
+extern std::uint8_t g_active;
+
+inline TraceSink *trace() { return g_trace; }
+inline Profiler *prof() { return g_prof; }
+inline bool active() { return g_active != 0; }
+
+void setTraceSink(TraceSink *sink);
+void setProfiler(Profiler *prof);
+
+/** Claim the current event for @p component iff profiling is on. */
+inline void
+profClaim(const char *component)
+{
+    if (Profiler *p = g_prof)
+        p->claim(component);
+}
+
+} // namespace obs
+
+} // namespace duet
+
+#endif // DUET_SIM_TRACE_HH

@@ -143,6 +143,19 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         l2->registerStats(stats_);
     for (auto &l3 : l3s_)
         l3->registerStats(stats_);
+
+    applyLatencyBreakdown();
+}
+
+void
+System::applyLatencyBreakdown()
+{
+    latTotals_.reset();
+    LatencyTrace *sink = cfg_.latencyBreakdown ? &latTotals_ : nullptr;
+    for (auto &c : cores_)
+        c->setDefaultTrace(sink);
+    if (adapter_)
+        adapter_->setDefaultTrace(sink);
 }
 
 System::~System()
@@ -249,8 +262,9 @@ System::reset(const SystemConfig &cfg)
 
     // Stats registrations hold raw Counter pointers into the components
     // just reset, so the registry itself needs no rebuild. Only the run
-    // parameters (observer, watchdog) change.
+    // parameters (observer, watchdog, latency breakdown) change.
     cfg_ = cfg;
+    applyLatencyBreakdown();
 }
 
 Tick

@@ -28,6 +28,7 @@
 #include "cpu/core.hh"
 #include "sim/arena.hh"
 #include "sim/inline_function.hh"
+#include "sim/latency_trace.hh"
 #include "sim/stats.hh"
 
 namespace duet
@@ -68,6 +69,11 @@ struct SystemConfig
     /// diagnostics).
     bool scratchpadAuto = true;
     Tick maxTicks = 500 * 1000 * kTicksPerUs; ///< watchdog (500 ms sim time)
+    /// Run parameter (`--latency-breakdown`), not geometry: route memory
+    /// and MMIO ops that carry no LatencyTrace into a system-wide
+    /// aggregate, giving Fig. 9-style noc/fast/slow/cdc tick totals.
+    /// Attribution only; sim_ticks are unaffected.
+    bool latencyBreakdown = false;
     /// Post-run hook: benchmarks hand their System here (via reportRun)
     /// after the timed region completes but before teardown, so callers
     /// can dump the stats registry. A non-owning ref (this header is in
@@ -147,7 +153,15 @@ class System
     /** This system's coroutine-frame/Future-state arena (test probe). */
     const FrameArena &frameArena() const { return arena_; }
 
+    /** Aggregate per-category latency totals (valid when the config's
+     *  latencyBreakdown flag is set; all zero otherwise). */
+    const LatencyTrace &latencyTotals() const { return latTotals_; }
+
   private:
+    /** (Re)wire the cores' and soft caches' default-trace fallback to
+     *  match cfg_.latencyBreakdown, clearing prior totals. */
+    void applyLatencyBreakdown();
+
     // The arena and its scope are declared FIRST: members are destroyed
     // in reverse order, so the arena outlives every component — including
     // the detached coroutine frames drained in ~System's body — and is
@@ -168,6 +182,7 @@ class System
     // FPSoC-mode CDC links on proxy NoC ports.
     std::vector<std::unique_ptr<AsyncFifo<Message>>> cdcLinks_;
     StatRegistry stats_;
+    LatencyTrace latTotals_;
 };
 
 } // namespace duet

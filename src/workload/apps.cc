@@ -35,10 +35,26 @@ systemCache()
     return cache;
 }
 
+/// Thread-local like the cache itself: a lease only ever reuses its own
+/// thread's slot, so the hit-rate counters follow the same scoping.
+LeaseStats &
+leaseCounters()
+{
+    thread_local LeaseStats stats;
+    return stats;
+}
+
 } // namespace
+
+LeaseStats
+leaseStats()
+{
+    return leaseCounters();
+}
 
 SystemLease::SystemLease(const SystemConfig &cfg)
 {
+    ++leaseCounters().total;
     SystemCache &cache = systemCache();
     if (cache.sys && !cache.inUse) {
         if (cache.sys->geometryCompatible(cfg)) {
@@ -46,6 +62,7 @@ SystemLease::SystemLease(const SystemConfig &cfg)
             cache.inUse = true;
             sys_ = cache.sys.get();
             warm_ = true;
+            ++leaseCounters().warm;
             return;
         }
         // Different geometry: rebuild the slot, but only when the cached

@@ -57,6 +57,19 @@ class SystemLease
     bool warm_ = false;
 };
 
+/** Cumulative SystemLease activity on the calling thread. The counters
+ *  live next to the (thread-local) warm-System slot, so a resident
+ *  worker reading them before and after a request learns whether that
+ *  request warm-started — the service telemetry's hit-rate source. */
+struct LeaseStats
+{
+    std::uint64_t total = 0; ///< leases taken
+    std::uint64_t warm = 0;  ///< leases served by resetting the cache
+};
+
+/** This thread's lease counters (monotonic; never reset). */
+LeaseStats leaseStats();
+
 /** One Fig. 12 configuration: a registry workload + fixed parameters. */
 struct AppSpec
 {

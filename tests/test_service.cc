@@ -25,6 +25,7 @@
 #include "service/scenario_service.hh"
 #include "service/serve.hh"
 #include "sim/config.hh"
+#include "sim/json.hh"
 
 namespace duet
 {
@@ -504,6 +505,134 @@ TEST(Serve, EofMidStreamDrainsInFlightWorkCleanly)
     EXPECT_EQ(lines.size(), 7u);
     EXPECT_EQ(sum.served, 7u);
     EXPECT_EQ(sum.failed, 0u);
+}
+
+/** Pull the unsigned integer following `"<key>": ` out of a JSON
+ *  line. The stats line is flat enough that substring extraction is
+ *  honest; ADD a json::Cursor pass in the test body for structure. */
+std::uint64_t
+extractU64(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = line.find(needle);
+    EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+    if (at == std::string::npos)
+        return 0;
+    std::uint64_t v = 0;
+    std::size_t p = at + needle.size();
+    while (p < line.size() && line[p] >= '0' && line[p] <= '9')
+        v = v * 10 + static_cast<std::uint64_t>(line[p++] - '0');
+    return v;
+}
+
+TEST(Serve, StatsRequestAnswersUnderConcurrentLoad)
+{
+    // Interleave scenario requests with {"type": "stats"} control
+    // lines: the server must answer each stats probe synchronously
+    // with telemetry that is internally consistent even while
+    // scenarios are still in flight on the pool.
+    std::string input;
+    static const char *const kIds[12] = {"a0", "a1", "a2", "a3",
+                                         "b0", "b1", "b2", "b3",
+                                         "c0", "c1", "c2", "c3"};
+    for (int i = 0; i < 6; ++i) {
+        ScenarioRequest req;
+        req.id = kIds[i];
+        req.workload = i % 2 == 0 ? "popcount" : "tangent";
+        req.size = 4 + static_cast<unsigned>(i);
+        input += requestLine(req);
+    }
+    input += "{\"type\": \"stats\"}\n";
+    for (int i = 6; i < 12; ++i) {
+        ScenarioRequest req;
+        req.id = kIds[i];
+        req.workload = "popcount";
+        req.size = 4 + static_cast<unsigned>(i % 6);
+        input += requestLine(req);
+    }
+    input += "{\"type\": \"stats\"}\n";
+
+    ServeSummary sum;
+    ScenarioService::Options opts;
+    opts.jobs = 4;
+    const std::vector<std::string> lines =
+        serveRoundTrip(input, sum, opts);
+
+    EXPECT_EQ(sum.served, 12u);
+    EXPECT_EQ(sum.failed, 0u);
+    std::vector<std::string> stats;
+    std::size_t responses = 0;
+    for (const std::string &l : lines) {
+        if (l.find("\"type\": \"stats\"") != std::string::npos)
+            stats.push_back(l);
+        else
+            ++responses;
+    }
+    EXPECT_EQ(responses, 12u);
+    ASSERT_EQ(stats.size(), 2u);
+
+    std::uint64_t prevServed = 0;
+    for (const std::string &l : stats) {
+        // Structurally valid JSON, one value, nothing trailing.
+        std::string err;
+        json::Cursor cur{l + "\n", 0, err};
+        EXPECT_TRUE(cur.skipValue()) << err << "\n" << l;
+
+        const std::uint64_t served = extractU64(l, "served");
+        const std::uint64_t completed = extractU64(l, "completed");
+        const std::uint64_t count = extractU64(l, "count");
+        const std::uint64_t p50 = extractU64(l, "p50");
+        const std::uint64_t p95 = extractU64(l, "p95");
+        const std::uint64_t p99 = extractU64(l, "p99");
+        EXPECT_EQ(extractU64(l, "failed"), 0u) << l;
+        // Latency histogram counts exactly the pool-completed requests.
+        EXPECT_EQ(count, completed) << l;
+        EXPECT_LE(served, 12u);
+        EXPECT_GE(served, prevServed); // stats never go backwards
+        prevServed = served;
+        EXPECT_LE(p50, p95) << l;
+        EXPECT_LE(p95, p99) << l;
+        // One per-worker utilization entry per pool worker.
+        std::size_t workers = 0;
+        for (std::size_t at = l.find("\"requests\"");
+             at != std::string::npos;
+             at = l.find("\"requests\"", at + 1))
+            ++workers;
+        EXPECT_EQ(workers, 4u) << l;
+        EXPECT_NE(l.find("\"utilization\""), std::string::npos);
+        EXPECT_NE(l.find("\"warm_starts\""), std::string::npos);
+    }
+}
+
+TEST(Serve, UnknownControlTypeIsRejectedNotFatal)
+{
+    ScenarioRequest good;
+    good.workload = "popcount";
+    good.size = 8;
+    good.id = "g";
+    std::string input = "{\"type\": \"shutdown\"}\n";
+    input += requestLine(good);
+
+    ServeSummary sum;
+    ScenarioService::Options opts;
+    opts.jobs = 2;
+    const std::vector<std::string> lines =
+        serveRoundTrip(input, sum, opts);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(sum.served, 1u);
+    EXPECT_EQ(sum.failed, 1u);
+    std::map<std::string, ScenarioResponse> got;
+    for (const std::string &l : lines) {
+        ScenarioResponse resp;
+        std::string err;
+        ASSERT_TRUE(parseScenarioResponse(l, resp, err)) << err << l;
+        got[resp.id] = resp;
+    }
+    ASSERT_EQ(got.count("1"), 1u); // rejected under its line number
+    EXPECT_EQ(got["1"].status, ResponseStatus::Invalid);
+    EXPECT_NE(got["1"].row.error.find("control"), std::string::npos)
+        << got["1"].row.error;
+    EXPECT_EQ(got["g"].status, ResponseStatus::Ok);
 }
 
 TEST(Serve, ServedRowsAreByteIdenticalToTheEquivalentSweep)

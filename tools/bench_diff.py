@@ -9,11 +9,17 @@ for *identity*, because the bench doubles as the determinism gate: the
 reference scenarios are fixed-seed simulations, so any drift in `events`
 or `sim_ticks` means the simulator's semantics changed, not its speed.
 
+Either report running under instrumentation (a row whose
+`observability` field is anything but "off" — `--bench` records the
+trace/prof state it measured under) is refused outright: traced wall
+numbers are not comparable to a clean reference. Reports predating the
+field are treated as "off".
+
 Exit status:
   0  same scenario set, identical events/sim_ticks everywhere
   1  events or sim_ticks drifted, a scenario appeared/vanished, or a
      side reports correct=false (wall-time changes alone never fail)
-  2  usage or parse error
+  2  usage or parse error, or a side was benched under instrumentation
 
 `--allow-semantic-drift` downgrades drift to a warning (exit 0) for the
 rare commit that intentionally changes event semantics and updates the
@@ -66,6 +72,15 @@ def main(argv):
 
     base = load(args.baseline)
     new = load(args.new)
+    for path, doc in ((args.baseline, base), (args.new, new)):
+        modes = sorted({r.get("observability", "off")
+                        for r in doc.get("scenarios", [])} - {"off"})
+        if modes:
+            print(f"bench_diff: {path}: benched under instrumentation "
+                  f"({', '.join(modes)}); wall times are not comparable "
+                  "to a clean reference — re-run --bench without "
+                  "--trace/--prof", file=sys.stderr)
+            return 2
     brows = {key(r): r for r in base.get("scenarios", [])}
     nrows = {key(r): r for r in new.get("scenarios", [])}
 

@@ -5,7 +5,7 @@ Run over one or more source roots (default: src/ next to this script):
 
     python3 tools/lint_sim.py src
 
-Rules (R1-R7):
+Rules (R1-R8):
 
   R1 fork-outside-executor   `fork(` may appear only in the process-pool
                              executor (src/sim/executor.cc). Everything
@@ -42,6 +42,16 @@ Rules (R1-R7):
                              FunctionRef) so callbacks stay
                              allocation-free. Cold configuration hooks in
                              other headers may still use std::function.
+  R8 unguarded-trace-hot     in the hot-path headers (the R7 set plus
+                             src/fpga/async_fifo.hh), calling through
+                             `obs::trace()`/`obs::prof()` (or the raw
+                             `g_trace`/`g_prof` pointers) without first
+                             binding the pointer behind a null check is
+                             banned. Emission sites must follow the
+                             `if (TraceSink *ts = obs::trace())` idiom so
+                             the disabled-observability hot path stays a
+                             single predictable branch — and so a null
+                             sink can never be dereferenced.
 
 Run `python3 tools/lint_sim.py --selftest` to exercise every rule against
 built-in positive/negative fixtures (wired into ctest as lint_selftest).
@@ -97,6 +107,19 @@ RE_MEMCPY_OK = re.compile(
 RE_MEMCPY_ESCAPE = re.compile(r"lint:\s*checked-memcpy")
 RE_GUARD = re.compile(r"^\s*#\s*ifndef\s+DUET_\w+")
 RE_STD_FUNCTION = re.compile(r"std::function\b|#\s*include\s*<functional>")
+# R8: dereferencing the observability switchboard without binding it
+# behind a null check first. `obs::trace()->...` compiles but crashes
+# when no sink is installed and puts an unguarded virtual-width call on
+# the per-event path; the bound `if (TraceSink *ts = obs::trace())`
+# idiom never matches this pattern.
+RE_TRACE_DEREF = re.compile(
+    r"(obs::trace\s*\(\s*\)|obs::prof\s*\(\s*\)|\bg_trace\b|\bg_prof\b)"
+    r"\s*->")
+# The R8 file set: the R7 hot headers plus the CDC FIFO header, which
+# sits on the cross-domain per-flit path but lives in src/fpga/.
+TRACE_HOT_RE = re.compile(
+    HOT_HEADERS_RE.pattern[:-2] + r"|src/fpga/async_fifo\.hh)$"
+)
 
 
 def strip_code(text):
@@ -197,6 +220,10 @@ def lint_file(path, rel, findings):
             report(lineno, "no-std-function-hot",
                    "std::function is banned in hot-path headers; use "
                    "InlineFunction (sim/inline_function.hh)")
+        if TRACE_HOT_RE.match(rel) and RE_TRACE_DEREF.search(line):
+            report(lineno, "unguarded-trace-hot",
+                   "unguarded trace/prof dereference in a hot header; "
+                   "bind it first: if (TraceSink *ts = obs::trace())")
         if RE_MEMCPY.search(line):
             lo = max(0, idx - MEMCPY_WINDOW)
             window = code_lines[lo:idx + 1]
@@ -274,6 +301,25 @@ SELFTEST_CASES = [
      "struct W { std::function<void()> hook; };\n#endif\n",
      []),
     ("src/noc/mesh.cc", "#include <functional>\n", []),
+    # R8: unguarded switchboard dereferences in hot headers (including
+    # the src/fpga/async_fifo.hh extension) are findings; the bound
+    # null-check idiom and cold .cc files are not.
+    ("src/noc/bad_trace.hh",
+     "#ifndef DUET_NOC_BAD_TRACE_HH\n#define DUET_NOC_BAD_TRACE_HH\n"
+     "inline void f() { obs::trace()->instant(1, \"x\", 0); }\n#endif\n",
+     ["unguarded-trace-hot"]),
+    ("src/fpga/async_fifo.hh",
+     "#ifndef DUET_FPGA_ASYNC_FIFO_HH\n#define DUET_FPGA_ASYNC_FIFO_HH\n"
+     "inline void g() { g_prof->beginEvent(); }\n#endif\n",
+     ["unguarded-trace-hot"]),
+    ("src/cache/good_trace.hh",
+     "#ifndef DUET_CACHE_GOOD_TRACE_HH\n#define DUET_CACHE_GOOD_TRACE_HH\n"
+     "inline void h() {\n"
+     "    if (TraceSink *ts = obs::trace())\n"
+     "        ts->instant(2, \"miss\", 0);\n}\n#endif\n",
+     []),
+    ("src/sim/trace_cold.cc",
+     "void emit() { obs::trace()->instant(0, \"cold\", 0); }\n", []),
     # Comment/string stripping: prose never trips the code rules.
     ("src/cpu/prose.cc",
      "// a new coroutine is forked via const_cast-free magic\n"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff two `duet-prof/1` self-profiles (duet_sim --prof output).
+
+    python3 tools/prof_diff.py BASELINE.json NEW.json
+
+Components are joined on name. For every pair the wall-time and share
+deltas are reported; per-component *event counts* are checked for
+identity, because a fixed-seed scenario dispatches a deterministic
+event stream — drifting counts mean the two profiles measured
+different simulations (or differently-claimed components), not
+different speeds. Wall-time changes alone never fail: sampling the
+host clock around every event is inherently noisy.
+
+Same CLI contract as tools/bench_diff.py.
+
+Exit status:
+  0  same component set, identical event counts everywhere
+  1  event counts drifted or a component appeared/vanished
+  2  usage or parse error
+
+`--allow-semantic-drift` downgrades drift to a warning (exit 0) for
+commits that intentionally re-claim components or change event
+semantics.
+"""
+
+import argparse
+import sys
+import json
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"prof_diff: {path}: {e}")
+    if doc.get("schema") != "duet-prof/1":
+        raise SystemExit(
+            f"prof_diff: {path}: schema {doc.get('schema')!r} is not "
+            "duet-prof/1")
+    return doc
+
+
+def pct(base, new):
+    if base == 0:
+        return "n/a"
+    return f"{(new - base) / base * 100.0:+.1f}%"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="prof_diff.py",
+        description="Diff two duet-prof/1 self-profiles.")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--allow-semantic-drift", action="store_true",
+                    help="report event-count drift but exit 0")
+    args = ap.parse_args(argv[1:])
+
+    base = load(args.baseline)
+    new = load(args.new)
+    bcomp = {c["name"]: c for c in base.get("components", [])}
+    ncomp = {c["name"]: c for c in new.get("components", [])}
+
+    drift = []
+    print(f"{'component':<12} {'events':>16} {'wall_ns':>24} "
+          f"{'delta':>8} {'share':>14}")
+    for name in sorted(bcomp):
+        if name not in ncomp:
+            drift.append(f"{name}: missing from {args.new}")
+            continue
+        b, n = bcomp[name], ncomp[name]
+        ev = (f"{b['events']}" if b["events"] == n["events"]
+              else f"{b['events']}->{n['events']}")
+        print(f"{name:<12} {ev:>16} "
+              f"{b['wall_ns']:>11} {n['wall_ns']:>12} "
+              f"{pct(b['wall_ns'], n['wall_ns']):>8} "
+              f"{b['share']:>6.4f} {n['share']:>7.4f}")
+        if b["events"] != n["events"]:
+            drift.append(f"{name}: events {b['events']} -> "
+                         f"{n['events']}")
+    for name in sorted(set(ncomp) - set(bcomp)):
+        drift.append(f"{name}: missing from {args.baseline}")
+
+    bw = base.get("wall_ms", 0.0)
+    nw = new.get("wall_ms", 0.0)
+    print(f"\ntotals: events {base.get('events')} -> {new.get('events')}"
+          f", wall_ms {bw:.3f} -> {nw:.3f} ({pct(bw, nw)})")
+    if base.get("events") != new.get("events"):
+        drift.append(f"totals: events {base.get('events')} -> "
+                     f"{new.get('events')}")
+
+    if drift:
+        print(f"\nprof_diff: {len(drift)} semantic difference(s):",
+              file=sys.stderr)
+        for d in drift:
+            print(f"  {d}", file=sys.stderr)
+        if not args.allow_semantic_drift:
+            return 1
+        print("prof_diff: --allow-semantic-drift given; not failing",
+              file=sys.stderr)
+    else:
+        print("prof_diff: no semantic drift (wall-time-only changes)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

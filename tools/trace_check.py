@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a `duet-trace/1` Chrome trace (duet_sim --trace output).
+
+    python3 tools/trace_check.py TRACE.json
+
+Checks the structural contract the simulator promises — the same one
+Perfetto / chrome://tracing relies on to load the file:
+
+  - the document is valid JSON with a `traceEvents` array,
+    `displayTimeUnit` of "ms" or "ns", and
+    `otherData.schema == "duet-trace/1"`;
+  - every `thread_name` metadata record (ph "M") precedes every payload
+    record, so viewers name tracks before populating them;
+  - every record carries `pid == 1` (one simulated process) and an
+    integer `tid` that a metadata record named;
+  - payload phase types are limited to i (instant), X (complete),
+    C (counter), b/e (async begin/end); `ts` is a non-negative number;
+    X records carry a non-negative `dur`; C records carry numeric
+    series values in `args`;
+  - async begin/end records balance: every `e` closes an open `b` with
+    the same (cat, id), and nothing is left open at end of trace —
+    unless `otherData.truncated` is true, in which case the sink hit
+    its record cap mid-stream and dangling opens are expected;
+  - `otherData.records` equals the number of payload records.
+
+Exit status: 0 = valid, 1 = contract violations (one per line),
+2 = usage or I/O error.
+"""
+
+import json
+import sys
+from collections import Counter
+
+VALID_PH = {"i", "X", "C", "b", "e"}
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"trace_check: {path}: {e}")
+
+    problems = []
+
+    def bad(msg):
+        problems.append(msg)
+
+    if not isinstance(doc, dict):
+        raise SystemExit(f"trace_check: {path}: top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        bad("traceEvents is missing or not an array")
+        events = []
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        bad(f"displayTimeUnit {doc.get('displayTimeUnit')!r} is not "
+            "\"ms\" or \"ns\"")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != "duet-trace/1":
+        bad("otherData.schema is not \"duet-trace/1\"")
+        other = {}
+    truncated = other.get("truncated", False)
+
+    named_tids = set()
+    seen_payload = False
+    open_async = Counter()  # (cat, id) -> open begin count
+    phases = Counter()
+    payload = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            bad(f"{where}: record is not an object")
+            continue
+        ph = ev.get("ph")
+        if ev.get("pid") != 1:
+            bad(f"{where}: pid {ev.get('pid')!r} != 1")
+        tid = ev.get("tid")
+        if not isinstance(tid, int) or tid < 0:
+            bad(f"{where}: tid {tid!r} is not a non-negative integer")
+            tid = None
+        if ph == "M":
+            if seen_payload:
+                bad(f"{where}: metadata record after payload records")
+            if ev.get("name") != "thread_name":
+                bad(f"{where}: metadata record is not thread_name")
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                bad(f"{where}: thread_name args.name missing/empty")
+            if tid is not None:
+                named_tids.add(tid)
+            phases["M"] += 1
+            continue
+        seen_payload = True
+        payload += 1
+        phases[ph] += 1
+        if ph not in VALID_PH:
+            bad(f"{where}: unknown phase {ph!r}")
+            continue
+        if tid is not None and tid not in named_tids:
+            bad(f"{where}: tid {tid} has no thread_name metadata record")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or ts < 0:
+            bad(f"{where}: ts {ts!r} is not a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                bad(f"{where}: dur {dur!r} is not a non-negative number")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                bad(f"{where}: counter record has no args series")
+            else:
+                for k, v in args.items():
+                    if not isinstance(v, (int, float)) or \
+                            isinstance(v, bool):
+                        bad(f"{where}: counter series {k!r} value "
+                            f"{v!r} is not numeric")
+        elif ph in ("b", "e"):
+            akey = (ev.get("cat"), ev.get("id"))
+            if ev.get("id") is None:
+                bad(f"{where}: async record has no id")
+            elif ph == "b":
+                open_async[akey] += 1
+            elif open_async[akey] > 0:
+                open_async[akey] -= 1
+            else:
+                bad(f"{where}: async end with no open begin for "
+                    f"cat={akey[0]!r} id={akey[1]!r}")
+
+    dangling = sum(open_async.values())
+    if dangling and not truncated:
+        bad(f"{dangling} async begin(s) never closed "
+            "(and otherData.truncated is false)")
+    if "records" in other and other["records"] != payload:
+        bad(f"otherData.records {other['records']} != "
+            f"{payload} payload records")
+
+    summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(phases.items()))
+    return problems, payload, summary, truncated
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1].startswith("-"):
+        print(__doc__)
+        return 2
+    problems, payload, summary, truncated = check(argv[1])
+    for p in problems:
+        print(f"{argv[1]}: {p}")
+    if problems:
+        print(f"trace_check: {len(problems)} violation(s) in "
+              f"{payload} payload records", file=sys.stderr)
+        return 1
+    note = " (truncated at record cap)" if truncated else ""
+    print(f"trace_check: OK ({payload} payload records; {summary})"
+          f"{note}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
