@@ -8,6 +8,7 @@
 #define DUET_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <deque>
 #include <memory>
 
 #include "accel/images.hh"
@@ -114,10 +115,10 @@ commImage(bool with_soft_cache, std::shared_ptr<CommProbe> probe)
                     std::uint64_t n = ctx.regs.readPlain(5);
                     // Pull at line granularity: the eFPGA loads up to one
                     // 16 B line per cycle (paper Sec. V-C).
-                    std::vector<Future<std::uint64_t>> loads;
+                    std::deque<SoftCache::LoadOp> loads;
                     for (std::uint64_t i = 0; i < n / 2; ++i)
-                        loads.push_back(
-                            ctx.mem[0]->load(src + kLineBytes * i, 8));
+                        loads.emplace_back(*ctx.mem[0],
+                                           src + kLineBytes * i, 8);
                     std::vector<std::uint64_t> data;
                     for (auto &f : loads)
                         data.push_back(co_await f);

@@ -52,7 +52,8 @@ struct CacheReq
 
     /** Completion callback type: result is the load value / AMO old
      *  value / 0 for stores. 40 inline bytes cover every capture in the
-     *  tree (core store/AMO continuations capture [this, addr, setter]). */
+     *  tree — the largest are the core load continuation
+     *  [op, core, addr] and the memory hub's [this, id, va, pa, trace]. */
     using DoneFn = InlineFunction<void(std::uint64_t), 40>;
 
     Kind kind = Kind::Load;

@@ -39,62 +39,55 @@ Core::start(std::function<CoTask<void>(Core &)> main)
     });
 }
 
-Future<std::uint64_t>
-Core::load(Addr a, unsigned size, LatencyTrace *trace)
+Core::LoadOp::LoadOp(Core &c, Addr a, unsigned size, LatencyTrace *trace)
 {
-    loads.inc();
+    c.loads.inc();
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> fut;
-    auto set = fut.setter();
-    if (l1_.loadHit(a)) {
-        l1Hits.inc();
-        // 1-cycle L1 hit; the value still comes from functional memory.
-        clk_.scheduleAtEdge(l1_.params().hitLatency, [this, a, size, set] {
-            obs::profClaim("cpu");
-            set.set(l2_.memoryRef().read(a, size));
-        });
-        return fut;
+        trace = c.defaultTrace_;
+    if (c.l1_.loadHit(a)) {
+        c.l1Hits.inc();
+        // 1-cycle L1 hit; the value still comes from functional memory,
+        // read when the event fires so same-tick earlier stores are
+        // visible, exactly as before.
+        c.clk_.scheduleAtEdge(c.l1_.params().hitLatency,
+                              [this, cp = &c, a, size] {
+                                  obs::profClaim("cpu");
+                                  fulfill(cp->l2_.memoryRef().read(a, size));
+                              });
+        return;
     }
     CacheReq r;
     r.kind = CacheReq::Kind::Load;
     r.addr = a;
     r.size = size;
     r.trace = trace;
-    r.done = [this, a, set](std::uint64_t v) {
-        l1_.fill(a);
-        set.set(v);
+    r.done = [this, cp = &c, a](std::uint64_t v) {
+        cp->l1_.fill(a);
+        fulfill(v);
     };
-    l2_.request(std::move(r));
-    return fut;
+    c.l2_.request(std::move(r));
 }
 
-Future<void>
-Core::store(Addr a, std::uint64_t v, unsigned size, LatencyTrace *trace)
+Core::StoreOp::StoreOp(Core &c, Addr a, std::uint64_t v, unsigned size,
+                       LatencyTrace *trace)
 {
-    stores.inc();
+    c.stores.inc();
     if (!trace)
-        trace = defaultTrace_;
-    Future<void> fut;
-    auto set = fut.setter();
+        trace = c.defaultTrace_;
     CacheReq r;
     r.kind = CacheReq::Kind::Store;
     r.addr = a;
     r.size = size;
     r.wdata = v;
     r.trace = trace;
-    r.done = [set](std::uint64_t) { set.set(); };
-    l2_.request(std::move(r));
-    return fut;
+    r.done = [this](std::uint64_t) { fulfill(); };
+    c.l2_.request(std::move(r));
 }
 
-Future<std::uint64_t>
-Core::amo(AmoOp op, Addr a, std::uint64_t operand, std::uint64_t operand2,
-          unsigned size)
+Core::AtomicOp::AtomicOp(Core &c, AmoOp op, Addr a, std::uint64_t operand,
+                         std::uint64_t operand2, unsigned size)
 {
-    amos.inc();
-    Future<std::uint64_t> fut;
-    auto set = fut.setter();
+    c.amos.inc();
     CacheReq r;
     r.kind = CacheReq::Kind::Amo;
     r.amoOp = op;
@@ -102,59 +95,44 @@ Core::amo(AmoOp op, Addr a, std::uint64_t operand, std::uint64_t operand2,
     r.size = size;
     r.wdata = operand;
     r.wdata2 = operand2;
-    r.done = [set](std::uint64_t old) { set.set(old); };
-    l2_.request(std::move(r));
-    return fut;
+    r.done = [this](std::uint64_t old) { fulfill(old); };
+    c.l2_.request(std::move(r));
 }
 
-Future<std::uint64_t>
-Core::mmioRead(Addr a, LatencyTrace *trace)
+Core::MmioReadOp::MmioReadOp(Core &c, Addr a, LatencyTrace *trace)
 {
-    mmios.inc();
+    c.mmios.inc();
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> fut;
-    std::uint32_t id = nextTxn_++;
-    pendingMmio_.emplace(id, fut.setter());
+        trace = c.defaultTrace_;
+    const std::uint32_t id = c.nextTxn_++;
+    c.pendingMmio_.insert(id, this);
     Message m;
     m.type = MsgType::MmioRead;
-    m.src = {static_cast<std::uint16_t>(tile_), TilePort::Core};
-    m.dst = mmioRoute_(a);
+    m.src = {static_cast<std::uint16_t>(c.tile_), TilePort::Core};
+    m.dst = c.mmioRoute_(a);
     m.addr = a;
     m.txnId = id;
     m.trace = trace;
-    mesh_.inject(m);
-    return fut;
+    c.mesh_.inject(m);
 }
 
-Future<void>
-Core::mmioWrite(Addr a, std::uint64_t v, LatencyTrace *trace)
+Core::MmioWriteOp::MmioWriteOp(Core &c, Addr a, std::uint64_t v,
+                               LatencyTrace *trace)
 {
-    mmios.inc();
+    c.mmios.inc();
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> raw;
-    std::uint32_t id = nextTxn_++;
-    pendingMmio_.emplace(id, raw.setter());
+        trace = c.defaultTrace_;
+    const std::uint32_t id = c.nextTxn_++;
+    c.pendingMmio_.insert(id, this);
     Message m;
     m.type = MsgType::MmioWrite;
-    m.src = {static_cast<std::uint16_t>(tile_), TilePort::Core};
-    m.dst = mmioRoute_(a);
+    m.src = {static_cast<std::uint16_t>(c.tile_), TilePort::Core};
+    m.dst = c.mmioRoute_(a);
     m.addr = a;
     m.value = v;
     m.txnId = id;
     m.trace = trace;
-    mesh_.inject(m);
-
-    // Adapt Future<uint64_t> (the ack) to Future<void> for the caller.
-    Future<void> fut;
-    auto set = fut.setter();
-    spawn([](Future<std::uint64_t> raw,
-             Future<void>::Setter set) -> CoTask<void> {
-        co_await raw;
-        set.set();
-    }(raw, set));
-    return fut;
+    c.mesh_.inject(m);
 }
 
 void
@@ -162,11 +140,9 @@ Core::receive(const Message &msg)
 {
     simAssert(msg.type == MsgType::MmioResp,
               name_ + ": unexpected NoC message at core");
-    auto it = pendingMmio_.find(msg.txnId);
-    simAssert(it != pendingMmio_.end(), name_ + ": stray MMIO response");
-    auto set = it->second;
-    pendingMmio_.erase(it);
-    set.set(msg.value);
+    PendingValue<std::uint64_t> *op = pendingMmio_.take(msg.txnId);
+    simAssert(op != nullptr, name_ + ": stray MMIO response");
+    op->fulfill(msg.value);
 }
 
 void

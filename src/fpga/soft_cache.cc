@@ -15,55 +15,41 @@ SoftCache::SoftCache(ClockDomain &fpga_clk, std::string name,
 {
 }
 
-Future<std::uint64_t>
-SoftCache::load(Addr a, unsigned size, LatencyTrace *trace)
+SoftCache::LoadOp::LoadOp(SoftCache &sc, Addr a, unsigned size,
+                          LatencyTrace *trace)
 {
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> fut;
+        trace = sc.defaultTrace_;
     PendingOp op;
     op.op = FpgaMemOp::Load;
     op.addr = a;
     op.size = size;
     op.trace = trace;
-    op.done = fut.setter();
-    queue_.push_back(std::move(op));
-    schedulePump();
-    return fut;
+    op.done = this;
+    sc.queue_.push_back(std::move(op));
+    sc.schedulePump();
 }
 
-Future<void>
-SoftCache::store(Addr a, std::uint64_t v, unsigned size,
-                 LatencyTrace *trace)
+SoftCache::StoreOp::StoreOp(SoftCache &sc, Addr a, std::uint64_t v,
+                            unsigned size, LatencyTrace *trace)
 {
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> raw;
+        trace = sc.defaultTrace_;
     PendingOp op;
     op.op = FpgaMemOp::Store;
     op.addr = a;
     op.size = size;
     op.wdata = v;
     op.trace = trace;
-    op.done = raw.setter();
-    queue_.push_back(std::move(op));
-    schedulePump();
-
-    Future<void> fut;
-    auto set = fut.setter();
-    spawn([](Future<std::uint64_t> raw,
-             Future<void>::Setter set) -> CoTask<void> {
-        co_await raw;
-        set.set();
-    }(raw, set));
-    return fut;
+    op.done = this;
+    sc.queue_.push_back(std::move(op));
+    sc.schedulePump();
 }
 
-Future<std::uint64_t>
-SoftCache::amo(AmoOp amo_op, Addr a, std::uint64_t operand,
-               std::uint64_t operand2, unsigned size)
+SoftCache::AtomicOp::AtomicOp(SoftCache &sc, AmoOp amo_op, Addr a,
+                              std::uint64_t operand, std::uint64_t operand2,
+                              unsigned size)
 {
-    Future<std::uint64_t> fut;
     PendingOp op;
     op.op = FpgaMemOp::Amo;
     op.addr = a;
@@ -72,48 +58,34 @@ SoftCache::amo(AmoOp amo_op, Addr a, std::uint64_t operand,
     op.wdata2 = operand2;
     op.amoOp = amo_op;
     op.trace = nullptr;
-    op.done = fut.setter();
-    queue_.push_back(std::move(op));
-    schedulePump();
-    return fut;
+    op.done = this;
+    sc.queue_.push_back(std::move(op));
+    sc.schedulePump();
 }
 
-Future<void>
-SoftCache::prefetchLine(Addr line_va, LatencyTrace *trace)
+SoftCache::PrefetchOp::PrefetchOp(SoftCache &sc, Addr line_va,
+                                  LatencyTrace *trace)
 {
     if (!trace)
-        trace = defaultTrace_;
-    Future<std::uint64_t> raw;
+        trace = sc.defaultTrace_;
     PendingOp op;
     op.op = FpgaMemOp::Load;
     op.addr = lineAlign(line_va);
     op.size = 8;
     op.trace = trace;
     op.lineFill = true;
-    op.done = raw.setter();
-    queue_.push_back(std::move(op));
-    schedulePump();
-
-    Future<void> fut;
-    auto set = fut.setter();
-    spawn([](Future<std::uint64_t> raw,
-             Future<void>::Setter set) -> CoTask<void> {
-        co_await raw;
-        set.set();
-    }(raw, set));
-    return fut;
+    op.done = this;
+    sc.queue_.push_back(std::move(op));
+    sc.schedulePump();
 }
 
-Future<void>
-SoftCache::drainWrites()
+SoftCache::DrainOp::DrainOp(SoftCache &sc)
 {
-    Future<void> fut;
-    if (wb_.empty() && queue_.empty()) {
-        fut.setter().set();
-        return fut;
+    if (sc.wb_.empty() && sc.queue_.empty()) {
+        fulfill(); // nothing buffered: pre-resolved, never suspends
+        return;
     }
-    drainWaiters_.push_back(fut.setter());
-    return fut;
+    sc.drainWaiters_.push_back(this);
 }
 
 void
@@ -123,8 +95,8 @@ SoftCache::checkDrained()
         return;
     auto waiters = std::move(drainWaiters_);
     drainWaiters_.clear();
-    for (auto &w : waiters)
-        w.set();
+    for (PendingVoid *w : waiters)
+        w->fulfill();
 }
 
 void
@@ -180,8 +152,8 @@ SoftCache::issue(PendingOp &op)
             if (line) {
                 hits.inc();
                 Addr pa = line->paddr + lineOffset(op.addr);
-                op.done.set(op.lineFill
-                                ? 0
+                op.done->fulfill(
+                    op.lineFill ? 0
                                 : readWithForwarding(pa, op.addr, op.size));
                 return true;
             }
@@ -240,7 +212,7 @@ SoftCache::issue(PendingOp &op)
             // Fill happens lazily via the hub's StoreAck (paddr known then).
         }
         // Posted store: complete now that it is buffered.
-        op.done.set(0);
+        op.done->fulfill(0);
         return true;
       }
 
@@ -295,8 +267,8 @@ SoftCache::receive(FpgaMemResp &&resp)
             mshrs_.erase(it);
             for (PendingOp &w : waiters) {
                 Addr pa = line->paddr + lineOffset(w.addr);
-                w.done.set(w.lineFill
-                               ? 0
+                w.done->fulfill(
+                    w.lineFill ? 0
                                : readWithForwarding(pa, w.addr, w.size));
             }
             return;
@@ -308,7 +280,7 @@ SoftCache::receive(FpgaMemResp &&resp)
         std::vector<PendingOp> waiters = std::move(it->second.waiters);
         mshrs_.erase(it);
         for (PendingOp &w : waiters)
-            w.done.set(resp.data);
+            w.done->fulfill(resp.data);
         return;
       }
 
@@ -323,7 +295,7 @@ SoftCache::receive(FpgaMemResp &&resp)
         simAssert(it != pendingAmos_.end(), name_ + ": stray AmoAck");
         PendingOp op = std::move(it->second);
         pendingAmos_.erase(it);
-        op.done.set(resp.data);
+        op.done->fulfill(resp.data);
         return;
       }
     }

@@ -69,27 +69,95 @@ class SoftCache
 
     // --------------------------------------------------------------
     // Accelerator-side operations (co_await from accelerator tasks).
+    //
+    // Intrusive awaitables, mirroring Core's op classes: the pending
+    // state lives in the op object itself, constructed directly in the
+    // awaiting frame by guaranteed copy elision (or emplaced into a
+    // pipelining deque for multi-outstanding engines — std::deque
+    // never relocates elements, so `this` stays stable there too).
+    // Each op must be awaited exactly once and completes before the
+    // owning frame dies.
     // --------------------------------------------------------------
 
+    /** A load; resolves to the value read. */
+    class [[nodiscard]] LoadOp : public PendingValue<std::uint64_t>
+    {
+      public:
+        LoadOp(SoftCache &sc, Addr a, unsigned size = 8,
+               LatencyTrace *trace = nullptr);
+    };
+
+    /** A write-through store; completes when buffered (posted). The ack
+     *  value is meaningless, so await_resume() discards it. */
+    class [[nodiscard]] StoreOp : public PendingValue<std::uint64_t>
+    {
+      public:
+        StoreOp(SoftCache &sc, Addr a, std::uint64_t v, unsigned size = 8,
+                LatencyTrace *trace = nullptr);
+
+        void await_resume() const noexcept {}
+    };
+
+    /** An atomic through the hub; resolves to the old value. */
+    class [[nodiscard]] AtomicOp : public PendingValue<std::uint64_t>
+    {
+      public:
+        AtomicOp(SoftCache &sc, AmoOp op, Addr a, std::uint64_t operand,
+                 std::uint64_t operand2 = 0, unsigned size = 8);
+    };
+
+    /** A full-line prefetch; completes on fill, resolves to nothing. */
+    class [[nodiscard]] PrefetchOp : public PendingValue<std::uint64_t>
+    {
+      public:
+        PrefetchOp(SoftCache &sc, Addr line_va,
+                   LatencyTrace *trace = nullptr);
+
+        void await_resume() const noexcept {}
+    };
+
+    /** A write fence; completes once every buffered store has been
+     *  acknowledged by the Memory Hub (i.e. is globally visible).
+     *  Pre-resolved when nothing is buffered. */
+    class [[nodiscard]] DrainOp : public PendingVoid
+    {
+      public:
+        explicit DrainOp(SoftCache &sc);
+    };
+
     /** Load @p size bytes at (virtual) address @p a. */
-    Future<std::uint64_t> load(Addr a, unsigned size = 8,
-                               LatencyTrace *trace = nullptr);
+    LoadOp
+    load(Addr a, unsigned size = 8, LatencyTrace *trace = nullptr)
+    {
+        return LoadOp(*this, a, size, trace);
+    }
 
     /** Write-through store; completes when buffered. */
-    Future<void> store(Addr a, std::uint64_t v, unsigned size = 8,
-                       LatencyTrace *trace = nullptr);
+    StoreOp
+    store(Addr a, std::uint64_t v, unsigned size = 8,
+          LatencyTrace *trace = nullptr)
+    {
+        return StoreOp(*this, a, v, size, trace);
+    }
 
     /** Atomic through the hub (requires the hub's atomic switch). */
-    Future<std::uint64_t> amo(AmoOp op, Addr a, std::uint64_t operand,
-                              std::uint64_t operand2 = 0,
-                              unsigned size = 8);
+    AtomicOp
+    amo(AmoOp op, Addr a, std::uint64_t operand,
+        std::uint64_t operand2 = 0, unsigned size = 8)
+    {
+        return AtomicOp(*this, op, a, operand, operand2, size);
+    }
 
     /** Prefetch a full line (used by streaming accelerators). */
-    Future<void> prefetchLine(Addr line_va, LatencyTrace *trace = nullptr);
+    PrefetchOp
+    prefetchLine(Addr line_va, LatencyTrace *trace = nullptr)
+    {
+        return PrefetchOp(*this, line_va, trace);
+    }
 
     /** Fence: completes once every buffered store has been acknowledged
      *  by the Memory Hub (i.e. is globally visible). */
-    Future<void> drainWrites();
+    DrainOp drainWrites() { return DrainOp(*this); }
 
     /** Fallback latency-attribution sink (`--latency-breakdown`); ops
      *  carrying no LatencyTrace attribute into it instead. See
@@ -115,7 +183,10 @@ class SoftCache
         std::uint64_t wdata, wdata2;
         AmoOp amoOp;
         LatencyTrace *trace;
-        Future<std::uint64_t>::Setter done;
+        /// The issuing op awaitable, parked in its coroutine frame (or
+        /// a pipelining deque) until fulfilled — a plain pointer, no
+        /// shared state.
+        PendingValue<std::uint64_t> *done = nullptr;
         bool lineFill = false; ///< fill/prefetch (no value expected)
     };
 
@@ -151,7 +222,7 @@ class SoftCache
     std::unordered_map<Addr, Mshr> mshrs_;             ///< by VA line
     std::unordered_map<std::uint32_t, WbEntry> wb_;    ///< by request id
     std::unordered_map<std::uint32_t, PendingOp> pendingAmos_;
-    std::vector<Future<void>::Setter> drainWaiters_;
+    std::vector<PendingVoid *> drainWaiters_;
     std::uint32_t nextId_ = 1;
     bool pumping_ = false;
     LatencyTrace *defaultTrace_ = nullptr;

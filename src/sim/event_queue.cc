@@ -45,11 +45,17 @@ EventQueue::run(Tick limit)
         // free-list after it returns. runDestroy() fuses the call and
         // the capture teardown into one indirect call. Observability
         // costs exactly this one predicted branch when disabled.
-        if (obs::g_active != 0) [[unlikely]]
+        if (obs::g_active != 0) [[unlikely]] {
             dispatchObserved(n.slot);
-        else
+        } else if (n.slot & kRearmFlag) {
+            // Re-armable slot: run the capture in place and keep it
+            // bound — the callback re-arms (or its owner releases) the
+            // slot; it never joins the free-list here.
+            slotRef(n.slot & ~kRearmFlag).run();
+        } else {
             slotRef(n.slot).runDestroy();
-        free_.push_back(n.slot);
+            free_.push_back(n.slot);
+        }
     }
     return true;
 }
@@ -68,17 +74,26 @@ EventQueue::dispatchObserved(std::uint32_t slot)
             }
         }
     }
+    const bool rearm = (slot & kRearmFlag) != 0;
+    Slot &s = slotRef(slot & ~kRearmFlag);
     if (Profiler *p = obs::prof()) {
         p->beginEvent();
         const auto t0 = std::chrono::steady_clock::now();
-        slotRef(slot).runDestroy();
+        if (rearm)
+            s.run();
+        else
+            s.runDestroy();
         const auto t1 = std::chrono::steady_clock::now();
         p->endEvent(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                 .count()));
+    } else if (rearm) {
+        s.run();
     } else {
-        slotRef(slot).runDestroy();
+        s.runDestroy();
     }
+    if (!rearm)
+        free_.push_back(slot);
 }
 
 } // namespace duet

@@ -97,6 +97,64 @@ class EventQueue
         schedule(now_ + delta, std::forward<F>(fn));
     }
 
+    // ------------------------------------------------------------------
+    // Re-armable events: a repeating callback (a pipeline cadence firing
+    // every simulated cycle) binds its capture into a slab slot ONCE and
+    // then re-arms the same slot with a new due tick per firing. Dispatch
+    // runs the capture without destroying it and never returns the slot
+    // to the free-list, so the steady state is one heap push per firing —
+    // no destroy+free+acquire+emplace round trip. Each arm consumes a
+    // (when, seq) key from the same counter as schedule(), so pop order
+    // and executed-event counts stay bit-identical to the equivalent
+    // schedule-per-firing pattern.
+    // ------------------------------------------------------------------
+
+    /**
+     * Claim a slab slot for a re-armable event and build @p fn in it.
+     * The slot is idle (not on the heap) until armRearmable(); the owner
+     * must eventually releaseRearmable() it.
+     * @return the slot handle to pass to armRearmable/releaseRearmable
+     */
+    template <typename F>
+    std::uint32_t
+    bindRearmable(F &&fn)
+    {
+        const std::uint32_t slot = acquireSlot(now_);
+        DUET_ASSERT(slot < kRearmFlag, "event slab exhausted the slot space");
+        slotRef(slot).emplace(std::forward<F>(fn));
+        return slot;
+    }
+
+    /**
+     * Put the bound slot @p slot on the heap, due at @p when. The slot
+     * must not already be armed (one pending firing at a time — the
+     * cadence contract).
+     * @pre when >= now()
+     */
+    void
+    armRearmable(std::uint32_t slot, Tick when)
+    {
+        DUET_ASSERT(when >= now_,
+                    "re-armable event armed in the past (tick " +
+                        std::to_string(when) + " < now " +
+                        std::to_string(now_) + ")");
+        commit(when, slot | kRearmFlag);
+    }
+
+    /**
+     * Destroy the bound capture and return the slot to the free-list.
+     * Only legal when the slot is not armed — or when the queue is about
+     * to be reset()/destroyed and will never dispatch again (the
+     * teardown path for coroutine frames reclaimed after the run; a
+     * stale heap node is skipped by reset()).
+     */
+    void
+    releaseRearmable(std::uint32_t slot)
+    {
+        slotRef(slot).reset();
+        free_.push_back(slot);
+    }
+
     /**
      * Run events until the queue drains or @p limit is reached.
      * @return true if the queue drained, false if the limit stopped us.
@@ -127,6 +185,13 @@ class EventQueue
     reset()
     {
         for (const Node &n : heap_) {
+            // Re-armable slots are owned by their binder (a Cadence in a
+            // coroutine frame), which releases them itself — by the
+            // reset contract those frames were drained first, so the
+            // slot is already back on the free-list. Only one-shot
+            // slots are reclaimed here.
+            if (n.slot & kRearmFlag)
+                continue;
             slotRef(n.slot).reset(); // destroy without running
             free_.push_back(n.slot);
         }
@@ -137,6 +202,10 @@ class EventQueue
     }
 
   private:
+    /// High bit of Node::slot: the slot is re-armable — dispatch runs
+    /// the capture without destroying it and leaves the slot bound.
+    static constexpr std::uint32_t kRearmFlag = 0x80000000u;
+
     /** Heap record: the full (when, seq) ordering key plus the slab
      *  slot holding the callback. Kept POD-small so sifts are cheap. */
     struct Node

@@ -8,10 +8,17 @@
  *
  *  - CoTask<T>: a lazy, awaitable subtask with continuation chaining, so a
  *    workload can be factored into ordinary-looking functions;
+ *  - PendingValue<T>/PendingVoid: intrusive awaitable bases for the
+ *    per-access hot path — the pending state (value, waiter handle, flag)
+ *    lives inside the awaitable itself, so a simulated memory operation
+ *    allocates nothing and touches no refcount;
  *  - Future<T>/Future<T>::Setter: a one-shot rendezvous between a coroutine
- *    and an event-queue callback;
+ *    and an event-queue callback, for the cold paths where producer and
+ *    consumer lifetimes genuinely decouple (doorbell handlers, reg pops);
  *  - spawn(): detach a CoTask<void> as a top-level simulated thread;
- *  - ClockDelay: co_await n cycles in a clock domain.
+ *  - ClockDelay: co_await n cycles in a clock domain (one-shot);
+ *  - Cadence: the repeating form of ClockDelay — one re-armable event
+ *    queue slot per loop instead of one slab round trip per iteration.
  */
 
 #ifndef DUET_SIM_TASK_HH
@@ -20,7 +27,6 @@
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <utility>
 #include <vector>
 
@@ -82,13 +88,24 @@ class [[nodiscard]] CoTask
 
     struct promise_type : ArenaAllocated
     {
-        std::optional<T> value;
+        // Raw storage + flag rather than std::optional: the value path
+        // is one load and one branch. T must be default-constructible
+        // (every simulator CoTask returns an arithmetic type).
+        T value{};
+        bool hasValue = false;
         std::coroutine_handle<> continuation;
 
         CoTask get_return_object() { return CoTask(Handle::from_promise(*this)); }
         std::suspend_always initial_suspend() noexcept { return {}; }
         FinalAwaiter final_suspend() noexcept { return {}; }
-        void return_value(T v) { value = std::move(v); }
+
+        void
+        return_value(T v)
+        {
+            value = std::move(v);
+            hasValue = true;
+        }
+
         void unhandled_exception() { std::terminate(); }
     };
 
@@ -117,9 +134,9 @@ class [[nodiscard]] CoTask
     T
     await_resume()
     {
-        DUET_DCHECK(h_.promise().value.has_value(),
+        DUET_DCHECK(h_.promise().hasValue,
                     "CoTask resumed without a return value");
-        return std::move(*h_.promise().value);
+        return std::move(h_.promise().value);
     }
 
   private:
@@ -306,14 +323,128 @@ drainDetachedTasks()
 }
 
 /**
+ * Intrusive awaitable base for a simulated operation producing a T.
+ *
+ * The pending state — value, waiter handle, completion flag — lives
+ * inside the awaitable object itself, which in turn lives inside the
+ * awaiting coroutine's frame (the co_await temporary). Returning one by
+ * prvalue from an op factory (Core::load etc.) constructs it directly
+ * there via guaranteed copy elision, so the address captured by the
+ * completion callback is stable for the operation's whole lifetime. The
+ * result: zero allocations, zero refcounts, zero std::optional per
+ * access — the entire Future/State/RcPtr machinery collapses into three
+ * words the frame already owns.
+ *
+ * Contract: the derived op must be awaited exactly once, before the
+ * frame that owns it dies; fulfill() must be called exactly once.
+ * Non-movable by design — the completion callback holds `this`.
+ */
+template <typename T>
+class PendingValue
+{
+  public:
+    PendingValue() = default;
+    PendingValue(const PendingValue &) = delete;
+    PendingValue &operator=(const PendingValue &) = delete;
+
+    bool await_ready() const noexcept { return has_; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        simAssert(!waiter_, "pending op awaited twice");
+        waiter_ = h;
+    }
+
+    T
+    await_resume()
+    {
+        DUET_DCHECK(has_, "pending op resumed before completion");
+        return std::move(value_);
+    }
+
+    /**
+     * Deliver the result. If the consumer is already suspended on this
+     * op, resume it inline (this is the tail of the producing event's
+     * callback); if not — the pre-resolved fast path, e.g. an L1 hit
+     * fulfilled before the co_await ran — await_ready() short-circuits
+     * the suspension entirely.
+     */
+    void
+    fulfill(T v)
+    {
+        simAssert(!has_, "pending op fulfilled twice");
+        value_ = std::move(v);
+        has_ = true;
+        if (waiter_) {
+            auto w = std::exchange(waiter_, nullptr);
+            // Tail position: resuming the waiter may destroy the frame
+            // holding *this, so no member access past this point.
+            w.resume();
+        }
+    }
+
+  protected:
+    ~PendingValue() = default;
+
+  private:
+    T value_{};
+    std::coroutine_handle<> waiter_;
+    bool has_ = false;
+};
+
+/** PendingValue analogue for completion-only (void) operations. */
+class PendingVoid
+{
+  public:
+    PendingVoid() = default;
+    PendingVoid(const PendingVoid &) = delete;
+    PendingVoid &operator=(const PendingVoid &) = delete;
+
+    bool await_ready() const noexcept { return done_; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        simAssert(!waiter_, "pending op awaited twice");
+        waiter_ = h;
+    }
+
+    void await_resume() const noexcept
+    {
+        DUET_DCHECK(done_, "pending op resumed before completion");
+    }
+
+    void
+    fulfill()
+    {
+        simAssert(!done_, "pending op fulfilled twice");
+        done_ = true;
+        if (waiter_) {
+            auto w = std::exchange(waiter_, nullptr);
+            // Tail position — see PendingValue::fulfill().
+            w.resume();
+        }
+    }
+
+  protected:
+    ~PendingVoid() = default;
+
+  private:
+    std::coroutine_handle<> waiter_;
+    bool done_ = false;
+};
+
+/**
  * One-shot rendezvous between a coroutine (the consumer) and an
  * event/callback (the producer). Copy the Setter into a completion
  * callback; co_await the Future.
  *
- * The shared state is an arena-pooled block behind a non-atomic RcPtr
- * rather than a shared_ptr: a Future is created per simulated memory
- * operation, and the shared_ptr control block + atomic refcounts were a
- * measurable slice of the scenario hot path.
+ * This is the cold-path sibling of PendingValue: use it only where the
+ * producer's lifetime genuinely decouples from the consumer's frame
+ * (MMIO doorbell handlers, reg-file pops parked across requests). The
+ * shared state is an arena-pooled block behind a non-atomic RcPtr
+ * rather than a shared_ptr, holding the value as raw storage + flag.
  */
 template <typename T>
 class Future
@@ -321,8 +452,9 @@ class Future
     struct State : ArenaAllocated
     {
         std::uint32_t refs = 1;
-        std::optional<T> value;
+        bool has = false;
         std::coroutine_handle<> waiter;
+        T value{};
     };
 
   public:
@@ -339,8 +471,9 @@ class Future
         set(T v) const
         {
             simAssert(st_ != nullptr, "Setter unbound");
-            simAssert(!st_->value.has_value(), "Future set twice");
+            simAssert(!st_->has, "Future set twice");
             st_->value = std::move(v);
+            st_->has = true;
             if (st_->waiter) {
                 auto w = std::exchange(st_->waiter, nullptr);
                 w.resume();
@@ -353,7 +486,7 @@ class Future
 
     Setter setter() const { return Setter(st_); }
 
-    bool await_ready() const noexcept { return st_->value.has_value(); }
+    bool await_ready() const noexcept { return st_->has; }
 
     void
     await_suspend(std::coroutine_handle<> h) const
@@ -365,9 +498,8 @@ class Future
     T
     await_resume() const
     {
-        DUET_DCHECK(st_->value.has_value(),
-                    "Future resumed before its value was set");
-        return std::move(*st_->value);
+        DUET_DCHECK(st_->has, "Future resumed before its value was set");
+        return std::move(st_->value);
     }
 
   private:
@@ -458,6 +590,79 @@ class ClockDelay
   private:
     const ClockDomain &clk_;
     Cycles cycles_;
+};
+
+/**
+ * The repeating form of ClockDelay for II=1 pipeline loops and spin
+ * waits: declare one Cadence before the loop, `co_await cad(1)` inside
+ * it. The first await binds the resume capture into a re-armable event
+ * queue slot; every later await just re-arms that slot with a new due
+ * tick — one heap push per iteration instead of a full slot
+ * destroy/free/acquire/emplace round trip. Due ticks, (when, seq)
+ * ordering keys, and executed-event counts are identical to the
+ * equivalent per-iteration ClockDelay, so simulated time is
+ * bit-identical.
+ *
+ * Owned by exactly one coroutine frame; the destructor releases the
+ * slot. Frames parked forever (accelerator request loops) are reclaimed
+ * by drainDetachedTasks() before the event queue is reset or destroyed,
+ * which keeps slot release ordered before queue teardown.
+ */
+class Cadence
+{
+  public:
+    explicit Cadence(const ClockDomain &clk) : clk_(clk) {}
+
+    Cadence(const Cadence &) = delete;
+    Cadence &operator=(const Cadence &) = delete;
+
+    ~Cadence()
+    {
+        if (slot_ != kUnbound)
+            clk_.eventQueue().releaseRearmable(slot_);
+    }
+
+    struct [[nodiscard]] Awaiter
+    {
+        Cadence &c;
+        Cycles cycles;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            c.arm(cycles, h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /** Awaitable suspending for @p cycles rising edges. */
+    Awaiter operator()(Cycles cycles) { return Awaiter{*this, cycles}; }
+
+  private:
+    static constexpr std::uint32_t kUnbound = 0xffffffffu;
+
+    void
+    arm(Cycles cycles, std::coroutine_handle<> h)
+    {
+        waiter_ = h;
+        EventQueue &eq = clk_.eventQueue();
+        if (slot_ == kUnbound) {
+            // Same profiler attribution as ClockDelay: the cadence is
+            // simulated software making progress, i.e. "cpu".
+            slot_ = eq.bindRearmable([this] {
+                obs::profClaim("cpu");
+                waiter_.resume();
+            });
+        }
+        eq.armRearmable(slot_, clk_.edgeAfterCycles(cycles));
+    }
+
+    const ClockDomain &clk_;
+    std::uint32_t slot_ = kUnbound;
+    std::coroutine_handle<> waiter_;
 };
 
 } // namespace duet

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "core/tlb.hh"
 #include "workload/apps.hh"
 
@@ -164,12 +166,13 @@ TEST(MultiHub, TwoHubsStreamInParallel)
                 SoftCache &out = two_hubs ? *ctx.mem[1] : *ctx.mem[0];
                 // Streaming copy: loads pipelined on the read port while
                 // stores flow through the write port.
-                std::vector<Future<std::uint64_t>> loads;
+                std::deque<SoftCache::LoadOp> loads;
                 for (unsigned i = 0; i < 256; ++i)
-                    loads.push_back(in.load(0x10000 + 8 * i));
-                for (unsigned i = 0; i < 256; ++i) {
-                    std::uint64_t v = co_await loads[i];
-                    co_await out.store(0x20000 + 8 * i, v);
+                    loads.emplace_back(in, 0x10000 + 8 * i);
+                unsigned i = 0;
+                for (auto &f : loads) {
+                    std::uint64_t v = co_await f;
+                    co_await out.store(0x20000 + 8 * i++, v);
                 }
                 co_await out.drainWrites();
                 ctx.regs.push(1, 1);

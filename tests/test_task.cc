@@ -1,0 +1,409 @@
+/**
+ * @file
+ * The intrusive-awaitable timing path introduced by the payload diet:
+ * PendingValue/PendingVoid lifetime and fast-path discipline, the
+ * re-armable cadence slot (pop-order identity with a naive reference
+ * queue across ~a million mixed one-shot/re-armed events),
+ * Cadence-vs-ClockDelay tick equivalence, MMIO transaction-table
+ * behaviour under a flood of outstanding requests, and whole-workload
+ * timing identity across repeated (warm-started) runs.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "fpga/soft_cache.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+#include "workload/apps.hh"
+
+namespace duet
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// PendingValue / PendingVoid: the intrusive awaitable contract
+// ---------------------------------------------------------------------
+
+// The bases keep their destructors protected (nothing deletes an op
+// through them); tests use minimal concrete ops.
+struct ValueOp : PendingValue<std::uint64_t>
+{
+};
+
+struct VoidOp : PendingVoid
+{
+};
+
+TEST(PendingValue, PreResolvedResultShortCircuitsTheAwait)
+{
+    // An op whose result arrived before the co_await (L1 hit resolved
+    // during issue, MMIO answered same-tick) must not suspend at all.
+    ValueOp op;
+    op.fulfill(42);
+    EXPECT_TRUE(op.await_ready());
+    bool done = false;
+    spawn([](ValueOp &o, bool &flag) -> CoTask<void> {
+        EXPECT_EQ(co_await o, 42u);
+        flag = true;
+    }(op, done));
+    // No suspension happened: the coroutine ran to completion inline.
+    EXPECT_TRUE(done);
+    drainDetachedTasks();
+}
+
+TEST(PendingValue, FulfillResumesTheParkedWaiter)
+{
+    ValueOp op;
+    bool done = false;
+    std::uint64_t got = 0;
+    spawn([](ValueOp &o, bool &flag, std::uint64_t &out) -> CoTask<void> {
+        out = co_await o;
+        flag = true;
+    }(op, done, got));
+    EXPECT_FALSE(done); // parked: no value yet
+    EXPECT_FALSE(op.await_ready());
+    op.fulfill(7);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(got, 7u);
+    drainDetachedTasks();
+}
+
+TEST(PendingValue, FulfillingTwiceTrapsAndAwaitingTwiceTraps)
+{
+    ValueOp op;
+    op.fulfill(1);
+    EXPECT_THROW(op.fulfill(2), SimPanic);
+
+    ValueOp parked;
+    parked.await_suspend(std::noop_coroutine());
+    EXPECT_THROW(parked.await_suspend(std::noop_coroutine()), SimPanic);
+}
+
+TEST(PendingVoid, CompletionBeforeAndAfterTheAwait)
+{
+    // Pre-resolved: a store acknowledged before the co_await.
+    VoidOp pre;
+    pre.fulfill();
+    EXPECT_TRUE(pre.await_ready());
+
+    // Parked: fulfilled later, waiter resumes.
+    VoidOp op;
+    bool done = false;
+    spawn([](VoidOp &o, bool &flag) -> CoTask<void> {
+        co_await o;
+        flag = true;
+    }(op, done));
+    EXPECT_FALSE(done);
+    op.fulfill();
+    EXPECT_TRUE(done);
+    drainDetachedTasks();
+}
+
+TEST(AwaitableDiscipline, OpObjectsArePinned)
+{
+    // Pending state lives inside the awaitable and completion callbacks
+    // hold its address, so every op type must be immovable — a copy or
+    // move would leave the callback writing into a dead object.
+    static_assert(!std::is_copy_constructible_v<Core::LoadOp>);
+    static_assert(!std::is_move_constructible_v<Core::LoadOp>);
+    static_assert(!std::is_copy_constructible_v<Core::StoreOp>);
+    static_assert(!std::is_move_constructible_v<Core::MmioWriteOp>);
+    static_assert(!std::is_copy_constructible_v<SoftCache::LoadOp>);
+    static_assert(!std::is_move_constructible_v<SoftCache::LoadOp>);
+    static_assert(!std::is_move_constructible_v<SoftCache::DrainOp>);
+    static_assert(!std::is_copy_constructible_v<Cadence>);
+    static_assert(!std::is_move_constructible_v<Cadence>);
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// Cadence: the re-armable form of ClockDelay
+// ---------------------------------------------------------------------
+
+TEST(Cadence, FiringTicksMatchEquivalentClockDelays)
+{
+    // A cadence loop must land on exactly the same clock edges as the
+    // one-shot ClockDelay loop it replaces, and execute the same number
+    // of events — the bit-identity contract of the re-arm path.
+    auto run = [](bool rearm) {
+        EventQueue eq;
+        ClockDomain clk(eq, "clk", 1000);
+        std::vector<Tick> ticks;
+        spawn([](EventQueue &q, ClockDomain &c, std::vector<Tick> &out,
+                 bool use_cadence) -> CoTask<void> {
+            if (use_cadence) {
+                Cadence cad(c);
+                for (unsigned i = 0; i < 200; ++i) {
+                    co_await cad(1 + i % 3);
+                    out.push_back(q.now());
+                }
+            } else {
+                for (unsigned i = 0; i < 200; ++i) {
+                    co_await ClockDelay(c, 1 + i % 3);
+                    out.push_back(q.now());
+                }
+            }
+        }(eq, clk, ticks, rearm));
+        eq.run();
+        drainDetachedTasks();
+        return std::pair<std::vector<Tick>, std::uint64_t>(ticks,
+                                                           eq.executed());
+    };
+    auto cadence = run(true);
+    auto one_shot = run(false);
+    EXPECT_EQ(cadence.first, one_shot.first);
+    EXPECT_EQ(cadence.second, one_shot.second);
+}
+
+TEST(Cadence, SteadyStateLoopReusesOneSlabSlot)
+{
+    EventQueue eq;
+    ClockDomain clk(eq, "clk", 1000);
+    spawn([](ClockDomain &c) -> CoTask<void> {
+        Cadence cad(c);
+        for (unsigned i = 0; i < 10'000; ++i)
+            co_await cad(1);
+    }(clk));
+    eq.run();
+    drainDetachedTasks();
+    // One firing per iteration, all served by a single re-armable slot
+    // that never cycles through the free list while armed...
+    EXPECT_EQ(eq.executed(), 10'000u);
+    EXPECT_EQ(eq.slabSlots(), 1u);
+    // ...and is handed back when the owning frame dies.
+    EXPECT_EQ(eq.freeSlots(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Re-armable events: pop-order identity with a reference queue
+// ---------------------------------------------------------------------
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+struct Successor
+{
+    Tick delta;
+    int count;
+};
+
+Successor
+successorsOf(std::uint32_t id, std::uint64_t seed)
+{
+    std::uint64_t s = seed ^ (0x1234567891ull * (id + 1));
+    std::uint64_t r = splitmix64(s);
+    // delta 0 produces same-tick ties, the interesting ordering case.
+    return {static_cast<Tick>(r % 257), static_cast<int>((r >> 32) % 3)};
+}
+
+TEST(EventQueueRearm, MixedOneShotAndRearmedPopOrderMatchesReference)
+{
+    // The production queue runs self-scheduling one-shot chains (as in
+    // the event-queue identity test) interleaved with 64 re-armable
+    // slots firing on deterministic periods. A re-arm must consume a
+    // sequence number exactly like a fresh schedule() would, so the
+    // combined pop order — ties included — must match a naive reference
+    // that models every firing as an ordinary insert.
+    constexpr std::uint32_t kTotalOneShot = 700'000;
+    constexpr std::uint32_t kSeedEvents = 2048;
+    constexpr std::uint32_t kRec = 64;
+    constexpr std::uint32_t kFirings = 4000; // per re-armable slot
+    constexpr std::uint64_t kSeed = 0xabba5eed20260001ull;
+    constexpr std::uint64_t kRecBase = 1ull << 32; // recurring id space
+
+    std::vector<std::uint64_t> got;
+    got.reserve(kTotalOneShot + kRec * kFirings);
+    {
+        EventQueue eq;
+        struct Rec
+        {
+            std::uint32_t slot = 0;
+            Tick period = 1;
+            std::uint32_t remaining = 0;
+        };
+        std::vector<Rec> recs(kRec);
+        std::uint32_t scheduled = 0;
+        std::uint64_t rng = kSeed;
+        for (std::uint32_t i = 0; i < kRec; ++i) {
+            std::uint64_t r = splitmix64(rng);
+            recs[i].period = 1 + static_cast<Tick>(r % 13);
+            recs[i].remaining = kFirings;
+            recs[i].slot = eq.bindRearmable([&eq, &recs, &got, i] {
+                got.push_back(kRecBase + i);
+                Rec &rc = recs[i];
+                if (--rc.remaining > 0)
+                    eq.armRearmable(rc.slot, eq.now() + rc.period);
+            });
+            eq.armRearmable(recs[i].slot,
+                            1 + static_cast<Tick>((r >> 16) % 97));
+        }
+        std::function<void(std::uint32_t)> body = [&](std::uint32_t id) {
+            got.push_back(id);
+            Successor s = successorsOf(id, kSeed);
+            for (int c = 0; c < s.count && scheduled < kTotalOneShot; ++c) {
+                std::uint32_t child = scheduled++;
+                eq.schedule(eq.now() + s.delta + c, [&, child] {
+                    body(child);
+                });
+            }
+        };
+        for (std::uint32_t i = 0; i < kSeedEvents; ++i) {
+            std::uint32_t id = scheduled++;
+            std::uint64_t r = splitmix64(rng);
+            eq.schedule(r % 1024, [&, id] { body(id); });
+        }
+        eq.run();
+        for (std::uint32_t i = 0; i < kRec; ++i) {
+            EXPECT_EQ(recs[i].remaining, 0u) << "slot " << i;
+            eq.releaseRearmable(recs[i].slot);
+        }
+        // Every slab slot — one-shot and re-armable alike — is back on
+        // the free list once the run drains and the slots are released.
+        EXPECT_EQ(eq.freeSlots(), eq.slabSlots());
+    }
+
+    // Reference: a std::set ordered by (when, seq, id) where EVERY
+    // firing, re-armed or not, is a plain insert consuming seq.
+    std::vector<std::uint64_t> want;
+    want.reserve(got.size());
+    {
+        std::set<std::tuple<Tick, std::uint64_t, std::uint64_t>> pending;
+        std::uint64_t seq = 0;
+        Tick now = 0;
+        auto schedule = [&](Tick when, std::uint64_t id) {
+            pending.insert({when, seq++, id});
+        };
+        std::vector<Tick> period(kRec);
+        std::vector<std::uint32_t> remaining(kRec, kFirings);
+        std::uint32_t scheduled = 0;
+        std::uint64_t rng = kSeed;
+        for (std::uint32_t i = 0; i < kRec; ++i) {
+            std::uint64_t r = splitmix64(rng);
+            period[i] = 1 + static_cast<Tick>(r % 13);
+            schedule(1 + static_cast<Tick>((r >> 16) % 97), kRecBase + i);
+        }
+        for (std::uint32_t i = 0; i < kSeedEvents; ++i) {
+            std::uint32_t id = scheduled++;
+            std::uint64_t r = splitmix64(rng);
+            schedule(r % 1024, id);
+        }
+        while (!pending.empty()) {
+            auto [when, s, id] = *pending.begin();
+            pending.erase(pending.begin());
+            now = when;
+            want.push_back(id);
+            if (id >= kRecBase) {
+                auto i = static_cast<std::uint32_t>(id - kRecBase);
+                if (--remaining[i] > 0)
+                    schedule(now + period[i], id);
+            } else {
+                Successor su =
+                    successorsOf(static_cast<std::uint32_t>(id), kSeed);
+                for (int c = 0;
+                     c < su.count && scheduled < kTotalOneShot; ++c) {
+                    std::uint32_t child = scheduled++;
+                    schedule(now + su.delta + c, child);
+                }
+            }
+        }
+    }
+
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_GE(got.size(), kRec * static_cast<std::size_t>(kFirings));
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << "pop order diverges at event " << i;
+}
+
+// ---------------------------------------------------------------------
+// MMIO transaction table: many outstanding requests
+// ---------------------------------------------------------------------
+
+AccelImage
+echoImage()
+{
+    AccelImage img;
+    img.name = "echo";
+    img.resources = FabricResources{60, 90, 0, 0};
+    img.fmaxMHz = 200;
+    img.regLayout.kinds = {RegKind::FpgaFifo, RegKind::CpuFifo};
+    img.start = [](FpgaContext &ctx) {
+        spawn([](FpgaContext c) -> CoTask<void> {
+            while (true) {
+                std::uint64_t v = co_await c.regs.pop(0);
+                c.regs.push(1, v);
+            }
+        }(ctx));
+    };
+    return img;
+}
+
+TEST(MmioTable, FloodOfOutstandingTransactionsResolvesEveryOne)
+{
+    // Issue 64 MMIO writes eagerly (ops issue in their constructor)
+    // before awaiting any of them: the pending-transaction table must
+    // grow past its initial capacity and backward-shift deletions must
+    // keep every probe chain intact as completions retire entries.
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.numMemHubs = 0;
+    cfg.ctrl.timeoutCycles = 0;
+    System sys(cfg);
+    ASSERT_TRUE(sys.installAccel(echoImage()));
+    std::uint64_t sum = 0;
+    sys.core(0).start([&](Core &c) -> CoTask<void> {
+        std::deque<Core::MmioWriteOp> writes;
+        for (std::uint64_t i = 1; i <= 64; ++i)
+            writes.emplace_back(c, sys.regAddr(0), i, nullptr);
+        for (auto &w : writes)
+            co_await w;
+        for (unsigned i = 0; i < 64; ++i)
+            sum += co_await c.mmioRead(sys.regAddr(1));
+    });
+    sys.run();
+    EXPECT_EQ(sum, 64u * 65u / 2); // every write echoed exactly once
+}
+
+// ---------------------------------------------------------------------
+// Whole-workload timing identity
+// ---------------------------------------------------------------------
+
+TEST(WorkloadIdentity, RepeatRunsAreTickIdentical)
+{
+    // The cadence-heavy workloads (PDES heap loops, dijkstra relaxation,
+    // barnes-hut force evaluation) must produce identical sim_ticks on
+    // every run — the second run warm-starts a reset System, so this
+    // also checks re-armable slots rebind cleanly after reset().
+    for (const char *name : {"pdes", "dijkstra", "barnes_hut"}) {
+        AppResult a = runApp(name, SystemMode::Duet);
+        AppResult b = runApp(name, SystemMode::Duet);
+        EXPECT_TRUE(a.correct) << name;
+        EXPECT_EQ(a.runtime, b.runtime) << name;
+    }
+    // CPU-only PDES spins through the MCS lock and barrier, whose
+    // cadence-backed spin loops ride the same re-arm path.
+    AppResult c = runApp("pdes", SystemMode::CpuOnly, {.cores = 4});
+    AppResult d = runApp("pdes", SystemMode::CpuOnly, {.cores = 4});
+    EXPECT_TRUE(c.correct);
+    EXPECT_EQ(c.runtime, d.runtime);
+}
+
+} // namespace
+} // namespace duet

@@ -5,7 +5,7 @@ Run over one or more source roots (default: src/ next to this script):
 
     python3 tools/lint_sim.py src
 
-Rules (R1-R8):
+Rules (R1-R9):
 
   R1 fork-outside-executor   `fork(` may appear only in the process-pool
                              executor (src/sim/executor.cc). Everything
@@ -52,6 +52,15 @@ Rules (R1-R8):
                              the disabled-observability hot path stays a
                              single predictable branch — and so a null
                              sink can never be dereferenced.
+  R9 no-future-hot           `Future<` is banned in the per-access
+                             hot-path headers (src/cpu/*.hh,
+                             src/fpga/*.hh): a Future costs a refcounted
+                             arena block per simulated access, so those
+                             paths must use the intrusive awaitables
+                             (sim/task.hh PendingValue/PendingVoid).
+                             Cold decoupled rendezvous — reg-file pops,
+                             doorbell handlers, src/core — may still use
+                             Future.
 
 Run `python3 tools/lint_sim.py --selftest` to exercise every rule against
 built-in positive/negative fixtures (wired into ctest as lint_selftest).
@@ -91,6 +100,7 @@ NEW_ALLOWLIST = {
 # warm-start put Mesh and System on the per-event dispatch path.
 HOT_HEADERS_RE = re.compile(
     r"^(src/sim/event_queue\.hh|src/sim/inline_function\.hh|"
+    r"src/sim/task\.hh|"
     r"src/cache/[^/]+\.hh|src/noc/[^/]+\.hh|src/system/[^/]+\.hh)$"
 )
 
@@ -120,6 +130,11 @@ RE_TRACE_DEREF = re.compile(
 TRACE_HOT_RE = re.compile(
     HOT_HEADERS_RE.pattern[:-2] + r"|src/fpga/async_fifo\.hh)$"
 )
+# R9: headers whose per-access paths must use the intrusive awaitables.
+# Constructing a Future there reintroduces a refcounted arena block per
+# simulated memory operation.
+RE_FUTURE = re.compile(r"\bFuture\s*<")
+FUTURE_HOT_RE = re.compile(r"^(src/cpu/[^/]+\.hh|src/fpga/[^/]+\.hh)$")
 
 
 def strip_code(text):
@@ -224,6 +239,11 @@ def lint_file(path, rel, findings):
             report(lineno, "unguarded-trace-hot",
                    "unguarded trace/prof dereference in a hot header; "
                    "bind it first: if (TraceSink *ts = obs::trace())")
+        if FUTURE_HOT_RE.match(rel) and RE_FUTURE.search(line):
+            report(lineno, "no-future-hot",
+                   "Future<> is banned in per-access hot-path headers; "
+                   "use the intrusive awaitables "
+                   "(sim/task.hh PendingValue/PendingVoid)")
         if RE_MEMCPY.search(line):
             lo = max(0, idx - MEMCPY_WINDOW)
             window = code_lines[lo:idx + 1]
@@ -320,6 +340,23 @@ SELFTEST_CASES = [
      []),
     ("src/sim/trace_cold.cc",
      "void emit() { obs::trace()->instant(0, \"cold\", 0); }\n", []),
+    # R9: Future construction in a per-access hot header is a finding;
+    # the cold decoupled-rendezvous homes (src/core headers, any .cc)
+    # are not.
+    ("src/cpu/bad_future.hh",
+     "#ifndef DUET_CPU_BAD_FUTURE_HH\n#define DUET_CPU_BAD_FUTURE_HH\n"
+     "struct P { Future<std::uint64_t> pending; };\n#endif\n",
+     ["no-future-hot"]),
+    ("src/fpga/bad_future.hh",
+     "#ifndef DUET_FPGA_BAD_FUTURE_HH\n#define DUET_FPGA_BAD_FUTURE_HH\n"
+     "inline Future <void> fence();\n#endif\n",
+     ["no-future-hot"]),
+    ("src/core/cold_future.hh",
+     "#ifndef DUET_CORE_COLD_FUTURE_HH\n#define DUET_CORE_COLD_FUTURE_HH\n"
+     "struct R { Future<std::uint64_t> pop(unsigned reg); };\n#endif\n",
+     []),
+    ("src/cpu/future_cold.cc",
+     "void f() { Future<int> scratch; }\n", []),
     # Comment/string stripping: prose never trips the code rules.
     ("src/cpu/prose.cc",
      "// a new coroutine is forked via const_cast-free magic\n"
